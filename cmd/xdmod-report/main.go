@@ -1,0 +1,93 @@
+// Command xdmod-report regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	xdmod-report -experiment fig1            # one artifact
+//	xdmod-report -experiment all             # every artifact
+//	xdmod-report -experiment fig1 -svg out/  # also write SVG charts
+//	xdmod-report -list                       # list artifacts
+//
+// Exit status is non-zero when any shape check fails, so the command
+// doubles as the reproduction gate for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xdmodfed/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig2, fig3, table1, fig4, fig5, fig6, fig7) or 'all'")
+		scale      = flag.Int("scale", report.DefaultOptions().Scale, "workload scale (jobs per month per unit weight, users, VMs)")
+		seed       = flag.Int64("seed", report.DefaultOptions().Seed, "workload generator seed")
+		svgDir     = flag.String("svg", "", "directory to write chart SVGs into (optional)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		markdown   = flag.String("markdown", "", "write a full EXPERIMENTS.md-style document to this path")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range report.Experiments() {
+			fmt.Printf("%-8s %s\n         %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+
+	opts := report.Options{Scale: *scale, Seed: *seed}
+	var results []*report.Result
+	if *experiment == "all" {
+		rs, err := report.RunAll(opts)
+		if err != nil {
+			fatal(err)
+		}
+		results = rs
+	} else {
+		e, ok := report.Find(*experiment)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", *experiment))
+		}
+		r, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		results = []*report.Result{r}
+	}
+
+	if *markdown != "" {
+		if err := os.WriteFile(*markdown, []byte(report.Markdown(results, opts)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *markdown)
+	}
+
+	failed := false
+	for _, r := range results {
+		fmt.Println(r.Render())
+		if *svgDir != "" {
+			paths, err := r.SaveSVGs(*svgDir)
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range paths {
+				fmt.Printf("wrote %s\n", p)
+			}
+			fmt.Println()
+		}
+		if !r.Passed() {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "xdmod-report: one or more shape checks FAILED")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xdmod-report:", err)
+	os.Exit(1)
+}

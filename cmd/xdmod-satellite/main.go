@@ -1,0 +1,119 @@
+// Command xdmod-satellite runs one XDMoD satellite instance: it
+// restores its warehouse snapshot, serves the REST API, and starts
+// tight-federation replication to every hub route in its configuration
+// (paper Fig. 2: the satellite side of a federation).
+//
+// Usage:
+//
+//	xdmod-satellite -config xdmod.json -db warehouse.snap -listen :8080
+//
+// An admin account can be bootstrapped with -admin-user/-admin-pass.
+// The process exits on SIGINT/SIGTERM, saving the warehouse snapshot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/rest"
+	"xdmodfed/internal/warehouse"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "instance configuration JSON (required)")
+		dbPath     = flag.String("db", "", "warehouse snapshot path to load/save (optional)")
+		listen     = flag.String("listen", "127.0.0.1:8080", "REST API listen address")
+		adminUser  = flag.String("admin-user", "", "bootstrap a local admin account")
+		adminPass  = flag.String("admin-pass", "", "password for -admin-user")
+		walPath    = flag.String("wal", "", "durable binlog path: replayed on startup, appended while running")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		fatal(fmt.Errorf("-config is required"))
+	}
+	cfg, err := config.LoadFile(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	sat, err := core.NewSatellite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *walPath != "" {
+		pos, err := warehouse.ReplayLog(sat.DB, *walPath)
+		if err != nil {
+			fatal(err)
+		}
+		if pos > 0 {
+			fmt.Printf("recovered %d binlog events from %s\n", pos, *walPath)
+			if err := sat.AggregateAll(); err != nil {
+				fatal(err)
+			}
+		}
+		wal, err := warehouse.OpenLogWriter(sat.DB, *walPath, sat.DB.Binlog().Last())
+		if err != nil {
+			fatal(err)
+		}
+		defer wal.Close()
+	}
+	if *dbPath != "" {
+		if _, err := os.Stat(*dbPath); err == nil {
+			f, err := os.Open(*dbPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sat.RestoreFromHubBackup(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("restored warehouse from %s\n", *dbPath)
+		}
+	}
+	if *adminUser != "" {
+		err := sat.Auth.Vault().Create(auth.User{
+			Username: *adminUser, Role: auth.RoleManager, DisplayName: "Administrator",
+		}, *adminPass)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := sat.StartFederation(ctx); err != nil {
+		fatal(err)
+	}
+	defer sat.StopFederation()
+
+	srv := &http.Server{Addr: *listen, Handler: rest.NewServer(sat.Instance).Handler()}
+	go func() {
+		<-ctx.Done()
+		srv.Shutdown(context.Background())
+	}()
+	fmt.Printf("xdmod-satellite %q serving on %s (version %s, %d hub routes)\n",
+		cfg.Name, *listen, cfg.Version, len(cfg.Hubs))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+
+	if *dbPath != "" {
+		if err := sat.DB.SaveFile(*dbPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warehouse saved to %s\n", *dbPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xdmod-satellite:", err)
+	os.Exit(1)
+}

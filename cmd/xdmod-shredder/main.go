@@ -1,0 +1,82 @@
+// Command xdmod-shredder parses resource-manager accounting logs into
+// staging job records — the first stage of the XDMoD pipeline. It
+// mirrors Open XDMoD's xdmod-shredder utility.
+//
+// Usage:
+//
+//	xdmod-shredder -format slurm -resource rush -input sacct.log [-json out.json]
+//
+// Without -json, a summary is printed; with -json, the staging records
+// are written as a JSON array for xdmod-ingestor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xdmodfed/internal/shredder"
+)
+
+func main() {
+	var (
+		format   = flag.String("format", "slurm", "accounting log format (slurm, pbs)")
+		resource = flag.String("resource", "", "resource name the log came from (required)")
+		input    = flag.String("input", "-", "accounting log path ('-' for stdin)")
+		jsonOut  = flag.String("json", "", "write staging records as JSON to this path")
+	)
+	flag.Parse()
+	if *resource == "" {
+		fatal(fmt.Errorf("-resource is required"))
+	}
+	parser, err := shredder.New(*format)
+	if err != nil {
+		fatal(err)
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	recs, errs := parser.Parse(r, *resource)
+	fmt.Printf("shredded %d job records from %s (%d bad lines)\n", len(recs), *input, len(errs))
+	for i, e := range errs {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more errors\n", len(errs)-10)
+			break
+		}
+		fmt.Printf("  %v\n", e)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(recs); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if len(errs) > 0 && len(recs) == 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xdmod-shredder:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Storage monitor example: the paper's Storage realm (§III-A). A
+// center's filesystems feed JSON usage documents (validated against
+// the realm's schema) into XDMoD; the instance then reports usage,
+// file counts, and quota utilization per filesystem and per user —
+// flagging users over their soft quota.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/realm/storage"
+	"xdmodfed/internal/warehouse"
+	"xdmodfed/internal/workload"
+)
+
+func main() {
+	in, err := core.NewInstance(config.InstanceConfig{
+		Name: "ccr-storage", Version: core.Version,
+		Resources: []config.ResourceConfig{
+			{Name: "isilon-home", Type: "storage"},
+			{Name: "isilon-projects", Type: "storage"},
+			{Name: "gpfs-scratch", Type: "storage"},
+		},
+		AggregationLevels: []config.AggregationLevels{config.HubWallTime()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Produce the JSON interchange document a filesystem collector
+	// would emit, then ingest it through schema validation — the
+	// "installations must only ensure their data validates against our
+	// provided JSON schema" contract.
+	snaps := workload.CCRStorage2017(30, 7)
+	var doc bytes.Buffer
+	if err := storage.WriteJSON(&doc, snaps); err != nil {
+		log.Fatal(err)
+	}
+	st, err := in.Pipeline.IngestStorageJSON(&doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validated and ingested %d snapshots (%s)\n\n", st.Ingested, st)
+
+	// Monthly physical usage by filesystem.
+	series, err := in.Query("Storage", aggregate.Request{
+		MetricID: storage.MetricPhysicalUsage, GroupBy: storage.DimResource,
+		Period: aggregate.Month, StartKey: 201710, EndKey: 201712,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("physical usage by filesystem, Q4 2017 (TB):")
+	for _, s := range series {
+		fmt.Printf("  %-18s", s.Group)
+		for _, p := range s.Points {
+			fmt.Printf("  %s=%6.2f", aggregate.Month.Label(p.PeriodKey), p.Value/1e12)
+		}
+		fmt.Println()
+	}
+
+	// Quota watch: users over 80% of soft quota on persistent storage
+	// in December (Job-Viewer-style drill into raw facts).
+	fmt.Println("\nusers above 80% of soft quota, December 2017:")
+	tab, err := in.DB.TableIn(storage.SchemaName, storage.FactTable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	over := 0
+	in.DB.View(func() error {
+		tab.Scan(func(r warehouse.Row) bool {
+			if r.Int("month_key") == 201712 && r.Float("quota_util") > 0.8 {
+				fmt.Printf("  %-12s %-18s %5.1f%% of quota (%d files)\n",
+					r.String("username"), r.String("resource"),
+					r.Float("quota_util")*100, r.Int("file_count"))
+				over++
+			}
+			return true
+		})
+		return nil
+	})
+	if over == 0 {
+		fmt.Println("  (none)")
+	}
+
+	// Realm summary: user counts per filesystem.
+	users, err := in.Query("Storage", aggregate.Request{
+		MetricID: storage.MetricUserCount, GroupBy: storage.DimResource, Period: aggregate.Year,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsnapshot records per filesystem, 2017:")
+	for _, s := range users {
+		fmt.Printf("  %-18s %6.0f user-month records\n", s.Group, s.Aggregate)
+	}
+}

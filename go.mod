@@ -1,0 +1,3 @@
+module xdmodfed
+
+go 1.22

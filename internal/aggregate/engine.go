@@ -1,0 +1,358 @@
+package aggregate
+
+import (
+	"fmt"
+	"time"
+
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/warehouse"
+)
+
+// AggSchemaSuffix names the schema holding an instance's aggregation
+// tables: "<realm schema>_agg" (kept separate from raw data because the
+// hub replicates raw schemas verbatim and derives its own aggregates).
+const AggSchemaSuffix = "_agg"
+
+// Engine aggregates realm fact tables into per-period aggregation
+// tables inside one warehouse, applying this instance's (or hub's)
+// aggregation-level configuration to numeric dimensions.
+type Engine struct {
+	db     *warehouse.DB
+	levels map[string]config.AggregationLevels // dimension id -> levels
+}
+
+// New creates an engine over db with the given aggregation levels.
+// Numeric dimensions without configured levels fall back to a single
+// catch-all bucket.
+func New(db *warehouse.DB, levels []config.AggregationLevels) (*Engine, error) {
+	e := &Engine{db: db, levels: make(map[string]config.AggregationLevels, len(levels))}
+	for _, l := range levels {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := e.levels[l.Dimension]; dup {
+			return nil, fmt.Errorf("aggregate: dimension %q configured twice", l.Dimension)
+		}
+		e.levels[l.Dimension] = l
+	}
+	return e, nil
+}
+
+// DB returns the warehouse the engine aggregates into.
+func (e *Engine) DB() *warehouse.DB { return e.db }
+
+// Levels returns the engine's levels for a dimension id.
+func (e *Engine) Levels(dim string) (config.AggregationLevels, bool) {
+	l, ok := e.levels[dim]
+	return l, ok
+}
+
+// SetLevels replaces the levels for one dimension; the caller must
+// re-aggregate afterwards ("the administrator will update the
+// appropriate configuration file ... then re-aggregate all raw
+// federation data", paper §II-C3).
+func (e *Engine) SetLevels(l config.AggregationLevels) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	e.levels[l.Dimension] = l
+	return nil
+}
+
+// AggTableName names the aggregation table for a fact table + period.
+func AggTableName(fact string, p Period) string {
+	return fmt.Sprintf("%s_by_%s", fact, p)
+}
+
+// AggSchema names the aggregate schema for a realm.
+func AggSchema(info realm.Info) string { return info.Schema + AggSchemaSuffix }
+
+// measureColumns returns the distinct numeric fact columns referenced
+// by the realm's metrics (for sums/mins/maxes) and the weighted pairs
+// ("col*weight") needed by weighted-average metrics.
+func measureColumns(info realm.Info) (cols, weights []string) {
+	seen := map[string]bool{}
+	wseen := map[string]bool{}
+	for _, m := range info.Metrics {
+		if m.Column != "" && !seen[m.Column] {
+			seen[m.Column] = true
+			cols = append(cols, m.Column)
+		}
+		if m.WeightColumn != "" {
+			if !seen[m.WeightColumn] {
+				seen[m.WeightColumn] = true
+				cols = append(cols, m.WeightColumn)
+			}
+			key := m.Column + "*" + m.WeightColumn
+			if !wseen[key] {
+				wseen[key] = true
+				weights = append(weights, key)
+			}
+		}
+	}
+	return cols, weights
+}
+
+func wsumColName(pair string) string {
+	out := make([]byte, 0, len(pair)+8)
+	out = append(out, "wsum_"...)
+	for i := 0; i < len(pair); i++ {
+		if pair[i] == '*' {
+			out = append(out, "_x_"...)
+		} else {
+			out = append(out, pair[i])
+		}
+	}
+	return string(out)
+}
+
+// aggDef builds the aggregation table definition for a realm + period.
+func aggDef(info realm.Info, p Period) warehouse.TableDef {
+	def := warehouse.TableDef{Name: AggTableName(info.FactTable, p)}
+	def.Columns = append(def.Columns, warehouse.Column{Name: "period_key", Type: warehouse.TypeInt})
+	pk := []string{"period_key"}
+	for _, d := range info.Dimensions {
+		col := "dim_" + d.ID
+		def.Columns = append(def.Columns, warehouse.Column{Name: col, Type: warehouse.TypeString})
+		pk = append(pk, col)
+	}
+	def.Columns = append(def.Columns, warehouse.Column{Name: "n", Type: warehouse.TypeInt})
+	def.Columns = append(def.Columns, warehouse.Column{Name: "last_ts", Type: warehouse.TypeFloat})
+	cols, weights := measureColumns(info)
+	for _, c := range cols {
+		def.Columns = append(def.Columns,
+			warehouse.Column{Name: "sum_" + c, Type: warehouse.TypeFloat},
+			warehouse.Column{Name: "min_" + c, Type: warehouse.TypeFloat},
+			warehouse.Column{Name: "max_" + c, Type: warehouse.TypeFloat},
+			warehouse.Column{Name: "last_" + c, Type: warehouse.TypeFloat},
+		)
+	}
+	for _, w := range weights {
+		def.Columns = append(def.Columns, warehouse.Column{Name: wsumColName(w), Type: warehouse.TypeFloat})
+	}
+	def.PrimaryKey = pk
+	return def
+}
+
+// Setup creates the aggregation tables for every period of a realm.
+func (e *Engine) Setup(info realm.Info) error {
+	if err := info.Validate(); err != nil {
+		return err
+	}
+	s := e.db.EnsureSchema(AggSchema(info))
+	for _, p := range Periods() {
+		if _, err := s.EnsureTable(aggDef(info, p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// target is one resolved aggregation table.
+type target struct {
+	period Period
+	tab    *warehouse.Table
+}
+
+// targets resolves the realm's aggregation tables (outside the DB
+// write lock; Table pointers stay valid).
+func (e *Engine) targets(info realm.Info) ([]target, error) {
+	var out []target
+	for _, p := range Periods() {
+		tab, err := e.db.TableIn(AggSchema(info), AggTableName(info.FactTable, p))
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: realm %s not set up for period %s: %w", info.Name, p, err)
+		}
+		out = append(out, target{p, tab})
+	}
+	return out, nil
+}
+
+// dimValue renders one fact row's value for a dimension: categorical
+// dimensions use the raw string; numeric dimensions bin into the
+// configured aggregation level.
+func (e *Engine) dimValue(d realm.Dimension, r warehouse.Row) string {
+	if !d.Numeric {
+		return r.String(d.Column)
+	}
+	v := r.Float(d.Column)
+	if l, ok := e.levels[d.ID]; ok {
+		return l.BucketFor(v)
+	}
+	return "all"
+}
+
+// ApplyFactRow merges one fact row into all period aggregation tables.
+// Aggregation is additive, so newly ingested facts can be folded in
+// incrementally (the paper's daily aggregation of "newly ingested
+// data").
+func (e *Engine) ApplyFactRow(info realm.Info, r warehouse.Row) error {
+	targets, err := e.targets(info)
+	if err != nil {
+		return err
+	}
+	cols, weights := measureColumns(info)
+	return e.db.Do(func() error {
+		return e.applyLocked(info, targets, cols, weights, r)
+	})
+}
+
+// applyLocked folds one fact row into the resolved targets. Must run
+// while holding the DB write lock.
+func (e *Engine) applyLocked(info realm.Info, targets []target, cols, weights []string, r warehouse.Row) error {
+	ts, ok := r.Lookup(info.TimeColumn)
+	if !ok {
+		return fmt.Errorf("aggregate: fact row missing time column %q", info.TimeColumn)
+	}
+	t, ok := ts.(time.Time)
+	if !ok {
+		return fmt.Errorf("aggregate: time column %q is %T, want time.Time", info.TimeColumn, ts)
+	}
+	dims := make([]string, len(info.Dimensions))
+	for i, d := range info.Dimensions {
+		dims[i] = e.dimValue(d, r)
+	}
+	for _, tg := range targets {
+		pk := tg.period.Key(t)
+		key := make([]any, 0, 1+len(dims))
+		key = append(key, pk)
+		for _, d := range dims {
+			key = append(key, d)
+		}
+		if err := mergeAggRow(tg.tab, key, info, r, dims, cols, weights, pk, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeAggRow adds one fact's contribution to one aggregation row,
+// creating the row when absent. Must run under the DB write lock.
+func mergeAggRow(tab *warehouse.Table, key []any, info realm.Info, r warehouse.Row,
+	dims, cols, weights []string, periodKey int64, factTime time.Time) error {
+
+	ts := float64(factTime.UnixNano()) / 1e9
+	set := map[string]any{"period_key": periodKey}
+	for i, d := range info.Dimensions {
+		set["dim_"+d.ID] = dims[i]
+	}
+	existing, ok := tab.GetByKey(key...)
+	if !ok {
+		set["n"] = int64(1)
+		set["last_ts"] = ts
+		for _, c := range cols {
+			v := r.Float(c)
+			set["sum_"+c] = v
+			set["min_"+c] = v
+			set["max_"+c] = v
+			set["last_"+c] = v
+		}
+		for _, w := range weights {
+			set[wsumColName(w)] = wProduct(r, w)
+		}
+		return tab.Upsert(set)
+	}
+	newer := ts >= existing.Float("last_ts")
+	set["n"] = existing.Int("n") + 1
+	if newer {
+		set["last_ts"] = ts
+	} else {
+		set["last_ts"] = existing.Float("last_ts")
+	}
+	for _, c := range cols {
+		v := r.Float(c)
+		set["sum_"+c] = existing.Float("sum_"+c) + v
+		mn, mx := existing.Float("min_"+c), existing.Float("max_"+c)
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		set["min_"+c] = mn
+		set["max_"+c] = mx
+		if newer {
+			set["last_"+c] = v
+		} else {
+			set["last_"+c] = existing.Float("last_" + c)
+		}
+	}
+	for _, w := range weights {
+		set[wsumColName(w)] = existing.Float(wsumColName(w)) + wProduct(r, w)
+	}
+	return tab.Upsert(set)
+}
+
+func wProduct(r warehouse.Row, pair string) float64 {
+	for i := 0; i < len(pair); i++ {
+		if pair[i] == '*' {
+			return r.Float(pair[:i]) * r.Float(pair[i+1:])
+		}
+	}
+	return 0
+}
+
+// AggregateSchema (re)aggregates every fact row found in the named
+// source schema's fact table. Pass the realm's own schema on a
+// satellite; on a federation hub, call once per replicated satellite
+// schema (fed_<instance>) to fold all federation data into the hub's
+// aggregation tables.
+func (e *Engine) AggregateSchema(info realm.Info, sourceSchema string) (int, error) {
+	fact, err := e.db.TableIn(sourceSchema, info.FactTable)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := e.targets(info)
+	if err != nil {
+		return 0, err
+	}
+	cols, weights := measureColumns(info)
+	n := 0
+	var applyErr error
+	err = e.db.Do(func() error {
+		fact.Scan(func(r warehouse.Row) bool {
+			if applyErr = e.applyLocked(info, targets, cols, weights, r); applyErr != nil {
+				return false
+			}
+			n++
+			return true
+		})
+		return applyErr
+	})
+	return n, err
+}
+
+// Truncate clears a realm's aggregation tables.
+func (e *Engine) Truncate(info realm.Info) error {
+	targets, err := e.targets(info)
+	if err != nil {
+		return err
+	}
+	return e.db.Do(func() error {
+		for _, tg := range targets {
+			tg.tab.Truncate()
+		}
+		return nil
+	})
+}
+
+// Reaggregate truncates the realm's aggregation tables and rebuilds
+// them from the given source schemas. This is the paper's
+// config-change path: "update the appropriate configuration file on
+// the federation hub, then re-aggregate all raw federation data"
+// (§II-C3) — raw data is untouched, so nothing is lost.
+func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, error) {
+	if err := e.Truncate(info); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, s := range sourceSchemas {
+		n, err := e.AggregateSchema(info, s)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,280 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/warehouse"
+)
+
+// Request describes one chart-style query against the aggregation
+// tables: a metric, an optional group-by dimension, a period
+// granularity, an optional period-key range and optional dimension
+// filters (the XDMoD UI's filter/group/drill-down operations).
+type Request struct {
+	MetricID string
+	GroupBy  string            // dimension id; empty = single total group
+	Period   Period            //
+	StartKey int64             // inclusive; 0 = unbounded
+	EndKey   int64             // inclusive; 0 = unbounded
+	Filters  map[string]string // dimension id -> required dim value/bucket label
+}
+
+// Point is one timeseries point of a query result.
+type Point struct {
+	PeriodKey int64
+	Value     float64
+}
+
+// Series is the result for one group: its timeseries (sorted by
+// period) plus the aggregate value over the whole range (the "timeseries
+// vs aggregate view" duality of the XDMoD UI, paper §I-D).
+type Series struct {
+	Group     string
+	Points    []Point
+	Aggregate float64
+	N         int64 // fact rows contributing
+}
+
+// cell accumulates aggregation-table rows for (group, period).
+type cell struct {
+	n       int64
+	sum     float64
+	min     float64
+	max     float64
+	wsum    float64
+	wden    float64
+	sumLast float64
+	init    bool
+}
+
+func (c *cell) add(m realm.Metric, r warehouse.Row) {
+	n := r.Int("n")
+	c.n += n
+	if m.Column != "" {
+		c.sum += r.Float("sum_" + m.Column)
+		c.sumLast += r.Float("last_" + m.Column)
+		mn, mx := r.Float("min_"+m.Column), r.Float("max_"+m.Column)
+		if !c.init {
+			c.min, c.max = mn, mx
+		} else {
+			if mn < c.min {
+				c.min = mn
+			}
+			if mx > c.max {
+				c.max = mx
+			}
+		}
+	}
+	if m.WeightColumn != "" {
+		c.wsum += r.Float(wsumColName(m.Column + "*" + m.WeightColumn))
+		c.wden += r.Float("sum_" + m.WeightColumn)
+	}
+	c.init = true
+}
+
+func (c *cell) value(m realm.Metric) float64 {
+	scale := m.ScaleOr1()
+	switch {
+	case m.WeightColumn != "" && m.Func == warehouse.AggAvg:
+		if c.wden == 0 {
+			return 0
+		}
+		return c.wsum / c.wden * scale
+	case m.Func == warehouse.AggSum:
+		return c.sum * scale
+	case m.Func == warehouse.AggSumLast:
+		return c.sumLast * scale
+	case m.Func == warehouse.AggCount:
+		return float64(c.n) * scale
+	case m.Func == warehouse.AggAvg:
+		if c.n == 0 {
+			return 0
+		}
+		return c.sum / float64(c.n) * scale
+	case m.Func == warehouse.AggMin:
+		return c.min * scale
+	case m.Func == warehouse.AggMax:
+		return c.max * scale
+	default:
+		return 0
+	}
+}
+
+// Query runs a request against the realm's aggregation tables.
+func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
+	metric, ok := info.Metric(req.MetricID)
+	if !ok {
+		return nil, fmt.Errorf("aggregate: realm %s has no metric %q", info.Name, req.MetricID)
+	}
+	groupCol := ""
+	if req.GroupBy != "" {
+		d, ok := info.Dimension(req.GroupBy)
+		if !ok {
+			return nil, fmt.Errorf("aggregate: realm %s has no dimension %q", info.Name, req.GroupBy)
+		}
+		groupCol = "dim_" + d.ID
+	}
+	for f := range req.Filters {
+		if _, ok := info.Dimension(f); !ok {
+			return nil, fmt.Errorf("aggregate: realm %s has no dimension %q (filter)", info.Name, f)
+		}
+	}
+	if req.Period == 0 {
+		req.Period = Month
+	}
+	tab, err := e.db.TableIn(AggSchema(info), AggTableName(info.FactTable, req.Period))
+	if err != nil {
+		return nil, err
+	}
+
+	type gp struct {
+		group string
+		pk    int64
+	}
+	cells := map[gp]*cell{}
+	aggCells := map[string]*cell{}
+	err = e.db.View(func() error {
+		tab.Scan(func(r warehouse.Row) bool {
+			pk := r.Int("period_key")
+			if req.StartKey != 0 && pk < req.StartKey {
+				return true
+			}
+			if req.EndKey != 0 && pk > req.EndKey {
+				return true
+			}
+			for dim, want := range req.Filters {
+				if r.String("dim_"+dim) != want {
+					return true
+				}
+			}
+			group := ""
+			if groupCol != "" {
+				group = r.String(groupCol)
+			}
+			k := gp{group, pk}
+			c := cells[k]
+			if c == nil {
+				c = &cell{}
+				cells[k] = c
+			}
+			c.add(metric, r)
+			a := aggCells[group]
+			if a == nil {
+				a = &cell{}
+				aggCells[group] = a
+			}
+			a.add(metric, r)
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byGroup := map[string][]Point{}
+	for k, c := range cells {
+		byGroup[k.group] = append(byGroup[k.group], Point{PeriodKey: k.pk, Value: c.value(metric)})
+	}
+	groups := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	out := make([]Series, 0, len(groups))
+	for _, g := range groups {
+		pts := byGroup[g]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].PeriodKey < pts[j].PeriodKey })
+		out = append(out, Series{
+			Group:     g,
+			Points:    pts,
+			Aggregate: aggCells[g].value(metric),
+			N:         aggCells[g].n,
+		})
+	}
+	return out, nil
+}
+
+// TopN returns the n groups with the largest aggregate value, largest
+// first — the ranking behind "the top three XSEDE resources in 2017,
+// by total SUs charged" (paper Fig. 1).
+func TopN(series []Series, n int) []Series {
+	sorted := append([]Series(nil), series...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Aggregate > sorted[j].Aggregate })
+	if n > 0 && n < len(sorted) {
+		sorted = sorted[:n]
+	}
+	return sorted
+}
+
+// DrillDown re-runs a grouped query narrowed to one value of the
+// original grouping — the XDMoD drill-down interaction: start from a
+// by-resource chart, click one resource, regroup the remaining data by
+// another dimension.
+func (e *Engine) DrillDown(info realm.Info, req Request, intoDimension, atValue string) ([]Series, error) {
+	nreq := req
+	nreq.Filters = map[string]string{}
+	for k, v := range req.Filters {
+		nreq.Filters[k] = v
+	}
+	if req.GroupBy != "" {
+		nreq.Filters[req.GroupBy] = atValue
+	}
+	nreq.GroupBy = intoDimension
+	return e.Query(info, nreq)
+}
+
+// FormatSeriesTable renders series as a fixed-width text table, one
+// row per period, one column per group: the form the experiment
+// harnesses print for EXPERIMENTS.md.
+func FormatSeriesTable(p Period, series []Series) string {
+	keySet := map[int64]bool{}
+	for _, s := range series {
+		for _, pt := range s.Points {
+			keySet[pt.PeriodKey] = true
+		}
+	}
+	keys := make([]int64, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", p.String())
+	for _, s := range series {
+		name := s.Group
+		if name == "" {
+			name = "total"
+		}
+		fmt.Fprintf(&b, " %16s", name)
+	}
+	b.WriteByte('\n')
+	lookup := make([]map[int64]float64, len(series))
+	for i, s := range series {
+		lookup[i] = make(map[int64]float64, len(s.Points))
+		for _, pt := range s.Points {
+			lookup[i][pt.PeriodKey] = pt.Value
+		}
+	}
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-12s", p.Label(k))
+		for i := range series {
+			if v, ok := lookup[i][k]; ok {
+				fmt.Fprintf(&b, " %16.2f", v)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-12s", "TOTAL")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16.2f", s.Aggregate)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

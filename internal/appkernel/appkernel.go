@@ -1,0 +1,309 @@
+// Package appkernel implements the Application Kernel module, the
+// quality-of-service component the paper lists among XDMoD's optional
+// modules (§I-E): "the Application Kernel module enables
+// quality-of-service monitoring for HPC resources". Small, fixed
+// benchmark jobs (app kernels) run on a schedule on each resource;
+// their runtimes form per-(kernel, resource, node-count) control
+// series, and sustained deviations from the historical baseline raise
+// QoS alarms — the mechanism of the paper's reference [30] (Simakov et
+// al., "Application kernels: HPC resources performance monitoring and
+// variance analysis").
+package appkernel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kernel describes one application kernel: a fixed benchmark binary
+// run at one or more node counts.
+type Kernel struct {
+	Name          string // e.g. "NWChem", "HPCC", "IOR", "GAMESS"
+	Metric        string // measured quantity, e.g. "wall_time_s"
+	LowerIsBetter bool
+	NodeCounts    []int
+}
+
+// Validate checks the kernel description.
+func (k Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("appkernel: kernel missing name")
+	}
+	if k.Metric == "" {
+		return fmt.Errorf("appkernel: kernel %q missing metric", k.Name)
+	}
+	if len(k.NodeCounts) == 0 {
+		return fmt.Errorf("appkernel: kernel %q has no node counts", k.Name)
+	}
+	for _, n := range k.NodeCounts {
+		if n <= 0 {
+			return fmt.Errorf("appkernel: kernel %q has invalid node count %d", k.Name, n)
+		}
+	}
+	return nil
+}
+
+// DefaultKernels returns the conventional Open XDMoD app kernel suite.
+func DefaultKernels() []Kernel {
+	return []Kernel{
+		{Name: "hpcc", Metric: "wall_time_s", LowerIsBetter: true, NodeCounts: []int{1, 2, 4, 8}},
+		{Name: "nwchem", Metric: "wall_time_s", LowerIsBetter: true, NodeCounts: []int{1, 2, 4}},
+		{Name: "ior", Metric: "write_mb_s", LowerIsBetter: false, NodeCounts: []int{1, 4}},
+		{Name: "graph500", Metric: "teps", LowerIsBetter: false, NodeCounts: []int{1, 2, 4, 8}},
+	}
+}
+
+// Run is one execution of one kernel on one resource.
+type Run struct {
+	Kernel   string
+	Resource string
+	Nodes    int
+	Time     time.Time
+	Value    float64
+	Failed   bool // the kernel job itself failed (also a QoS signal)
+}
+
+// Validate checks a run.
+func (r Run) Validate() error {
+	if r.Kernel == "" || r.Resource == "" {
+		return fmt.Errorf("appkernel: run missing kernel or resource")
+	}
+	if r.Nodes <= 0 {
+		return fmt.Errorf("appkernel: run of %s has invalid node count %d", r.Kernel, r.Nodes)
+	}
+	if r.Time.IsZero() {
+		return fmt.Errorf("appkernel: run of %s missing timestamp", r.Kernel)
+	}
+	if !r.Failed && (math.IsNaN(r.Value) || math.IsInf(r.Value, 0) || r.Value < 0) {
+		return fmt.Errorf("appkernel: run of %s has invalid value %g", r.Kernel, r.Value)
+	}
+	return nil
+}
+
+// Status classifies a control series' latest behaviour.
+type Status int
+
+// Control statuses.
+const (
+	StatusOK           Status = iota + 1
+	StatusDegraded            // recent values deviate beyond the control band
+	StatusFailing             // recent runs fail outright
+	StatusInsufficient        // not enough history to judge
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDegraded:
+		return "degraded"
+	case StatusFailing:
+		return "failing"
+	case StatusInsufficient:
+		return "insufficient-data"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// seriesKey identifies one control series.
+type seriesKey struct {
+	kernel   string
+	resource string
+	nodes    int
+}
+
+// Monitor accumulates app kernel runs and evaluates QoS per control
+// series using a running-baseline control band.
+type Monitor struct {
+	mu      sync.RWMutex
+	kernels map[string]Kernel
+	runs    map[seriesKey][]Run
+	// Baseline window and control parameters.
+	BaselineRuns int     // runs forming the baseline (default 20)
+	RecentRuns   int     // runs judged against the band (default 3)
+	Sigmas       float64 // band half-width in standard deviations (default 3)
+}
+
+// NewMonitor creates a monitor over the given kernels.
+func NewMonitor(kernels []Kernel) (*Monitor, error) {
+	m := &Monitor{
+		kernels:      make(map[string]Kernel, len(kernels)),
+		runs:         make(map[seriesKey][]Run),
+		BaselineRuns: 20,
+		RecentRuns:   3,
+		Sigmas:       3,
+	}
+	for _, k := range kernels {
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := m.kernels[k.Name]; dup {
+			return nil, fmt.Errorf("appkernel: kernel %q registered twice", k.Name)
+		}
+		m.kernels[k.Name] = k
+	}
+	return m, nil
+}
+
+// Record adds one run, keeping each series time-ordered.
+func (m *Monitor) Record(r Run) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.kernels[r.Kernel]; !ok {
+		return fmt.Errorf("appkernel: unknown kernel %q", r.Kernel)
+	}
+	key := seriesKey{r.Kernel, r.Resource, r.Nodes}
+	series := append(m.runs[key], r)
+	sort.SliceStable(series, func(i, j int) bool { return series[i].Time.Before(series[j].Time) })
+	m.runs[key] = series
+	return nil
+}
+
+// Report is the QoS evaluation of one control series.
+type Report struct {
+	Kernel    string
+	Resource  string
+	Nodes     int
+	Status    Status
+	Baseline  float64 // baseline mean
+	Sigma     float64 // baseline standard deviation
+	Latest    float64 // most recent successful value
+	Deviation float64 // (latest - baseline) in sigmas (0 when sigma is 0)
+	Runs      int
+}
+
+// Evaluate judges one series: the first BaselineRuns successful runs
+// form the control band; the series is degraded when every one of the
+// last RecentRuns successful values falls outside baseline ± Sigmas·σ
+// in the unfavourable direction, and failing when the last RecentRuns
+// runs all failed.
+func (m *Monitor) Evaluate(kernel, resource string, nodes int) (Report, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	k, ok := m.kernels[kernel]
+	if !ok {
+		return Report{}, fmt.Errorf("appkernel: unknown kernel %q", kernel)
+	}
+	series := m.runs[seriesKey{kernel, resource, nodes}]
+	rep := Report{Kernel: kernel, Resource: resource, Nodes: nodes, Runs: len(series)}
+
+	var ok2 []Run
+	failStreak := 0
+	for _, r := range series {
+		if r.Failed {
+			failStreak++
+		} else {
+			failStreak = 0
+			ok2 = append(ok2, r)
+		}
+	}
+	if failStreak >= m.RecentRuns && len(series) >= m.RecentRuns {
+		rep.Status = StatusFailing
+		return rep, nil
+	}
+	if len(ok2) < m.BaselineRuns/2+m.RecentRuns {
+		rep.Status = StatusInsufficient
+		return rep, nil
+	}
+
+	nBase := m.BaselineRuns
+	if nBase > len(ok2)-m.RecentRuns {
+		nBase = len(ok2) - m.RecentRuns
+	}
+	base := ok2[:nBase]
+	var mean, sq float64
+	for _, r := range base {
+		mean += r.Value
+	}
+	mean /= float64(len(base))
+	for _, r := range base {
+		d := r.Value - mean
+		sq += d * d
+	}
+	sigma := math.Sqrt(sq / float64(len(base)))
+	rep.Baseline = mean
+	rep.Sigma = sigma
+	rep.Latest = ok2[len(ok2)-1].Value
+	if sigma > 0 {
+		rep.Deviation = (rep.Latest - mean) / sigma
+	}
+
+	recent := ok2[len(ok2)-m.RecentRuns:]
+	allBad := true
+	for _, r := range recent {
+		bad := false
+		if sigma == 0 {
+			bad = r.Value != mean && unfavourable(k, r.Value, mean)
+		} else {
+			dev := (r.Value - mean) / sigma
+			if k.LowerIsBetter {
+				bad = dev > m.Sigmas
+			} else {
+				bad = dev < -m.Sigmas
+			}
+		}
+		if !bad {
+			allBad = false
+			break
+		}
+	}
+	if allBad {
+		rep.Status = StatusDegraded
+	} else {
+		rep.Status = StatusOK
+	}
+	return rep, nil
+}
+
+func unfavourable(k Kernel, v, baseline float64) bool {
+	if k.LowerIsBetter {
+		return v > baseline
+	}
+	return v < baseline
+}
+
+// EvaluateAll reports every control series, sorted for stable output.
+func (m *Monitor) EvaluateAll() []Report {
+	m.mu.RLock()
+	keys := make([]seriesKey, 0, len(m.runs))
+	for k := range m.runs {
+		keys = append(keys, k)
+	}
+	m.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kernel != keys[j].kernel {
+			return keys[i].kernel < keys[j].kernel
+		}
+		if keys[i].resource != keys[j].resource {
+			return keys[i].resource < keys[j].resource
+		}
+		return keys[i].nodes < keys[j].nodes
+	})
+	out := make([]Report, 0, len(keys))
+	for _, k := range keys {
+		rep, err := m.Evaluate(k.kernel, k.resource, k.nodes)
+		if err == nil {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// Alarms returns only the series needing attention.
+func (m *Monitor) Alarms() []Report {
+	var out []Report
+	for _, rep := range m.EvaluateAll() {
+		if rep.Status == StatusDegraded || rep.Status == StatusFailing {
+			out = append(out, rep)
+		}
+	}
+	return out
+}

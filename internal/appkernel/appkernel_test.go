@@ -1,0 +1,217 @@
+package appkernel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func monitor(t *testing.T) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(DefaultKernels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// record n successful runs around mean with noise.
+func record(t *testing.T, m *Monitor, kernel, resource string, nodes, n int, mean, noise float64, seed int64, from time.Time) time.Time {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	at := from
+	for i := 0; i < n; i++ {
+		at = at.Add(6 * time.Hour)
+		if err := m.Record(Run{
+			Kernel: kernel, Resource: resource, Nodes: nodes, Time: at,
+			Value: mean + rng.NormFloat64()*noise,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return at
+}
+
+func TestKernelValidate(t *testing.T) {
+	for _, k := range DefaultKernels() {
+		if err := k.Validate(); err != nil {
+			t.Errorf("default kernel %q invalid: %v", k.Name, err)
+		}
+	}
+	bad := []Kernel{
+		{},
+		{Name: "x"},
+		{Name: "x", Metric: "m"},
+		{Name: "x", Metric: "m", NodeCounts: []int{0}},
+	}
+	for i, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNewMonitorRejectsDuplicates(t *testing.T) {
+	ks := DefaultKernels()
+	if _, err := NewMonitor(append(ks, ks[0])); err == nil {
+		t.Error("duplicate kernel accepted")
+	}
+	if _, err := NewMonitor([]Kernel{{}}); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	m := monitor(t)
+	bad := []Run{
+		{},
+		{Kernel: "hpcc", Resource: "r", Nodes: 0, Time: t0},
+		{Kernel: "hpcc", Resource: "r", Nodes: 1},
+		{Kernel: "hpcc", Resource: "r", Nodes: 1, Time: t0, Value: -1},
+		{Kernel: "unknown", Resource: "r", Nodes: 1, Time: t0, Value: 1},
+	}
+	for i, r := range bad {
+		if err := m.Record(r); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStableSeriesIsOK(t *testing.T) {
+	m := monitor(t)
+	record(t, m, "hpcc", "rush", 4, 40, 120, 2, 1, t0)
+	rep, err := m.Evaluate("hpcc", "rush", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusOK {
+		t.Errorf("status = %v, report %+v", rep.Status, rep)
+	}
+	if rep.Baseline < 115 || rep.Baseline > 125 {
+		t.Errorf("baseline = %g", rep.Baseline)
+	}
+}
+
+func TestDegradationDetected(t *testing.T) {
+	m := monitor(t)
+	// Stable baseline, then a sustained 50% slowdown (filesystem gone
+	// bad, say). wall_time_s is lower-is-better.
+	at := record(t, m, "hpcc", "rush", 4, 30, 120, 2, 1, t0)
+	record(t, m, "hpcc", "rush", 4, 5, 180, 2, 2, at)
+	rep, err := m.Evaluate("hpcc", "rush", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusDegraded {
+		t.Errorf("status = %v, report %+v", rep.Status, rep)
+	}
+	if rep.Deviation < 3 {
+		t.Errorf("deviation = %g sigmas", rep.Deviation)
+	}
+}
+
+func TestThroughputDropDetected(t *testing.T) {
+	m := monitor(t)
+	// ior write_mb_s is higher-is-better; a sustained drop must alarm.
+	at := record(t, m, "ior", "rush", 4, 30, 5000, 100, 1, t0)
+	record(t, m, "ior", "rush", 4, 5, 2000, 50, 2, at)
+	rep, _ := m.Evaluate("ior", "rush", 4)
+	if rep.Status != StatusDegraded {
+		t.Errorf("status = %v", rep.Status)
+	}
+	// And a sustained improvement must NOT alarm.
+	m2 := monitor(t)
+	at = record(t, m2, "ior", "rush", 4, 30, 5000, 100, 1, t0)
+	record(t, m2, "ior", "rush", 4, 5, 9000, 50, 2, at)
+	rep, _ = m2.Evaluate("ior", "rush", 4)
+	if rep.Status != StatusOK {
+		t.Errorf("improvement flagged: %v", rep.Status)
+	}
+}
+
+func TestTransientSpikeIsNotDegradation(t *testing.T) {
+	m := monitor(t)
+	at := record(t, m, "hpcc", "rush", 2, 30, 100, 1, 1, t0)
+	// One bad run followed by normal runs: no alarm.
+	m.Record(Run{Kernel: "hpcc", Resource: "rush", Nodes: 2, Time: at.Add(time.Hour), Value: 500})
+	record(t, m, "hpcc", "rush", 2, 3, 100, 1, 2, at.Add(2*time.Hour))
+	rep, _ := m.Evaluate("hpcc", "rush", 2)
+	if rep.Status != StatusOK {
+		t.Errorf("transient spike caused %v", rep.Status)
+	}
+}
+
+func TestFailingRuns(t *testing.T) {
+	m := monitor(t)
+	at := record(t, m, "nwchem", "rush", 1, 25, 300, 5, 1, t0)
+	for i := 0; i < 3; i++ {
+		at = at.Add(6 * time.Hour)
+		m.Record(Run{Kernel: "nwchem", Resource: "rush", Nodes: 1, Time: at, Failed: true})
+	}
+	rep, _ := m.Evaluate("nwchem", "rush", 1)
+	if rep.Status != StatusFailing {
+		t.Errorf("status = %v", rep.Status)
+	}
+}
+
+func TestInsufficientData(t *testing.T) {
+	m := monitor(t)
+	record(t, m, "hpcc", "rush", 1, 4, 100, 1, 1, t0)
+	rep, _ := m.Evaluate("hpcc", "rush", 1)
+	if rep.Status != StatusInsufficient {
+		t.Errorf("status = %v", rep.Status)
+	}
+	if _, err := m.Evaluate("bogus", "rush", 1); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+func TestEvaluateAllAndAlarms(t *testing.T) {
+	m := monitor(t)
+	record(t, m, "hpcc", "rush", 1, 30, 100, 1, 1, t0)
+	at := record(t, m, "hpcc", "rush", 2, 30, 150, 1, 2, t0)
+	record(t, m, "hpcc", "rush", 2, 4, 300, 1, 3, at) // degraded
+	all := m.EvaluateAll()
+	if len(all) != 2 {
+		t.Fatalf("series = %d", len(all))
+	}
+	if all[0].Nodes != 1 || all[1].Nodes != 2 {
+		t.Errorf("ordering wrong: %+v", all)
+	}
+	alarms := m.Alarms()
+	if len(alarms) != 1 || alarms[0].Nodes != 2 || alarms[0].Status != StatusDegraded {
+		t.Errorf("alarms = %+v", alarms)
+	}
+}
+
+func TestOutOfOrderRunsAreSorted(t *testing.T) {
+	m := monitor(t)
+	// Recent bad runs recorded before older good ones: ordering by time
+	// must still put the degradation last.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		m.Record(Run{Kernel: "hpcc", Resource: "r", Nodes: 1,
+			Time: t0.Add(time.Duration(100+i) * time.Hour), Value: 200 + rng.Float64()})
+	}
+	for i := 0; i < 30; i++ {
+		m.Record(Run{Kernel: "hpcc", Resource: "r", Nodes: 1,
+			Time: t0.Add(time.Duration(i) * time.Hour), Value: 100 + rng.Float64()})
+	}
+	rep, _ := m.Evaluate("hpcc", "r", 1)
+	if rep.Status != StatusDegraded {
+		t.Errorf("status = %v (latest %g baseline %g)", rep.Status, rep.Latest, rep.Baseline)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusOK: "ok", StatusDegraded: "degraded", StatusFailing: "failing",
+		StatusInsufficient: "insufficient-data", Status(99): "Status(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q", s, got)
+		}
+	}
+}

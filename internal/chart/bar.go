@@ -1,0 +1,87 @@
+package chart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVGBar renders the chart's aggregate view as a grouped bar chart —
+// the form the XDMoD UI uses for "aggregate" (whole-range) views,
+// complementing the timeseries line rendering of SVG.
+func (c *Chart) SVGBar(width, height int) string {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 50
+		marginB = 70
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	var maxV float64
+	for _, s := range c.Series {
+		if s.Aggregate > maxV {
+			maxV = s.Aggregate
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="16" font-family="sans-serif" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(c.Title))
+	if c.Subtitle != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="40" font-size="12" font-family="sans-serif" fill="#555">%s</text>`+"\n",
+			marginL, escape(c.Subtitle))
+	}
+	// Axes and gridlines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	for i := 0; i <= 4; i++ {
+		v := maxV * float64(i) / 4
+		y := float64(marginT) + plotH*(1-v/maxV)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc" stroke-dasharray="3,3"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+3, formatTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="11" font-family="sans-serif" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+int(plotH)/2, marginT+int(plotH)/2, escape(c.YLabel))
+
+	// Bars.
+	n := len(c.Series)
+	if n > 0 {
+		slot := plotW / float64(n)
+		barW := slot * 0.6
+		for i, s := range c.Series {
+			color := seriesColors[i%len(seriesColors)]
+			h := plotH * s.Aggregate / maxV
+			x := float64(marginL) + slot*float64(i) + (slot-barW)/2
+			y := float64(marginT) + plotH - h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW, h, color)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+				x+barW/2, y-4, formatTick(s.Aggregate))
+			name := s.Group
+			if name == "" {
+				name = "total"
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+				x+barW/2, height-marginB+16, escape(name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

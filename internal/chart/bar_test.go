@@ -1,0 +1,37 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"xdmodfed/internal/aggregate"
+)
+
+func TestSVGBar(t *testing.T) {
+	svg := sample().SVGBar(800, 420)
+	for _, want := range []string{"<svg", "</svg>", "comet", "stampede", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bar SVG missing %q", want)
+		}
+	}
+	// One bar per series plus the background rect.
+	if got := strings.Count(svg, "<rect"); got != len(sample().Series)+1 {
+		t.Errorf("bars = %d", got-1)
+	}
+}
+
+func TestSVGBarEmpty(t *testing.T) {
+	c := New("Empty", "", "", aggregate.Year, nil)
+	svg := c.SVGBar(0, 0)
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty bar chart should render")
+	}
+}
+
+func TestSVGBarEscapes(t *testing.T) {
+	c := New("t", "", "", aggregate.Year, []aggregate.Series{{Group: "<g>", Aggregate: 5}})
+	svg := c.SVGBar(0, 0)
+	if strings.Contains(svg, "<g>") && !strings.Contains(svg, "&lt;g&gt;") {
+		t.Error("group label not escaped")
+	}
+}

@@ -1,0 +1,259 @@
+// Package chart renders query results the way the XDMoD web interface
+// does (paper §I-D, Figs. 1, 6, 7): timeseries or aggregate views of a
+// metric, optionally grouped by a dimension, drawn as SVG line charts
+// with per-series markers, axes and a legend, plus plain-text and CSV
+// renderings for terminals and export.
+package chart
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xdmodfed/internal/aggregate"
+)
+
+// Chart is a renderable chart: a titled set of series at one period
+// granularity.
+type Chart struct {
+	Title    string
+	Subtitle string
+	YLabel   string
+	Period   aggregate.Period
+	Series   []aggregate.Series
+}
+
+// New assembles a chart from query results.
+func New(title, subtitle, yLabel string, p aggregate.Period, series []aggregate.Series) *Chart {
+	return &Chart{Title: title, Subtitle: subtitle, YLabel: yLabel, Period: p, Series: series}
+}
+
+// periodKeys returns the sorted union of period keys across series.
+func (c *Chart) periodKeys() []int64 {
+	set := map[int64]bool{}
+	for _, s := range c.Series {
+		for _, pt := range s.Points {
+			set[pt.PeriodKey] = true
+		}
+	}
+	keys := make([]int64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// maxValue returns the largest point value (0 when empty).
+func (c *Chart) maxValue() float64 {
+	var mx float64
+	for _, s := range c.Series {
+		for _, pt := range s.Points {
+			if pt.Value > mx {
+				mx = pt.Value
+			}
+		}
+	}
+	return mx
+}
+
+// Marker shapes cycle per series, echoing the paper's plots (circles,
+// diamonds, squares, triangles).
+var markers = []string{"circle", "diamond", "square", "triangle"}
+
+// seriesColors cycle per series.
+var seriesColors = []string{"#1f77b4", "#d62728", "#7f7f7f", "#e8c22e", "#2ca02c", "#9467bd"}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG(width, height int) string {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 50
+		marginB = 60
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	keys := c.periodKeys()
+	maxV := c.maxValue()
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	xPos := func(i int) float64 {
+		if len(keys) <= 1 {
+			return marginL + plotW/2
+		}
+		return marginL + plotW*float64(i)/float64(len(keys)-1)
+	}
+	yPos := func(v float64) float64 {
+		return marginT + plotH*(1-v/maxV)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="16" font-family="sans-serif" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(c.Title))
+	if c.Subtitle != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="40" font-size="12" font-family="sans-serif" fill="#555">%s</text>`+"\n",
+			marginL, escape(c.Subtitle))
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := maxV * float64(i) / 4
+		y := yPos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc" stroke-dasharray="3,3"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+3, formatTick(v))
+	}
+	// X tick labels (thinned).
+	step := 1
+	if len(keys) > 12 {
+		step = len(keys) / 12
+	}
+	for i := 0; i < len(keys); i += step {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			xPos(i), height-marginB+16, c.Period.Label(keys[i]))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="11" font-family="sans-serif" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+int(plotH)/2, marginT+int(plotH)/2, escape(c.YLabel))
+
+	keyIndex := map[int64]int{}
+	for i, k := range keys {
+		keyIndex[k] = i
+	}
+
+	// Series lines + markers.
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var path strings.Builder
+		for pi, pt := range s.Points {
+			x, y := xPos(keyIndex[pt.PeriodKey]), yPos(pt.Value)
+			if pi == 0 {
+				fmt.Fprintf(&path, "M%.1f %.1f", x, y)
+			} else {
+				fmt.Fprintf(&path, " L%.1f %.1f", x, y)
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", path.String(), color)
+		for _, pt := range s.Points {
+			x, y := xPos(keyIndex[pt.PeriodKey]), yPos(pt.Value)
+			b.WriteString(marker(markers[si%len(markers)], x, y, color))
+		}
+	}
+
+	// Legend.
+	lx, ly := float64(marginL+10), float64(marginT+8)
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		name := s.Group
+		if name == "" {
+			name = "total"
+		}
+		b.WriteString(marker(markers[si%len(markers)], lx, ly, color))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			lx+10, ly+4, escape(name))
+		ly += 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func marker(shape string, x, y float64, color string) string {
+	switch shape {
+	case "diamond":
+		return fmt.Sprintf(`<path d="M%.1f %.1f l4 4 l-4 4 l-4 -4 z" fill="%s"/>`+"\n", x, y-4, color)
+	case "square":
+		return fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="7" height="7" fill="%s"/>`+"\n", x-3.5, y-3.5, color)
+	case "triangle":
+		return fmt.Sprintf(`<path d="M%.1f %.1f l4.5 8 l-9 0 z" fill="%s"/>`+"\n", x, y-5, color)
+	default: // circle
+		return fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", x, y, color)
+	}
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Text renders the chart as a fixed-width table for terminals.
+func (c *Chart) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	if c.Subtitle != "" {
+		fmt.Fprintf(&b, "%s\n", c.Subtitle)
+	}
+	b.WriteString(aggregate.FormatSeriesTable(c.Period, c.Series))
+	return b.String()
+}
+
+// CSV renders the chart data as CSV (period column, one column per
+// series), the XDMoD export format.
+func (c *Chart) CSV() string {
+	keys := c.periodKeys()
+	var b strings.Builder
+	b.WriteString(c.Period.String())
+	for _, s := range c.Series {
+		name := s.Group
+		if name == "" {
+			name = "total"
+		}
+		fmt.Fprintf(&b, ",%s", csvEscape(name))
+	}
+	b.WriteByte('\n')
+	lookup := make([]map[int64]float64, len(c.Series))
+	for i, s := range c.Series {
+		lookup[i] = map[int64]float64{}
+		for _, pt := range s.Points {
+			lookup[i][pt.PeriodKey] = pt.Value
+		}
+	}
+	for _, k := range keys {
+		b.WriteString(c.Period.Label(k))
+		for i := range c.Series {
+			if v, ok := lookup[i][k]; ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

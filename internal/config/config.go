@@ -1,0 +1,230 @@
+// Package config defines the JSON-managed configuration for XDMoD
+// instances and federations. The paper specifies that "aggregation
+// levels ... are managed by JSON configuration files" (§II-C3) and that
+// each instance and the federation hub carry their own configuration;
+// this package is that file format plus its validation rules.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Bucket is one aggregation level for a numeric dimension: values in
+// [Min, Max) fall into the bucket. Units are dimension-specific (wall
+// time buckets are in seconds, job size in cores, memory in GB).
+type Bucket struct {
+	Label string  `json:"label"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Contains reports whether v lands in the bucket.
+func (b Bucket) Contains(v float64) bool { return v >= b.Min && v < b.Max }
+
+// AggregationLevels is a named set of buckets for one numeric
+// dimension (e.g. "job_wall_time" or "vm_memory"). Aggregation levels
+// "apply only to numeric dimensions, such as job wall time, job size
+// (core count), CPU User value, and peak memory usage" (paper §II-C3).
+type AggregationLevels struct {
+	Dimension string   `json:"dimension"`
+	Unit      string   `json:"unit"`
+	Buckets   []Bucket `json:"buckets"`
+}
+
+// Validate enforces that buckets are well-formed, sorted and
+// non-overlapping so every value maps to at most one level.
+func (a AggregationLevels) Validate() error {
+	if a.Dimension == "" {
+		return fmt.Errorf("config: aggregation levels missing dimension name")
+	}
+	if len(a.Buckets) == 0 {
+		return fmt.Errorf("config: aggregation levels for %q have no buckets", a.Dimension)
+	}
+	for i, b := range a.Buckets {
+		if b.Label == "" {
+			return fmt.Errorf("config: %s bucket %d has no label", a.Dimension, i)
+		}
+		if b.Min >= b.Max {
+			return fmt.Errorf("config: %s bucket %q has min %g >= max %g", a.Dimension, b.Label, b.Min, b.Max)
+		}
+		if i > 0 && b.Min < a.Buckets[i-1].Max {
+			return fmt.Errorf("config: %s bucket %q overlaps or is out of order with %q",
+				a.Dimension, b.Label, a.Buckets[i-1].Label)
+		}
+	}
+	return nil
+}
+
+// BucketFor returns the label of the bucket containing v; values
+// outside every bucket map to the overflow label "other".
+func (a AggregationLevels) BucketFor(v float64) string {
+	for _, b := range a.Buckets {
+		if b.Contains(v) {
+			return b.Label
+		}
+	}
+	return OverflowBucket
+}
+
+// OverflowBucket labels values not covered by any configured level.
+const OverflowBucket = "other"
+
+// ResourceConfig describes one computing resource monitored by an
+// instance: its hardware shape, scheduler wall-time limit, and the
+// HPL-derived XD SU conversion factor.
+type ResourceConfig struct {
+	Name          string  `json:"name"`
+	Type          string  `json:"type"` // "hpc", "cloud", "storage"
+	Nodes         int     `json:"nodes,omitempty"`
+	CoresPerNode  int     `json:"cores_per_node,omitempty"`
+	WallLimitH    float64 `json:"wall_limit_hours,omitempty"`
+	SUFactor      float64 `json:"su_factor,omitempty"` // XD SUs per CPU hour
+	Description   string  `json:"description,omitempty"`
+	SensitiveData bool    `json:"sensitive,omitempty"` // excluded from federation by default
+}
+
+// HubRoute describes one federation destination for this instance's
+// data: where to replicate and what to include. Routing "could ensure
+// that potentially sensitive data does not ever get replicated to the
+// federation hub" and data "could be replicated to multiple federation
+// hubs" (paper §II-C4).
+type HubRoute struct {
+	HubAddr          string   `json:"hub_addr"`
+	Mode             string   `json:"mode"` // "tight" (live) or "loose" (batch)
+	IncludeRealms    []string `json:"include_realms,omitempty"`
+	ExcludeResources []string `json:"exclude_resources,omitempty"`
+}
+
+// Validate checks a route.
+func (h HubRoute) Validate() error {
+	if h.HubAddr == "" {
+		return fmt.Errorf("config: hub route missing hub_addr")
+	}
+	switch h.Mode {
+	case "tight", "loose":
+	default:
+		return fmt.Errorf("config: hub route %q has invalid mode %q (want tight or loose)", h.HubAddr, h.Mode)
+	}
+	return nil
+}
+
+// SSOSource names one single-sign-on provider an instance trusts.
+type SSOSource struct {
+	Name     string `json:"name"`     // e.g. "shibboleth", "globus", "keycloak", "ldap"
+	Issuer   string `json:"issuer"`   // identity provider identifier
+	Secret   string `json:"secret"`   // shared assertion-signing secret
+	Metadata bool   `json:"metadata"` // provider supplies user metadata fields
+}
+
+// InstanceConfig is the full configuration of one XDMoD instance.
+type InstanceConfig struct {
+	Name              string              `json:"name"`
+	Version           string              `json:"version"`
+	Organization      string              `json:"organization,omitempty"`
+	IsHub             bool                `json:"is_hub,omitempty"`
+	Resources         []ResourceConfig    `json:"resources,omitempty"`
+	AggregationLevels []AggregationLevels `json:"aggregation_levels,omitempty"`
+	Hubs              []HubRoute          `json:"hubs,omitempty"`
+	SSOSources        []SSOSource         `json:"sso_sources,omitempty"`
+	// HierarchyFile optionally points at an institutional hierarchy
+	// JSON document (see internal/hierarchy) used for roll-up charts.
+	HierarchyFile string `json:"hierarchy_file,omitempty"`
+}
+
+// Validate checks the whole instance configuration.
+func (c InstanceConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("config: instance missing name")
+	}
+	if c.Version == "" {
+		return fmt.Errorf("config: instance %q missing version", c.Name)
+	}
+	seen := map[string]bool{}
+	for _, r := range c.Resources {
+		if r.Name == "" {
+			return fmt.Errorf("config: instance %q has an unnamed resource", c.Name)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("config: instance %q duplicates resource %q", c.Name, r.Name)
+		}
+		seen[r.Name] = true
+		switch r.Type {
+		case "hpc", "cloud", "storage":
+		default:
+			return fmt.Errorf("config: resource %q has invalid type %q", r.Name, r.Type)
+		}
+	}
+	dims := map[string]bool{}
+	for _, a := range c.AggregationLevels {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if dims[a.Dimension] {
+			return fmt.Errorf("config: instance %q configures dimension %q twice", c.Name, a.Dimension)
+		}
+		dims[a.Dimension] = true
+	}
+	for _, h := range c.Hubs {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Levels returns the aggregation levels for a dimension, if configured.
+func (c InstanceConfig) Levels(dimension string) (AggregationLevels, bool) {
+	for _, a := range c.AggregationLevels {
+		if a.Dimension == dimension {
+			return a, true
+		}
+	}
+	return AggregationLevels{}, false
+}
+
+// Load reads and validates an instance configuration from JSON.
+func Load(r io.Reader) (InstanceConfig, error) {
+	var c InstanceConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// LoadFile reads and validates an instance configuration file.
+func LoadFile(path string) (InstanceConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return InstanceConfig{}, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the configuration as indented JSON.
+func (c InstanceConfig) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// SaveFile writes the configuration to a file.
+func (c InstanceConfig) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

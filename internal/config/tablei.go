@@ -1,0 +1,106 @@
+package config
+
+// Canned aggregation-level configurations reproducing Table I of the
+// paper: "Example aggregation levels on XDMoD federation hub and
+// satellite instances". Wall-time buckets are in seconds.
+//
+//	Job Wall Time aggregation level
+//	Instance A      Instance B      Federation Hub
+//	1-60 seconds    -               -
+//	1-60 minutes    -               0-60 minutes
+//	1-5 hours       -               1-5 hours
+//	-               1-10 hours      5-10 hours
+//	-               10-20 hours     10-20 hours
+//	-               20-50 hours     20-50 hours
+
+// WallTimeDimension is the dimension name for job wall time levels.
+const WallTimeDimension = "job_wall_time"
+
+const (
+	minute = 60
+	hour   = 3600
+)
+
+// InstanceAWallTime returns Instance A's wall-time aggregation levels:
+// A monitors resources with a 5-hour wall limit (paper §II-C3).
+func InstanceAWallTime() AggregationLevels {
+	return AggregationLevels{
+		Dimension: WallTimeDimension,
+		Unit:      "seconds",
+		Buckets: []Bucket{
+			{Label: "1-60 seconds", Min: 0, Max: minute},
+			{Label: "1-60 minutes", Min: minute, Max: hour},
+			{Label: "1-5 hours", Min: hour, Max: 5 * hour},
+		},
+	}
+}
+
+// InstanceBWallTime returns Instance B's wall-time aggregation levels:
+// B monitors resources with a 50-hour wall limit (paper §II-C3).
+func InstanceBWallTime() AggregationLevels {
+	return AggregationLevels{
+		Dimension: WallTimeDimension,
+		Unit:      "seconds",
+		Buckets: []Bucket{
+			{Label: "1-10 hours", Min: 0, Max: 10 * hour},
+			{Label: "10-20 hours", Min: 10 * hour, Max: 20 * hour},
+			{Label: "20-50 hours", Min: 20 * hour, Max: 50 * hour},
+		},
+	}
+}
+
+// HubWallTime returns the federation hub's wall-time levels, chosen to
+// "best represent all the data from the federation's component
+// instances" (paper §II-C3, Table I).
+func HubWallTime() AggregationLevels {
+	return AggregationLevels{
+		Dimension: WallTimeDimension,
+		Unit:      "seconds",
+		Buckets: []Bucket{
+			{Label: "0-60 minutes", Min: 0, Max: hour},
+			{Label: "1-5 hours", Min: hour, Max: 5 * hour},
+			{Label: "5-10 hours", Min: 5 * hour, Max: 10 * hour},
+			{Label: "10-20 hours", Min: 10 * hour, Max: 20 * hour},
+			{Label: "20-50 hours", Min: 20 * hour, Max: 50 * hour},
+		},
+	}
+}
+
+// VMMemoryDimension is the dimension name for cloud VM memory size.
+const VMMemoryDimension = "vm_memory"
+
+// CloudVMMemory returns the VM-memory aggregation levels used in the
+// paper's Figure 7: "<1 GB, 1-2 GB, 2-4 GB, and 4-8 GB". Units are GB.
+func CloudVMMemory() AggregationLevels {
+	return AggregationLevels{
+		Dimension: VMMemoryDimension,
+		Unit:      "GB",
+		Buckets: []Bucket{
+			{Label: "<1 GB", Min: 0, Max: 1},
+			{Label: "1-2 GB", Min: 1, Max: 2},
+			{Label: "2-4 GB", Min: 2, Max: 4},
+			{Label: "4-8 GB", Min: 4, Max: 8},
+		},
+	}
+}
+
+// JobSizeDimension is the dimension name for job size (core count).
+const JobSizeDimension = "job_size"
+
+// DefaultJobSize returns conventional Open XDMoD job-size (core count)
+// aggregation levels.
+func DefaultJobSize() AggregationLevels {
+	return AggregationLevels{
+		Dimension: JobSizeDimension,
+		Unit:      "cores",
+		Buckets: []Bucket{
+			{Label: "1", Min: 1, Max: 2},
+			{Label: "2-4", Min: 2, Max: 5},
+			{Label: "5-16", Min: 5, Max: 17},
+			{Label: "17-64", Min: 17, Max: 65},
+			{Label: "65-256", Min: 65, Max: 257},
+			{Label: "257-1024", Min: 257, Max: 1025},
+			{Label: ">1024", Min: 1025, Max: 1 << 30},
+		},
+	}
+}

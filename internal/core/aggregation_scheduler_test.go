@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/realm/jobs"
+)
+
+func TestRunDailyAggregation(t *testing.T) {
+	sat, err := NewSatellite(satCfg("s", []string{"r"}, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bypass the pipeline's incremental aggregation: write a fact
+	// directly, as replication or a bulk restore would.
+	row := map[string]any{
+		jobs.ColJobID: int64(1), jobs.ColResource: "r", jobs.ColUser: "u",
+		jobs.ColPI: "p", jobs.ColQueue: "q", jobs.ColNodes: int64(1), jobs.ColCores: int64(4),
+		jobs.ColSubmit:  time.Date(2017, 5, 1, 0, 0, 0, 0, time.UTC),
+		jobs.ColStart:   time.Date(2017, 5, 1, 1, 0, 0, 0, time.UTC),
+		jobs.ColEnd:     time.Date(2017, 5, 1, 2, 0, 0, 0, time.UTC),
+		jobs.ColWallSec: 3600.0, jobs.ColWaitSec: 3600.0, jobs.ColCPUHours: 4.0,
+		jobs.ColXDSU: 4.0, jobs.ColDayKey: int64(20170501), jobs.ColMonthKey: int64(201705),
+	}
+	if err := sat.DB.Insert(jobs.SchemaName, jobs.FactTable, row); err != nil {
+		t.Fatal(err)
+	}
+	// Before the scheduled run the aggregates don't see it.
+	series, _ := sat.Query("Jobs", aggregate.Request{MetricID: jobs.MetricNumJobs, Period: aggregate.Year})
+	if len(series) != 0 {
+		t.Fatalf("aggregates populated early: %+v", series)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runsC := make(chan int, 1)
+	go func() {
+		n, err := sat.Instance.RunDailyAggregation(ctx, 2*time.Millisecond)
+		if err != nil {
+			t.Error(err)
+		}
+		runsC <- n
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		series, _ = sat.Query("Jobs", aggregate.Request{MetricID: jobs.MetricNumJobs, Period: aggregate.Year})
+		if len(series) == 1 && series[0].Aggregate == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scheduled aggregation never ran")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if n := <-runsC; n < 1 {
+		t.Errorf("runs = %d", n)
+	}
+
+	if _, err := sat.Instance.RunDailyAggregation(context.Background(), 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/replicate"
+	"xdmodfed/internal/warehouse"
+)
+
+// Member is one satellite instance registered with a hub.
+type Member struct {
+	Name      string
+	JoinedAt  time.Time
+	Position  uint64 // last committed binlog LSN
+	LastBatch time.Time
+	Batches   int
+	Events    int
+}
+
+// Hub is a federation hub: an XDMoD instance of its own (it has a
+// warehouse, aggregation engine and authenticator like any other) plus
+// the federation machinery — a replication receiver, the per-instance
+// commit-position store, the member registry, and the identity map.
+type Hub struct {
+	*Instance
+	Positions *replicate.PositionStore
+	Identity  *auth.IdentityMap
+
+	receiver *replicate.Receiver
+	now      func() time.Time
+
+	mu      sync.Mutex
+	members map[string]*Member
+	dirty   bool // replicated data not yet folded into hub aggregates
+}
+
+// NewHub builds a federation hub from its configuration.
+func NewHub(cfg config.InstanceConfig) (*Hub, error) {
+	cfg.IsHub = true
+	in, err := NewInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := replicate.NewPositionStore(in.DB)
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{
+		Instance:  in,
+		Positions: ps,
+		Identity:  auth.NewIdentityMap(),
+		now:       time.Now,
+		members:   make(map[string]*Member),
+	}, nil
+}
+
+// Register adds a satellite to the federation's membership. Only
+// registered instances may replicate in (the hub's Authorize hook).
+func (h *Hub) Register(instance string) error {
+	if instance == "" {
+		return fmt.Errorf("core: member name must not be empty")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.members[instance]; ok {
+		return fmt.Errorf("core: instance %q is already a federation member", instance)
+	}
+	h.members[instance] = &Member{Name: instance, JoinedAt: h.now()}
+	return nil
+}
+
+// Members returns the registered members, sorted by name.
+func (h *Hub) Members() []Member {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Member, 0, len(h.members))
+	for _, m := range h.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// authorize vets a connecting instance.
+func (h *Hub) authorize(instance string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.members[instance]; !ok {
+		return fmt.Errorf("core: instance %q is not a registered member of federation %q", instance, h.Config.Name)
+	}
+	return nil
+}
+
+// Resume implements replicate.Sink.
+func (h *Hub) Resume(instance string) (uint64, error) {
+	return h.Positions.Get(instance), nil
+}
+
+// ApplyBatch implements replicate.Sink: events land verbatim in the
+// instance's fed_<name> schema ("the federation hub does not alter the
+// raw, replicated data from the individual instances", §II-B), the
+// commit position advances durably, usernames feed the identity map,
+// and the hub marks its aggregates stale.
+func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event) error {
+	for _, ev := range events {
+		if err := h.DB.Apply(ev); err != nil {
+			return err
+		}
+		h.observeIdentity(instance, ev)
+	}
+	if err := h.Positions.Set(instance, upTo); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	if m, ok := h.members[instance]; ok {
+		m.Position = upTo
+		m.LastBatch = h.now()
+		m.Batches++
+		m.Events += len(events)
+	}
+	if len(events) > 0 {
+		h.dirty = true
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// observeIdentity feeds job-fact usernames into the identity map so
+// the same human on different instances can be linked (§II-D4).
+func (h *Hub) observeIdentity(instance string, ev warehouse.Event) {
+	if ev.Kind != warehouse.EvInsert || ev.Table != jobs.FactTable {
+		return
+	}
+	// jobfact column order: job_id, resource, username, pi, ...
+	if len(ev.Row) > 2 {
+		if username, ok := ev.Row[2].(string); ok && username != "" {
+			h.Identity.Observe(auth.InstanceUser{Instance: instance, Username: username}, "", "")
+		}
+	}
+}
+
+// Listen starts the hub's tight-replication receiver; returns the
+// bound address.
+func (h *Hub) Listen(addr string) (string, error) {
+	h.receiver = &replicate.Receiver{
+		Version:   h.Config.Version,
+		Sink:      h,
+		Authorize: h.authorize,
+	}
+	return h.receiver.Listen(addr)
+}
+
+// Close stops the receiver.
+func (h *Hub) Close() {
+	if h.receiver != nil {
+		h.receiver.Close()
+	}
+}
+
+// LoadLooseDump batch-loads a loose-federation dump from a registered
+// member ("loose federation", §II-C2). A heterogeneous federation can
+// mix tight and loose members freely.
+func (h *Hub) LoadLooseDump(instance string, r io.Reader) error {
+	if err := h.authorize(instance); err != nil {
+		return err
+	}
+	if err := replicate.Load(h.DB, instance, r); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.dirty = true
+	if m, ok := h.members[instance]; ok {
+		m.LastBatch = h.now()
+		m.Batches++
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// memberSchemas returns the fed_<instance> schemas that exist and hold
+// the given fact table.
+func (h *Hub) memberSchemas(factTable string) []string {
+	var out []string
+	for _, m := range h.Members() {
+		schemaName := replicate.HubSchema(m.Name)
+		if s := h.DB.Schema(schemaName); s != nil && s.Table(factTable) != nil {
+			out = append(out, schemaName)
+		}
+	}
+	return out
+}
+
+// AggregateFederation rebuilds the hub's aggregation tables from all
+// replicated member data plus any data the hub monitors directly,
+// using the hub's own aggregation levels ("all raw instance data are
+// fully replicated to the master, then aggregated there, according to
+// the federation hub's aggregation levels, so no data are lost or
+// changed", §II-C3). Returns fact rows aggregated per realm.
+func (h *Hub) AggregateFederation() (map[string]int, error) {
+	counts := map[string]int{}
+	for _, name := range h.Registry.Names() {
+		info, _ := h.Registry.Get(name)
+		sources := []string{info.Schema} // hub's own monitored resources, if any
+		sources = append(sources, h.memberSchemas(info.FactTable)...)
+		n, err := h.Engine.Reaggregate(info, sources)
+		if err != nil {
+			return counts, err
+		}
+		counts[name] = n
+	}
+	h.mu.Lock()
+	h.dirty = false
+	h.mu.Unlock()
+	return counts, nil
+}
+
+// Query answers a chart query over the federation's unified view,
+// re-aggregating first when replicated data arrived since the last
+// aggregation ("the federation hub can then provide an integrated view
+// of job and performance data collected from entirely independent
+// XDMoD instances", §II-A).
+func (h *Hub) Query(realmName string, req aggregate.Request) ([]aggregate.Series, error) {
+	h.mu.Lock()
+	dirty := h.dirty
+	h.mu.Unlock()
+	if dirty {
+		if _, err := h.AggregateFederation(); err != nil {
+			return nil, err
+		}
+	}
+	return h.Instance.Query(realmName, req)
+}
+
+// RegenerateSatellite writes a backup of one member's replicated raw
+// data, suitable for Satellite.RestoreFromHubBackup — the paper's
+// federation-as-backup use case (§II-E4).
+func (h *Hub) RegenerateSatellite(instance string, w io.Writer) error {
+	schemaName := replicate.HubSchema(instance)
+	if h.DB.Schema(schemaName) == nil {
+		return fmt.Errorf("core: no replicated data for instance %q", instance)
+	}
+	return h.DB.SnapshotSchemas(w, []string{schemaName})
+}
+
+// Status summarizes the federation for monitoring and the REST API.
+type Status struct {
+	Hub     string
+	Version string
+	Members []Member
+	Dirty   bool
+}
+
+// Status returns the hub's federation status.
+func (h *Hub) Status() Status {
+	h.mu.Lock()
+	dirty := h.dirty
+	h.mu.Unlock()
+	return Status{
+		Hub:     h.Config.Name,
+		Version: h.Config.Version,
+		Members: h.Members(),
+		Dirty:   dirty,
+	}
+}

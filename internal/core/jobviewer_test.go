@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"xdmodfed/internal/realm/perf"
+)
+
+func TestJobDetail(t *testing.T) {
+	sat, err := NewSatellite(satCfg("s", []string{"rush"}, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestJobs(t, sat, "rush", 3, 2*time.Hour, 1)
+
+	// Attach SUPReMM detail to job 2.
+	ts := perf.JobTimeseries{
+		JobID: 2, Resource: "rush",
+		Start:  time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC),
+		Script: "#!/bin/bash\nsrun ./md\n",
+	}
+	for i := 0; i < 10; i++ {
+		s := perf.Sample{JobID: 2, Resource: "rush", Offset: time.Duration(i) * 30 * time.Second}
+		s.Values[0] = float64(50 + i) // cpu_user climbing
+		ts.Samples = append(ts.Samples, s)
+	}
+	if err := perf.StoreJob(sat.DB, ts); err != nil {
+		t.Fatal(err)
+	}
+
+	detail, err := sat.Instance.JobDetail("rush", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.Accounting.JobID != 2 || detail.Accounting.Cores != 8 || detail.Accounting.WallSec != 7200 {
+		t.Errorf("accounting = %+v", detail.Accounting)
+	}
+	if !detail.HasPerf {
+		t.Fatal("perf summary missing")
+	}
+	if detail.AvgMetrics["cpu_user"] != 54.5 || detail.PeakMetrics["cpu_user"] != 59 {
+		t.Errorf("summary = avg %g peak %g", detail.AvgMetrics["cpu_user"], detail.PeakMetrics["cpu_user"])
+	}
+	if len(detail.Timeseries) != 10 {
+		t.Fatalf("timeseries points = %d", len(detail.Timeseries))
+	}
+	for i := 1; i < len(detail.Timeseries); i++ {
+		if detail.Timeseries[i].OffsetSec < detail.Timeseries[i-1].OffsetSec {
+			t.Fatal("timeseries not ordered")
+		}
+	}
+	if detail.Script == "" {
+		t.Error("script missing")
+	}
+
+	// A job without perf data still has accounting.
+	plain, err := sat.Instance.JobDetail("rush", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HasPerf || len(plain.Timeseries) != 0 || plain.Script != "" {
+		t.Errorf("job 1 should have no perf detail: %+v", plain)
+	}
+
+	if _, err := sat.Instance.JobDetail("rush", 999); err == nil {
+		t.Error("missing job should error")
+	}
+	if _, err := sat.Instance.JobDetail("ghost", 1); err == nil {
+		t.Error("missing resource should error")
+	}
+}
+
+func TestJobDetailOnHubLacksSatelliteOnlyParts(t *testing.T) {
+	// The hub's own realm schemas are empty (its data lives in
+	// fed_<instance> schemas), so JobDetail on the hub's local schema
+	// errors for replicated jobs — the Job Viewer's deep detail is a
+	// satellite feature, matching §II-C5.
+	hub, err := NewHub(hubCfg("hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Instance.JobDetail("anything", 1); err == nil {
+		t.Error("hub-local job detail for unreplicated job should error")
+	}
+}
+
+func TestAllocationsRealmRegistered(t *testing.T) {
+	sat, err := NewSatellite(satCfg("s", []string{"rush"}, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sat.Registry.Names()
+	want := map[string]bool{"Allocations": true, "Cloud": true, "Gateways": true, "Jobs": true, "SUPReMM": true, "Storage": true}
+	if len(names) != len(want) {
+		t.Fatalf("realms = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected realm %q", n)
+		}
+	}
+}

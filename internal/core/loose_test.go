@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/realm/jobs"
+)
+
+func TestRunLooseFederationShipsDumps(t *testing.T) {
+	cfg := satCfg("loose-site", []string{"r"}, "")
+	cfg.Hubs = []config.HubRoute{{HubAddr: "hub", Mode: "loose"}}
+	sat, err := NewSatellite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestJobs(t, sat, "r", 5, time.Hour, 1)
+
+	hub, err := NewHub(hubCfg("hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Register("loose-site")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() {
+		n, err := sat.RunLooseFederation(ctx, time.Millisecond, func(route config.HubRoute, dump io.Reader) error {
+			if route.HubAddr != "hub" {
+				t.Errorf("route = %+v", route)
+			}
+			var buf bytes.Buffer
+			if _, err := io.Copy(&buf, dump); err != nil {
+				return err
+			}
+			if err := hub.LoadLooseDump("loose-site", &buf); err != nil {
+				return err
+			}
+			cancel()
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n < 1 {
+			t.Fatalf("shipped %d", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no shipment")
+	}
+	if got := hub.DB.Count("fed_loose-site", jobs.FactTable); got != 5 {
+		t.Errorf("hub rows = %d", got)
+	}
+}
+
+func TestRunLooseFederationShipErrorsAreRetried(t *testing.T) {
+	cfg := satCfg("s", []string{"r"}, "")
+	cfg.Hubs = []config.HubRoute{{HubAddr: "hub", Mode: "loose"}}
+	sat, _ := NewSatellite(cfg)
+	ingestJobs(t, sat, "r", 1, time.Hour, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	done := make(chan int, 1)
+	go func() {
+		n, _ := sat.RunLooseFederation(ctx, time.Millisecond, func(_ config.HubRoute, _ io.Reader) error {
+			attempts++
+			if attempts < 3 {
+				return fmt.Errorf("transient ship failure")
+			}
+			cancel()
+			return nil
+		})
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 1 || attempts < 3 {
+			t.Errorf("shipped=%d attempts=%d", n, attempts)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("loop stalled")
+	}
+}
+
+func TestRunLooseFederationValidation(t *testing.T) {
+	sat, _ := NewSatellite(satCfg("s", []string{"r"}, ""))
+	ctx := context.Background()
+	if _, err := sat.RunLooseFederation(ctx, 0, nil); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := sat.RunLooseFederation(ctx, time.Second, nil); err == nil {
+		t.Error("no loose routes accepted")
+	}
+}
+
+func TestSenderStatsExposed(t *testing.T) {
+	hub, err := NewHub(hubCfg("hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := hub.Listen("127.0.0.1:0")
+	defer hub.Close()
+	hub.Register("s")
+	sat, _ := NewSatellite(satCfg("s", []string{"r"}, addr))
+	ingestJobs(t, sat, "r", 3, time.Hour, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sat.StartFederation(ctx)
+	defer sat.StopFederation()
+	waitFor(t, func() bool { return hub.DB.Count("fed_s", jobs.FactTable) == 3 })
+	stats := sat.SenderStats()
+	if len(stats) != 1 || stats[0].SentEvents == 0 || stats[0].Position == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	sat.StopFederation()
+	if len(sat.SenderStats()) != 0 {
+		t.Error("stats should clear after stop")
+	}
+}
+
+func TestTrimReplicatedLog(t *testing.T) {
+	hub, err := NewHub(hubCfg("hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := hub.Listen("127.0.0.1:0")
+	defer hub.Close()
+	hub.Register("s")
+	sat, _ := NewSatellite(satCfg("s", []string{"r"}, addr))
+	// No senders yet: trimming must be a no-op.
+	if got := sat.TrimReplicatedLog(); got != 0 {
+		t.Errorf("trim without senders = %d", got)
+	}
+	ingestJobs(t, sat, "r", 10, time.Hour, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sat.StartFederation(ctx)
+	defer sat.StopFederation()
+	waitFor(t, func() bool { return sat.SenderStats()[0].Position == sat.DB.Binlog().Last() })
+
+	before := sat.DB.Binlog().Len()
+	trimmed := sat.TrimReplicatedLog()
+	if trimmed != sat.DB.Binlog().Last() {
+		t.Errorf("trimmed to %d, want %d", trimmed, sat.DB.Binlog().Last())
+	}
+	if after := sat.DB.Binlog().Len(); after >= before || after != 0 {
+		t.Errorf("log len %d -> %d", before, after)
+	}
+	// New events still replicate after the trim.
+	ingestJobs(t, sat, "r", 2, time.Hour, 100)
+	waitFor(t, func() bool { return hub.DB.Count("fed_s", "jobfact") == 12 })
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/realm/cloud"
+	"xdmodfed/internal/realm/perf"
+	"xdmodfed/internal/realm/storage"
+	"xdmodfed/internal/workload"
+)
+
+// TestMultiRealmFederation exercises the full heterogeneous-resources
+// story of paper §III: one satellite monitors HPC, cloud and storage
+// resources and profiles jobs with SUPReMM; a route federating all
+// four realms fans everything into the hub — except the SUPReMM
+// detail tables, which must remain satellite-only (§II-C5).
+func TestMultiRealmFederation(t *testing.T) {
+	hub, err := NewHub(hubCfg("hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := hub.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	hub.Register("center")
+
+	cfg := satCfg("center", []string{"cluster"}, addr)
+	cfg.Resources = append(cfg.Resources,
+		config.ResourceConfig{Name: "research-cloud", Type: "cloud"},
+		config.ResourceConfig{Name: "isilon", Type: "storage"},
+	)
+	cfg.Hubs[0].IncludeRealms = []string{"Jobs", "Cloud", "Storage", "SUPReMM"}
+	sat, err := NewSatellite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// HPC jobs + SUPReMM profiles.
+	ingestJobs(t, sat, "cluster", 20, time.Hour, 1)
+	recs := workload.GenerateJobs(workload.ResourceModel{
+		Name: "cluster", CoresPerNode: 8, MaxNodes: 4, SUFactor: 1,
+		MonthlyWeight: [12]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		MeanWallHours: 1, QueueNames: []string{"q"}, Users: 4,
+	}, 1, 7)
+	for _, ts := range workload.PerfTimeseries(recs[:5], time.Minute, 1) {
+		if err := perf.StoreJob(sat.DB, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cloud events.
+	t0 := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	events := []cloud.Event{
+		{VMID: "vm1", Resource: "research-cloud", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvStart, Time: t0, Cores: 4, MemoryGB: 8},
+		{VMID: "vm1", Resource: "research-cloud", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvTerminate, Time: t0.Add(10 * time.Hour), Cores: 4, MemoryGB: 8},
+	}
+	if _, err := sat.Pipeline.IngestCloudEvents(events, t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Storage snapshots.
+	snaps := []storage.Snapshot{{
+		Resource: "isilon", ResourceType: "persistent", Mountpoint: "/home",
+		User: "u", PI: "p", Timestamp: t0, FileCount: 100, LogicalBytes: 1000, PhysicalBytes: 1200,
+	}}
+	if _, err := sat.Pipeline.IngestStorageSnapshots(snaps); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sat.StartFederation(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer sat.StopFederation()
+
+	waitFor(t, func() bool {
+		return hub.DB.Count("fed_center", "jobfact") == 20 &&
+			hub.DB.Count("fed_center", cloud.SessionTable) == 1 &&
+			hub.DB.Count("fed_center", storage.FactTable) == 1 &&
+			hub.DB.Count("fed_center", perf.SummaryTable) == 5
+	})
+
+	// SUPReMM detail must NOT federate.
+	fedSchema := hub.DB.Schema("fed_center")
+	if fedSchema.Table(perf.TimeseriesTable) != nil || fedSchema.Table(perf.ScriptTable) != nil {
+		t.Error("satellite-only SUPReMM detail leaked to the hub")
+	}
+
+	// Hub queries work per realm over the federated data.
+	for realmName, metric := range map[string]string{
+		"Jobs":    "job_count",
+		"Cloud":   cloud.MetricCoreHours,
+		"Storage": storage.MetricFileCount,
+		"SUPReMM": "job_count",
+	} {
+		series, err := hub.Query(realmName, aggregate.Request{MetricID: metric, Period: aggregate.Year})
+		if err != nil {
+			t.Fatalf("%s query: %v", realmName, err)
+		}
+		if len(series) == 0 || series[0].Aggregate == 0 {
+			t.Errorf("%s federated view empty: %+v", realmName, series)
+		}
+	}
+	// Cloud core hours specifically: 4 cores * 10 h.
+	cs, _ := hub.Query("Cloud", aggregate.Request{MetricID: cloud.MetricCoreHours, Period: aggregate.Year})
+	if cs[0].Aggregate != 40 {
+		t.Errorf("federated cloud core hours = %g, want 40", cs[0].Aggregate)
+	}
+}
+
+// TestPerfWorkloadSummaries: synthesized profiles summarize with the
+// expected personalities.
+func TestPerfWorkloadSummaries(t *testing.T) {
+	recs := workload.GenerateJobs(workload.ResourceModel{
+		Name: "r", CoresPerNode: 4, MaxNodes: 2, SUFactor: 1,
+		MonthlyWeight: [12]float64{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		MeanWallHours: 2, QueueNames: []string{"q"}, Users: 2,
+	}, 10, 3)
+	profiles := workload.PerfTimeseries(recs, time.Minute, 3)
+	if len(profiles) != len(recs) {
+		t.Fatalf("profiles = %d, want %d", len(profiles), len(recs))
+	}
+	for _, ts := range profiles {
+		if len(ts.Samples) == 0 || len(ts.Samples) > 240 {
+			t.Fatalf("job %d has %d samples", ts.JobID, len(ts.Samples))
+		}
+		sum, err := perf.Summarize(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < perf.NumMetrics; m++ {
+			if sum.Avg[m] < 0 || sum.Peak[m] < sum.Avg[m] {
+				t.Fatalf("job %d metric %d: avg %g peak %g", ts.JobID, m, sum.Avg[m], sum.Peak[m])
+			}
+		}
+		if ts.Script == "" {
+			t.Fatal("missing job script")
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package core implements the XDMoD Federation module, the paper's
+// central contribution (§II): satellite XDMoD instances replicate
+// their raw realm data to a central federation hub, which aggregates
+// it under its own configuration and serves "a combined, master view
+// of job and performance data collected from individual XDMoD
+// instances". Satellites retain full local functionality and control;
+// the hub never alters replicated raw data.
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/appkernel"
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/hierarchy"
+	"xdmodfed/internal/ingest"
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/realm/alloc"
+	"xdmodfed/internal/realm/cloud"
+	"xdmodfed/internal/realm/gateway"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/realm/perf"
+	"xdmodfed/internal/realm/storage"
+	"xdmodfed/internal/replicate"
+	"xdmodfed/internal/su"
+	"xdmodfed/internal/warehouse"
+)
+
+// Version is the XDMoD software version of this build. The federation
+// handshake requires hub and satellites to match ("each individual
+// XDMoD instance must run the same version of XDMoD", paper §II-A).
+const Version = "8.0.0-fed"
+
+// FederatedTablesFor maps a realm name to the tables that replicate to
+// a hub. The Jobs realm federates its fact table; Cloud federates
+// reconstructed sessions; Storage federates usage facts; SUPReMM
+// federates only job summaries (paper §II-C5 — the detailed
+// timeseries and job scripts are deliberately satellite-only).
+func FederatedTablesFor(realmName string) []string {
+	switch realmName {
+	case "Jobs":
+		return []string{jobs.FactTable}
+	case "Cloud":
+		return []string{cloud.SessionTable}
+	case "Storage":
+		return []string{storage.FactTable}
+	case "SUPReMM":
+		return perf.FederatedTables()
+	case "Gateways":
+		return []string{gateway.FactTable}
+	default:
+		return nil
+	}
+}
+
+// Instance is a fully assembled XDMoD installation: warehouse, realms,
+// aggregation engine, ingestion pipeline, SU converter, and
+// authentication. Both satellites and the hub embed one.
+type Instance struct {
+	Config     config.InstanceConfig
+	DB         *warehouse.DB
+	Engine     *aggregate.Engine
+	Pipeline   *ingest.Pipeline
+	Auth       *auth.Authenticator
+	Registry   *realm.Registry
+	Converter  *su.Converter
+	AppKernels *appkernel.Monitor   // QoS module (paper §I-E)
+	Hierarchy  *hierarchy.Hierarchy // institutional hierarchy, nil when unconfigured
+}
+
+// NewInstance builds an instance from its configuration: all four
+// realms are set up, resources register their SU conversion factors,
+// aggregation levels come from the config (instances "may be
+// configured to aggregate their data differently", §II-C3), and SSO
+// sources are installed.
+func NewInstance(cfg config.InstanceConfig) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Version == "" {
+		cfg.Version = Version
+	}
+	db := warehouse.Open(cfg.Name)
+
+	conv := su.NewConverter()
+	for _, r := range cfg.Resources {
+		if r.Type == "hpc" && r.SUFactor > 0 {
+			if err := conv.Register(r.Name, r.SUFactor); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	eng, err := aggregate.New(db, cfg.AggregationLevels)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := realm.NewRegistry()
+	if _, err := jobs.Setup(db); err != nil {
+		return nil, err
+	}
+	if err := cloud.Setup(db); err != nil {
+		return nil, err
+	}
+	if _, err := storage.Setup(db); err != nil {
+		return nil, err
+	}
+	if err := perf.Setup(db); err != nil {
+		return nil, err
+	}
+	if err := alloc.Setup(db); err != nil {
+		return nil, err
+	}
+	if _, err := gateway.Setup(db); err != nil {
+		return nil, err
+	}
+	for _, info := range []realm.Info{jobs.RealmInfo(), cloud.RealmInfo(), storage.RealmInfo(), perf.RealmInfo(), alloc.RealmInfo(), gateway.RealmInfo()} {
+		if err := reg.Register(info); err != nil {
+			return nil, err
+		}
+		if err := eng.Setup(info); err != nil {
+			return nil, err
+		}
+	}
+
+	a := auth.NewAuthenticator(auth.NewVault())
+	for _, s := range cfg.SSOSources {
+		err := a.AddSSOSource(auth.SSOSource{
+			Name: s.Name, Issuer: s.Issuer, Secret: s.Secret, Metadata: s.Metadata,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ak, err := appkernel.NewMonitor(appkernel.DefaultKernels())
+	if err != nil {
+		return nil, err
+	}
+	var hier *hierarchy.Hierarchy
+	if cfg.HierarchyFile != "" {
+		f, err := os.Open(cfg.HierarchyFile)
+		if err != nil {
+			return nil, fmt.Errorf("core: hierarchy file: %w", err)
+		}
+		hier, err = hierarchy.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Instance{
+		Config:     cfg,
+		DB:         db,
+		Engine:     eng,
+		Pipeline:   &ingest.Pipeline{DB: db, Converter: conv, Engine: eng},
+		Auth:       a,
+		Registry:   reg,
+		Converter:  conv,
+		AppKernels: ak,
+		Hierarchy:  hier,
+	}, nil
+}
+
+// Query answers a chart query over the instance's own aggregated data.
+func (in *Instance) Query(realmName string, req aggregate.Request) ([]aggregate.Series, error) {
+	info, ok := in.Registry.Get(realmName)
+	if !ok {
+		return nil, fmt.Errorf("core: instance %s has no realm %q", in.Config.Name, realmName)
+	}
+	return in.Engine.Query(info, req)
+}
+
+// AggregateAll (re)aggregates every realm from the instance's own raw
+// data — the daily aggregation run.
+func (in *Instance) AggregateAll() error {
+	for _, name := range in.Registry.Names() {
+		info, _ := in.Registry.Get(name)
+		if _, err := in.Engine.Reaggregate(info, []string{info.Schema}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunDailyAggregation re-aggregates every realm on a fixed interval —
+// the paper's "every day, aggregation processes run against newly
+// ingested data" (§II-C3). It blocks until ctx is cancelled and
+// returns the number of completed aggregation runs.
+func (in *Instance) RunDailyAggregation(ctx context.Context, interval time.Duration) (int, error) {
+	if interval <= 0 {
+		return 0, fmt.Errorf("core: aggregation interval must be positive")
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	runs := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return runs, nil
+		case <-ticker.C:
+			if err := in.AggregateAll(); err != nil {
+				return runs, err
+			}
+			runs++
+		}
+	}
+}
+
+// Satellite is an instance that participates in federations as a data
+// source.
+type Satellite struct {
+	*Instance
+
+	mu      sync.Mutex
+	cancels []context.CancelFunc
+	senders []*replicate.Sender
+}
+
+// NewSatellite builds a satellite from its configuration.
+func NewSatellite(cfg config.InstanceConfig) (*Satellite, error) {
+	in, err := NewInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Satellite{Instance: in}, nil
+}
+
+// rewriterFor builds the replication rewriter for one hub route.
+func (s *Satellite) rewriterFor(route config.HubRoute) (*replicate.Rewriter, error) {
+	include := map[string]bool{}
+	realms := route.IncludeRealms
+	if len(realms) == 0 {
+		// Paper §II-C1: "the initial release of the federation module
+		// replicates only the HPC Jobs realm data".
+		realms = []string{"Jobs"}
+	}
+	for _, r := range realms {
+		tables := FederatedTablesFor(r)
+		if tables == nil {
+			return nil, fmt.Errorf("core: route to %s includes unknown realm %q", route.HubAddr, r)
+		}
+		for _, t := range tables {
+			include[t] = true
+		}
+	}
+	var exclude map[string]bool
+	if len(route.ExcludeResources) > 0 {
+		exclude = map[string]bool{}
+		for _, r := range route.ExcludeResources {
+			exclude[r] = true
+		}
+	}
+	f := replicate.Filter{IncludeTables: include, ExcludeResources: exclude}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return replicate.NewRewriter(s.Config.Name, f), nil
+}
+
+// StartFederation starts one tight-replication sender per configured
+// tight hub route. Loose routes are served by DumpForRoute instead.
+// Senders reconnect with backoff and stop when ctx is cancelled.
+func (s *Satellite) StartFederation(ctx context.Context) error {
+	for _, route := range s.Config.Hubs {
+		if route.Mode != "tight" {
+			continue
+		}
+		rw, err := s.rewriterFor(route)
+		if err != nil {
+			return err
+		}
+		sender := &replicate.Sender{
+			Instance: s.Config.Name,
+			Version:  s.Config.Version,
+			DB:       s.DB,
+			Rewriter: rw,
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		s.mu.Lock()
+		s.cancels = append(s.cancels, cancel)
+		s.senders = append(s.senders, sender)
+		s.mu.Unlock()
+		go sender.RunWithRetry(cctx, route.HubAddr, 0)
+	}
+	return nil
+}
+
+// StopFederation stops all senders.
+func (s *Satellite) StopFederation() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.cancels {
+		c()
+	}
+	s.cancels = nil
+	s.senders = nil
+}
+
+// SenderStats returns the progress of all running senders.
+func (s *Satellite) SenderStats() []replicate.SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]replicate.SenderStats, 0, len(s.senders))
+	for _, snd := range s.senders {
+		out = append(out, snd.Stats())
+	}
+	return out
+}
+
+// TrimReplicatedLog discards binlog events every sender has already
+// delivered, bounding a long-running satellite's memory. With no
+// running senders nothing is trimmed (a disconnected hub must be able
+// to resume). Returns the trimmed-through LSN.
+func (s *Satellite) TrimReplicatedLog() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.senders) == 0 {
+		return 0
+	}
+	min := uint64(0)
+	for i, snd := range s.senders {
+		pos := snd.Stats().Position
+		if i == 0 || pos < min {
+			min = pos
+		}
+	}
+	if min > 0 {
+		s.DB.Binlog().Trim(min)
+	}
+	return min
+}
+
+// DumpForRoute writes a loose-federation dump containing the realms of
+// one route (paper §II-C2: "log files or database dumps could be
+// periodically shipped to the federation hub, and batch processed
+// there"). Resource exclusions are honored by dumping through the
+// route's rewriter into a scratch store first.
+func (s *Satellite) DumpForRoute(route config.HubRoute, w io.Writer) error {
+	rw, err := s.rewriterFor(route)
+	if err != nil {
+		return err
+	}
+	scratch := warehouse.OpenWithoutBinlog("dump-" + s.Config.Name)
+	if _, err := replicate.Pump(s.DB, scratch, rw, 0); err != nil {
+		return err
+	}
+	return scratch.Snapshot(w)
+}
+
+// RunLooseFederation periodically dumps each loose route and hands the
+// dump to ship for delivery ("log files or database dumps could be
+// periodically shipped to the federation hub, and batch processed
+// there", paper §II-C2). It blocks until ctx is cancelled; ship errors
+// are counted and retried next period rather than aborting the loop.
+// Returns the number of successful shipments.
+func (s *Satellite) RunLooseFederation(ctx context.Context, interval time.Duration,
+	ship func(route config.HubRoute, dump io.Reader) error) (int, error) {
+	if interval <= 0 {
+		return 0, fmt.Errorf("core: loose federation interval must be positive")
+	}
+	var routes []config.HubRoute
+	for _, r := range s.Config.Hubs {
+		if r.Mode == "loose" {
+			routes = append(routes, r)
+		}
+	}
+	if len(routes) == 0 {
+		return 0, fmt.Errorf("core: no loose hub routes configured")
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	shipped := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return shipped, nil
+		case <-ticker.C:
+			for _, route := range routes {
+				var dump bytes.Buffer
+				if err := s.DumpForRoute(route, &dump); err != nil {
+					continue
+				}
+				if err := ship(route, &dump); err == nil {
+					shipped++
+				}
+			}
+		}
+	}
+}
+
+// RestoreFromHubBackup restores realm tables from a hub-regenerated
+// backup (paper §II-E4: "the hub itself could be used to regenerate
+// the databases for the member instances"). Tables land back in their
+// realm schemas, located by table name.
+func (s *Satellite) RestoreFromHubBackup(r io.Reader) error {
+	scratch := warehouse.OpenWithoutBinlog("backup-restore")
+	if _, err := scratch.Restore(r); err != nil {
+		return err
+	}
+	tableSchema := map[string]string{}
+	for _, name := range s.Registry.Names() {
+		info, _ := s.Registry.Get(name)
+		for _, t := range FederatedTablesFor(name) {
+			tableSchema[t] = info.Schema
+		}
+	}
+	for _, sn := range scratch.Schemas() {
+		ss := scratch.Schema(sn)
+		for _, tn := range ss.Tables() {
+			destSchema, ok := tableSchema[tn]
+			if !ok {
+				continue // non-realm table (e.g. hub bookkeeping)
+			}
+			src := ss.Table(tn)
+			var rows [][]any
+			scratch.View(func() error {
+				src.Scan(func(r warehouse.Row) bool {
+					rows = append(rows, r.Values())
+					return true
+				})
+				return nil
+			})
+			dst, err := s.DB.TableIn(destSchema, tn)
+			if err != nil {
+				return err
+			}
+			if err := s.DB.Do(func() error {
+				dst.Truncate()
+				for _, row := range rows {
+					if err := dst.InsertRow(row); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return s.AggregateAll()
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/workload"
+)
+
+// TestScaleFederation pushes a moderately large federation through the
+// full stack: six satellites, two thousand jobs each, replicated live
+// over TCP and re-aggregated on the hub. Asserts exact conservation of
+// counts, CPU hours and XD SUs across ingest → replication → hub
+// aggregation.
+func TestScaleFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federates 12k jobs over TCP")
+	}
+	const nSats = 6
+	const jobsPerSat = 2000
+
+	hub, err := NewHub(hubCfg("hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := hub.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wantCPUH float64
+	for i := 0; i < nSats; i++ {
+		name := fmt.Sprintf("site%d", i)
+		resource := fmt.Sprintf("cluster%d", i)
+		if err := hub.Register(name); err != nil {
+			t.Fatal(err)
+		}
+		sat, err := NewSatellite(satCfg(name, []string{resource}, addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := workload.GenerateJobs(workload.ResourceModel{
+			Name: resource, CoresPerNode: 16, MaxNodes: 8, SUFactor: 1,
+			MonthlyWeight: [12]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+			MeanWallHours: 3, QueueNames: []string{"batch"}, Users: 12,
+		}, jobsPerSat/12, int64(i))
+		// Generator count is weight-derived; top up to the exact target.
+		for len(recs) < jobsPerSat {
+			base := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+			recs = append(recs, shredder.JobRecord{
+				LocalJobID: int64(1000000 + len(recs)), User: "filler", Account: "acct",
+				Resource: resource, Queue: "batch", Nodes: 1, Cores: 4,
+				Submit: base, Start: base.Add(time.Minute), End: base.Add(time.Hour),
+			})
+		}
+		recs = recs[:jobsPerSat]
+		for _, r := range recs {
+			wantCPUH += r.CPUHours()
+		}
+		st, err := sat.Pipeline.IngestJobRecords(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Ingested != jobsPerSat {
+			t.Fatalf("%s ingested %d", name, st.Ingested)
+		}
+		if err := sat.StartFederation(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer sat.StopFederation()
+	}
+
+	start := time.Now()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		total := 0
+		for i := 0; i < nSats; i++ {
+			total += hub.DB.Count(fmt.Sprintf("fed_site%d", i), jobs.FactTable)
+		}
+		if total == nSats*jobsPerSat {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication stalled at %d/%d rows", total, nSats*jobsPerSat)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Logf("replicated %d rows from %d satellites in %v", nSats*jobsPerSat, nSats, time.Since(start))
+
+	aggStart := time.Now()
+	series, err := hub.Query("Jobs", aggregate.Request{MetricID: jobs.MetricCPUHours, Period: aggregate.Year})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hub aggregation + query took %v", time.Since(aggStart))
+	var got float64
+	for _, s := range series {
+		got += s.Aggregate
+	}
+	if diff := got - wantCPUH; diff > 1e-3 || diff < -1e-3 {
+		t.Errorf("federated CPU hours = %f, want %f", got, wantCPUH)
+	}
+
+	count, err := hub.Query("Jobs", aggregate.Request{MetricID: jobs.MetricNumJobs, GroupBy: jobs.DimResource, Period: aggregate.Year})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(count) != nSats {
+		t.Fatalf("resources on hub = %d", len(count))
+	}
+	for _, s := range count {
+		if s.Aggregate != jobsPerSat {
+			t.Errorf("resource %s = %g jobs", s.Group, s.Aggregate)
+		}
+	}
+}

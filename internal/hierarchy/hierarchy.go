@@ -1,0 +1,299 @@
+// Package hierarchy implements the institutional hierarchy Open XDMoD
+// is configured with at installation time: "departmental hierarchy,
+// resource information, user types and access, and other settings
+// reflect the host institution and its computing resources" (paper
+// §I-C). A hierarchy is a fixed set of named levels (conventionally
+// decanal unit → department → PI group); PI groups from the Jobs realm
+// attach to leaf nodes, letting center management roll utilization up
+// to departments and decanal units.
+package hierarchy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"xdmodfed/internal/aggregate"
+)
+
+// Config is the JSON form of an institutional hierarchy.
+type Config struct {
+	// Levels from broadest to narrowest, e.g.
+	// ["Decanal Unit", "Department", "PI Group"].
+	Levels []string `json:"levels"`
+	// Nodes list every hierarchy node with its parent (empty parent =
+	// top level). Node names must be globally unique.
+	Nodes []NodeConfig `json:"nodes"`
+	// Assignments map Jobs-realm PI identifiers to leaf node names.
+	Assignments map[string]string `json:"assignments"`
+}
+
+// NodeConfig is one node in the JSON form.
+type NodeConfig struct {
+	Name   string `json:"name"`
+	Level  string `json:"level"`
+	Parent string `json:"parent,omitempty"`
+}
+
+// Hierarchy is a validated institutional hierarchy.
+type Hierarchy struct {
+	mu      sync.RWMutex
+	levels  []string
+	levelIx map[string]int
+	parent  map[string]string
+	level   map[string]string
+	assign  map[string]string // PI -> leaf node
+}
+
+// New builds a hierarchy from its configuration.
+func New(cfg Config) (*Hierarchy, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("hierarchy: no levels configured")
+	}
+	h := &Hierarchy{
+		levels:  append([]string(nil), cfg.Levels...),
+		levelIx: make(map[string]int, len(cfg.Levels)),
+		parent:  make(map[string]string),
+		level:   make(map[string]string),
+		assign:  make(map[string]string),
+	}
+	for i, l := range cfg.Levels {
+		if l == "" {
+			return nil, fmt.Errorf("hierarchy: empty level name")
+		}
+		if _, dup := h.levelIx[l]; dup {
+			return nil, fmt.Errorf("hierarchy: duplicate level %q", l)
+		}
+		h.levelIx[l] = i
+	}
+	for _, n := range cfg.Nodes {
+		if err := h.addNode(n); err != nil {
+			return nil, err
+		}
+	}
+	for pi, node := range cfg.Assignments {
+		if err := h.Assign(pi, node); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+func (h *Hierarchy) addNode(n NodeConfig) error {
+	if n.Name == "" {
+		return fmt.Errorf("hierarchy: node missing name")
+	}
+	ix, ok := h.levelIx[n.Level]
+	if !ok {
+		return fmt.Errorf("hierarchy: node %q has unknown level %q", n.Name, n.Level)
+	}
+	if _, dup := h.level[n.Name]; dup {
+		return fmt.Errorf("hierarchy: duplicate node %q", n.Name)
+	}
+	if ix == 0 {
+		if n.Parent != "" {
+			return fmt.Errorf("hierarchy: top-level node %q must not have a parent", n.Name)
+		}
+	} else {
+		pLevel, ok := h.level[n.Parent]
+		if !ok {
+			return fmt.Errorf("hierarchy: node %q references unknown parent %q (parents must be declared first)", n.Name, n.Parent)
+		}
+		if h.levelIx[pLevel] != ix-1 {
+			return fmt.Errorf("hierarchy: node %q at level %q must have a parent at level %q, got %q",
+				n.Name, n.Level, h.levels[ix-1], pLevel)
+		}
+		h.parent[n.Name] = n.Parent
+	}
+	h.level[n.Name] = n.Level
+	return nil
+}
+
+// Assign attaches a PI identifier to a leaf node.
+func (h *Hierarchy) Assign(pi, node string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pi == "" {
+		return fmt.Errorf("hierarchy: empty PI")
+	}
+	lvl, ok := h.level[node]
+	if !ok {
+		return fmt.Errorf("hierarchy: assignment of %q references unknown node %q", pi, node)
+	}
+	if h.levelIx[lvl] != len(h.levels)-1 {
+		return fmt.Errorf("hierarchy: PI %q must attach to a leaf-level (%s) node, %q is a %s",
+			pi, h.levels[len(h.levels)-1], node, lvl)
+	}
+	h.assign[pi] = node
+	return nil
+}
+
+// Levels returns the configured level names, broadest first.
+func (h *Hierarchy) Levels() []string {
+	return append([]string(nil), h.levels...)
+}
+
+// Path returns the node names from top level down to the PI's leaf
+// node, or false when the PI is unassigned.
+func (h *Hierarchy) Path(pi string) ([]string, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	node, ok := h.assign[pi]
+	if !ok {
+		return nil, false
+	}
+	var rev []string
+	for node != "" {
+		rev = append(rev, node)
+		node = h.parent[node]
+	}
+	out := make([]string, len(rev))
+	for i, n := range rev {
+		out[len(rev)-1-i] = n
+	}
+	return out, true
+}
+
+// NodeAt returns the PI's ancestor node at the named level
+// ("Unassigned" when the PI has no assignment).
+func (h *Hierarchy) NodeAt(pi, level string) string {
+	ix, ok := h.levelIx[level]
+	if !ok {
+		return Unassigned
+	}
+	path, ok := h.Path(pi)
+	if !ok || ix >= len(path) {
+		return Unassigned
+	}
+	return path[ix]
+}
+
+// Unassigned labels PIs without a hierarchy assignment.
+const Unassigned = "Unassigned"
+
+// Rollup regroups a by-PI query result to the named hierarchy level:
+// the drill-up that gives "institutional administration ... metrics
+// for long-range analysis and planning" (paper §I-A). Sum-style
+// aggregates add; series ordering is lexicographic by node.
+func (h *Hierarchy) Rollup(byPI []aggregate.Series, level string) []aggregate.Series {
+	grouped := map[string]*aggregate.Series{}
+	for _, s := range byPI {
+		node := h.NodeAt(s.Group, level)
+		g := grouped[node]
+		if g == nil {
+			g = &aggregate.Series{Group: node}
+			grouped[node] = g
+		}
+		g.Aggregate += s.Aggregate
+		g.N += s.N
+		g.Points = mergePoints(g.Points, s.Points)
+	}
+	names := make([]string, 0, len(grouped))
+	for n := range grouped {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]aggregate.Series, 0, len(names))
+	for _, n := range names {
+		out = append(out, *grouped[n])
+	}
+	return out
+}
+
+func mergePoints(a, b []aggregate.Point) []aggregate.Point {
+	vals := map[int64]float64{}
+	for _, p := range a {
+		vals[p.PeriodKey] += p.Value
+	}
+	for _, p := range b {
+		vals[p.PeriodKey] += p.Value
+	}
+	keys := make([]int64, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]aggregate.Point, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, aggregate.Point{PeriodKey: k, Value: vals[k]})
+	}
+	return out
+}
+
+// Load reads and validates a hierarchy from JSON.
+func Load(r io.Reader) (*Hierarchy, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
+	return New(cfg)
+}
+
+// Save writes the hierarchy back to JSON (nodes in level order).
+func (h *Hierarchy) Save(w io.Writer) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	cfg := Config{Levels: h.Levels(), Assignments: map[string]string{}}
+	var names []string
+	for n := range h.level {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		li, lj := h.levelIx[h.level[names[i]]], h.levelIx[h.level[names[j]]]
+		if li != lj {
+			return li < lj
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		cfg.Nodes = append(cfg.Nodes, NodeConfig{Name: n, Level: h.level[n], Parent: h.parent[n]})
+	}
+	for pi, node := range h.assign {
+		cfg.Assignments[pi] = node
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// DefaultLevels is the conventional Open XDMoD three-level hierarchy.
+func DefaultLevels() []string {
+	return []string{"Decanal Unit", "Department", "PI Group"}
+}
+
+// String renders the hierarchy as an indented tree.
+func (h *Hierarchy) String() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	children := map[string][]string{}
+	var tops []string
+	for n, lvl := range h.level {
+		if h.levelIx[lvl] == 0 {
+			tops = append(tops, n)
+		} else {
+			p := h.parent[n]
+			children[p] = append(children[p], n)
+		}
+	}
+	sort.Strings(tops)
+	for _, c := range children {
+		sort.Strings(c)
+	}
+	var b strings.Builder
+	var walk func(node string, depth int)
+	walk = func(node string, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), node)
+		for _, c := range children[node] {
+			walk(c, depth+1)
+		}
+	}
+	for _, t := range tops {
+		walk(t, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package hierarchy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xdmodfed/internal/aggregate"
+)
+
+func sampleConfig() Config {
+	return Config{
+		Levels: DefaultLevels(),
+		Nodes: []NodeConfig{
+			{Name: "Engineering", Level: "Decanal Unit"},
+			{Name: "Arts & Sciences", Level: "Decanal Unit"},
+			{Name: "Chemistry", Level: "Department", Parent: "Arts & Sciences"},
+			{Name: "Physics", Level: "Department", Parent: "Arts & Sciences"},
+			{Name: "MechEng", Level: "Department", Parent: "Engineering"},
+			{Name: "smith-lab", Level: "PI Group", Parent: "Chemistry"},
+			{Name: "jones-lab", Level: "PI Group", Parent: "Physics"},
+			{Name: "lee-lab", Level: "PI Group", Parent: "MechEng"},
+		},
+		Assignments: map[string]string{
+			"smith": "smith-lab",
+			"jones": "jones-lab",
+			"lee":   "lee-lab",
+		},
+	}
+}
+
+func TestNewValid(t *testing.T) {
+	h, err := New(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := h.Path("smith")
+	if !ok {
+		t.Fatal("smith unassigned")
+	}
+	want := []string{"Arts & Sciences", "Chemistry", "smith-lab"}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %q, want %q", i, path[i], want[i])
+		}
+	}
+	if got := h.NodeAt("smith", "Department"); got != "Chemistry" {
+		t.Errorf("NodeAt department = %q", got)
+	}
+	if got := h.NodeAt("smith", "Decanal Unit"); got != "Arts & Sciences" {
+		t.Errorf("NodeAt decanal = %q", got)
+	}
+	if got := h.NodeAt("ghost", "Department"); got != Unassigned {
+		t.Errorf("unassigned PI = %q", got)
+	}
+	if got := h.NodeAt("smith", "Nope"); got != Unassigned {
+		t.Errorf("unknown level = %q", got)
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Levels = nil },
+		func(c *Config) { c.Levels = []string{"A", "A"} },
+		func(c *Config) { c.Levels = []string{""} },
+		func(c *Config) { c.Nodes[0].Name = "" },
+		func(c *Config) { c.Nodes[0].Level = "Galaxy" },
+		func(c *Config) { c.Nodes = append(c.Nodes, c.Nodes[0]) },                                       // dup
+		func(c *Config) { c.Nodes[0].Parent = "Chemistry" },                                             // top with parent
+		func(c *Config) { c.Nodes[2].Parent = "nonexistent" },                                           // unknown parent
+		func(c *Config) { c.Nodes[5].Parent = "Engineering" },                                           // wrong parent level
+		func(c *Config) { c.Assignments["x"] = "Chemistry" },                                            // non-leaf assignment
+		func(c *Config) { c.Assignments["x"] = "ghost" },                                                // unknown node
+		func(c *Config) { c.Assignments[""] = "smith-lab" },                                             // empty PI
+		func(c *Config) { c.Nodes = []NodeConfig{{Name: "X", Level: "Department", Parent: "missing"}} }, // parent ordering
+	}
+	for i, mutate := range cases {
+		cfg := sampleConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRollup(t *testing.T) {
+	h, err := New(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPI := []aggregate.Series{
+		{Group: "smith", Aggregate: 100, N: 10, Points: []aggregate.Point{{PeriodKey: 201701, Value: 60}, {PeriodKey: 201702, Value: 40}}},
+		{Group: "jones", Aggregate: 50, N: 5, Points: []aggregate.Point{{PeriodKey: 201701, Value: 50}}},
+		{Group: "lee", Aggregate: 30, N: 3, Points: []aggregate.Point{{PeriodKey: 201702, Value: 30}}},
+		{Group: "mystery", Aggregate: 7, N: 1, Points: []aggregate.Point{{PeriodKey: 201701, Value: 7}}},
+	}
+	byDecanal := h.Rollup(byPI, "Decanal Unit")
+	got := map[string]float64{}
+	for _, s := range byDecanal {
+		got[s.Group] = s.Aggregate
+	}
+	if got["Arts & Sciences"] != 150 || got["Engineering"] != 30 || got[Unassigned] != 7 {
+		t.Errorf("rollup = %v", got)
+	}
+	// Points merge by period.
+	for _, s := range byDecanal {
+		if s.Group == "Arts & Sciences" {
+			if len(s.Points) != 2 || s.Points[0].Value != 110 || s.Points[1].Value != 40 {
+				t.Errorf("merged points = %+v", s.Points)
+			}
+		}
+	}
+	// Department-level rollup keeps labs separate by department.
+	byDept := h.Rollup(byPI, "Department")
+	dGot := map[string]float64{}
+	for _, s := range byDept {
+		dGot[s.Group] = s.Aggregate
+	}
+	if dGot["Chemistry"] != 100 || dGot["Physics"] != 50 || dGot["MechEng"] != 30 {
+		t.Errorf("department rollup = %v", dGot)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	h, err := New(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.NodeAt("jones", "Decanal Unit"); got != "Arts & Sciences" {
+		t.Errorf("round trip lost structure: %q", got)
+	}
+	if _, err := Load(strings.NewReader("{bad")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"levels":["A"],"unknown":1}`)); err == nil {
+		t.Error("unknown fields accepted")
+	}
+}
+
+func TestAssignAfterConstruction(t *testing.T) {
+	h, _ := New(sampleConfig())
+	if err := h.Assign("newpi", "smith-lab"); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.NodeAt("newpi", "Department"); got != "Chemistry" {
+		t.Errorf("late assignment = %q", got)
+	}
+}
+
+func TestStringTree(t *testing.T) {
+	h, _ := New(sampleConfig())
+	out := h.String()
+	if !strings.Contains(out, "Arts & Sciences\n  Chemistry\n    smith-lab") {
+		t.Errorf("tree rendering:\n%s", out)
+	}
+}

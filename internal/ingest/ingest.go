@@ -1,0 +1,239 @@
+// Package ingest implements the XDMoD data ingestion pipeline: staging
+// records from the shredders (or realm-specific feeds) are normalized
+// into warehouse fact tables and folded into the aggregation tables.
+// This is the per-instance "Data Ingestion" stage of the paper's
+// Figure 3; everything a satellite ingests subsequently replicates to
+// its federation hubs via the binlog.
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/realm/cloud"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/realm/storage"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/su"
+	"xdmodfed/internal/warehouse"
+)
+
+// Stats summarizes one ingestion run.
+type Stats struct {
+	Parsed   int // records seen in the input
+	Ingested int // new fact rows written
+	Skipped  int // duplicates of already-ingested facts
+	Rejected int // records failing validation or parse
+	Errors   []error
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("parsed=%d ingested=%d skipped=%d rejected=%d", s.Parsed, s.Ingested, s.Skipped, s.Rejected)
+}
+
+// Pipeline ingests data into one instance's warehouse. Engine is
+// optional; when set, newly ingested job/storage facts are folded into
+// the aggregation tables incrementally, and cloud ingestion triggers a
+// cloud-realm re-aggregation (sessions are rebuilt from the event log).
+type Pipeline struct {
+	DB        *warehouse.DB
+	Converter *su.Converter
+	Engine    *aggregate.Engine
+}
+
+// IngestJobRecords normalizes staging records into the Jobs realm.
+// Re-ingesting the same accounting log is idempotent: records whose
+// (resource, job id) already exist are skipped.
+func (p *Pipeline) IngestJobRecords(recs []shredder.JobRecord) (Stats, error) {
+	var st Stats
+	tab, err := p.DB.TableIn(jobs.SchemaName, jobs.FactTable)
+	if err != nil {
+		return st, fmt.Errorf("ingest: jobs realm not set up: %w", err)
+	}
+	info := jobs.RealmInfo()
+	for _, rec := range recs {
+		st.Parsed++
+		row, err := jobs.FactFromRecord(rec, p.Converter)
+		if err != nil {
+			st.Rejected++
+			st.Errors = append(st.Errors, err)
+			continue
+		}
+		var exists bool
+		p.DB.View(func() error {
+			_, exists = tab.GetByKey(rec.Resource, rec.LocalJobID)
+			return nil
+		})
+		if exists {
+			st.Skipped++
+			continue
+		}
+		if err := p.DB.Insert(jobs.SchemaName, jobs.FactTable, row); err != nil {
+			st.Rejected++
+			st.Errors = append(st.Errors, err)
+			continue
+		}
+		st.Ingested++
+		if p.Engine != nil {
+			var r warehouse.Row
+			p.DB.View(func() error {
+				r, _ = tab.GetByKey(rec.Resource, rec.LocalJobID)
+				return nil
+			})
+			if err := p.Engine.ApplyFactRow(info, r); err != nil {
+				return st, fmt.Errorf("ingest: aggregate job %d: %w", rec.LocalJobID, err)
+			}
+		}
+	}
+	return st, nil
+}
+
+// IngestJobLog shreds an accounting log in the named format and
+// ingests the result.
+func (p *Pipeline) IngestJobLog(r io.Reader, format, resource string) (Stats, error) {
+	parser, err := shredder.New(format)
+	if err != nil {
+		return Stats{}, err
+	}
+	recs, perrs := parser.Parse(r, resource)
+	st, err := p.IngestJobRecords(recs)
+	for _, pe := range perrs {
+		st.Parsed++
+		st.Rejected++
+		st.Errors = append(st.Errors, pe)
+	}
+	return st, err
+}
+
+// IngestCloudEvents appends raw VM lifecycle events, rebuilds the
+// session table from the full event log (sessions are a pure function
+// of the event history), and re-aggregates the Cloud realm.
+func (p *Pipeline) IngestCloudEvents(events []cloud.Event, horizon time.Time) (Stats, error) {
+	var st Stats
+	evTab, err := p.DB.TableIn(cloud.SchemaName, cloud.EventTable)
+	if err != nil {
+		return st, fmt.Errorf("ingest: cloud realm not set up: %w", err)
+	}
+	for _, e := range events {
+		st.Parsed++
+		if err := e.Validate(); err != nil {
+			st.Rejected++
+			st.Errors = append(st.Errors, err)
+			continue
+		}
+		err := p.DB.Insert(cloud.SchemaName, cloud.EventTable, map[string]any{
+			"vm_id": e.VMID, "resource": e.Resource, "username": e.User,
+			"project": e.Project, "instance_type": e.InstanceType,
+			"event_type": string(e.Type), "event_time": e.Time,
+			"cores": e.Cores, "memory_gb": e.MemoryGB, "disk_gb": e.DiskGB,
+		})
+		if err != nil {
+			st.Rejected++
+			st.Errors = append(st.Errors, err)
+			continue
+		}
+		st.Ingested++
+	}
+	if err := p.RebuildCloudSessions(horizon); err != nil {
+		return st, err
+	}
+	_ = evTab
+	return st, nil
+}
+
+// RebuildCloudSessions reconstructs the session table from the raw
+// event log up to the horizon and re-aggregates the Cloud realm.
+func (p *Pipeline) RebuildCloudSessions(horizon time.Time) error {
+	evTab, err := p.DB.TableIn(cloud.SchemaName, cloud.EventTable)
+	if err != nil {
+		return err
+	}
+	var events []cloud.Event
+	p.DB.View(func() error {
+		evTab.Scan(func(r warehouse.Row) bool {
+			var ts time.Time
+			if v, _ := r.Lookup("event_time"); v != nil {
+				ts = v.(time.Time)
+			}
+			events = append(events, cloud.Event{
+				VMID: r.String("vm_id"), Resource: r.String("resource"),
+				User: r.String("username"), Project: r.String("project"),
+				InstanceType: r.String("instance_type"),
+				Type:         cloud.EventType(r.String("event_type")),
+				Time:         ts, Cores: r.Int("cores"),
+				MemoryGB: r.Float("memory_gb"), DiskGB: r.Float("disk_gb"),
+			})
+			return true
+		})
+		return nil
+	})
+	sessions, err := cloud.ReconstructSessions(events, horizon)
+	if err != nil {
+		return err
+	}
+	sessTab, err := p.DB.TableIn(cloud.SchemaName, cloud.SessionTable)
+	if err != nil {
+		return err
+	}
+	seq := map[string]int{}
+	if err := p.DB.Do(func() error {
+		sessTab.Truncate()
+		for _, s := range sessions {
+			row := cloud.SessionRow(s, seq[s.VMID])
+			seq[s.VMID]++
+			if err := sessTab.Upsert(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if p.Engine != nil {
+		if _, err := p.Engine.Reaggregate(cloud.RealmInfo(), []string{cloud.SchemaName}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngestStorageSnapshots upserts storage usage snapshots. Same-day
+// duplicates collapse (latest wins); the Storage realm is re-aggregated
+// when an engine is configured, since upserts may revise prior facts.
+func (p *Pipeline) IngestStorageSnapshots(snaps []storage.Snapshot) (Stats, error) {
+	var st Stats
+	if _, err := p.DB.TableIn(storage.SchemaName, storage.FactTable); err != nil {
+		return st, fmt.Errorf("ingest: storage realm not set up: %w", err)
+	}
+	for _, s := range snaps {
+		st.Parsed++
+		if err := s.Validate(); err != nil {
+			st.Rejected++
+			st.Errors = append(st.Errors, err)
+			continue
+		}
+		if err := p.DB.Upsert(storage.SchemaName, storage.FactTable, storage.FactRow(s)); err != nil {
+			st.Rejected++
+			st.Errors = append(st.Errors, err)
+			continue
+		}
+		st.Ingested++
+	}
+	if p.Engine != nil && st.Ingested > 0 {
+		if _, err := p.Engine.Reaggregate(storage.RealmInfo(), []string{storage.SchemaName}); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// IngestStorageJSON validates and ingests a storage JSON document.
+func (p *Pipeline) IngestStorageJSON(r io.Reader) (Stats, error) {
+	snaps, err := storage.ParseJSON(r)
+	if err != nil {
+		return Stats{}, err
+	}
+	return p.IngestStorageSnapshots(snaps)
+}

@@ -1,0 +1,218 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/realm/cloud"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/realm/storage"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/su"
+	"xdmodfed/internal/warehouse"
+)
+
+func pipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	db := warehouse.Open("instance")
+	if _, err := jobs.Setup(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := cloud.Setup(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.Setup(db); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := aggregate.New(db, []config.AggregationLevels{
+		config.HubWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range []struct {
+		setup func() error
+	}{
+		{func() error { return eng.Setup(jobs.RealmInfo()) }},
+		{func() error { return eng.Setup(cloud.RealmInfo()) }},
+		{func() error { return eng.Setup(storage.RealmInfo()) }},
+	} {
+		if err := info.setup(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conv := su.NewConverter()
+	conv.Register("rush", 1.0)
+	return &Pipeline{DB: db, Converter: conv, Engine: eng}
+}
+
+func jobRec(id int64) shredder.JobRecord {
+	return shredder.JobRecord{
+		LocalJobID: id, User: "u", Account: "a", Resource: "rush", Queue: "q",
+		Nodes: 1, Cores: 4,
+		Submit: time.Date(2017, 5, 1, 0, 0, 0, 0, time.UTC),
+		Start:  time.Date(2017, 5, 1, 1, 0, 0, 0, time.UTC),
+		End:    time.Date(2017, 5, 1, 3, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestIngestJobRecordsIdempotent(t *testing.T) {
+	p := pipeline(t)
+	st, err := p.IngestJobRecords([]shredder.JobRecord{jobRec(1), jobRec(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 2 || st.Skipped != 0 {
+		t.Errorf("stats = %s", st)
+	}
+	// Re-ingesting the same log must not duplicate facts or aggregates.
+	st2, err := p.IngestJobRecords([]shredder.JobRecord{jobRec(1), jobRec(2), jobRec(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Ingested != 1 || st2.Skipped != 2 {
+		t.Errorf("stats = %s", st2)
+	}
+	if got := p.DB.Count(jobs.SchemaName, jobs.FactTable); got != 3 {
+		t.Errorf("facts = %d", got)
+	}
+	series, err := p.Engine.Query(jobs.RealmInfo(), aggregate.Request{
+		MetricID: jobs.MetricNumJobs, Period: aggregate.Year,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0].Aggregate != 3 {
+		t.Errorf("aggregated job count = %g, want 3 (no double count)", series[0].Aggregate)
+	}
+}
+
+func TestIngestJobRecordsRejectsInvalid(t *testing.T) {
+	p := pipeline(t)
+	bad := jobRec(9)
+	bad.User = ""
+	unknownRes := jobRec(10)
+	unknownRes.Resource = "unbenchmarked"
+	st, err := p.IngestJobRecords([]shredder.JobRecord{bad, unknownRes, jobRec(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 2 || st.Ingested != 1 || len(st.Errors) != 2 {
+		t.Errorf("stats = %s errors=%v", st, st.Errors)
+	}
+}
+
+func TestIngestJobLog(t *testing.T) {
+	p := pipeline(t)
+	log := "2001|x|alice|acct|q|1|8|2017-03-01T00:00:00|2017-03-01T01:00:00|2017-03-01T02:00:00|COMPLETED\n" +
+		"garbage line\n"
+	st, err := p.IngestJobLog(strings.NewReader(log), "slurm", "rush")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 1 || st.Rejected != 1 {
+		t.Errorf("stats = %s", st)
+	}
+	if _, err := p.IngestJobLog(strings.NewReader(""), "lsf9", "rush"); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+func TestIngestCloudEventsAndSessions(t *testing.T) {
+	p := pipeline(t)
+	t0 := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	events := []cloud.Event{
+		{VMID: "vm1", Resource: "cloud", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvStart, Time: t0, Cores: 2, MemoryGB: 4},
+		{VMID: "vm1", Resource: "cloud", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvStop, Time: t0.Add(3 * time.Hour), Cores: 2, MemoryGB: 4},
+		{VMID: "", Resource: "cloud", Type: cloud.EvStart, Time: t0}, // invalid
+	}
+	st, err := p.IngestCloudEvents(events, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 2 || st.Rejected != 1 {
+		t.Errorf("stats = %s", st)
+	}
+	if got := p.DB.Count(cloud.SchemaName, cloud.SessionTable); got != 1 {
+		t.Fatalf("sessions = %d", got)
+	}
+	series, err := p.Engine.Query(cloud.RealmInfo(), aggregate.Request{
+		MetricID: cloud.MetricCoreHours, Period: aggregate.Year,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0].Aggregate != 6 { // 2 cores * 3 h
+		t.Errorf("core hours = %g, want 6", series[0].Aggregate)
+	}
+
+	// Late-arriving events revise sessions without duplication.
+	more := []cloud.Event{
+		{VMID: "vm1", Resource: "cloud", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvResume, Time: t0.Add(5 * time.Hour), Cores: 2, MemoryGB: 4},
+		{VMID: "vm1", Resource: "cloud", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvTerminate, Time: t0.Add(6 * time.Hour), Cores: 2, MemoryGB: 4},
+	}
+	if _, err := p.IngestCloudEvents(more, t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DB.Count(cloud.SchemaName, cloud.SessionTable); got != 2 {
+		t.Errorf("sessions after revision = %d, want 2", got)
+	}
+	series, _ = p.Engine.Query(cloud.RealmInfo(), aggregate.Request{
+		MetricID: cloud.MetricCoreHours, Period: aggregate.Year,
+	})
+	if series[0].Aggregate != 8 { // 6 + 2*1
+		t.Errorf("core hours after revision = %g, want 8", series[0].Aggregate)
+	}
+}
+
+func TestIngestStorageJSON(t *testing.T) {
+	p := pipeline(t)
+	doc := `[
+	 {"resource":"isilon","resource_type":"persistent","mountpoint":"/home","user":"alice","pi":"smith",
+	  "dt":"2017-02-28T06:00:00Z","file_count":100,"logical_usage":1000,"physical_usage":1400,
+	  "soft_threshold":2000,"hard_threshold":3000},
+	 {"resource":"isilon","resource_type":"persistent","mountpoint":"/home","user":"bob","pi":"smith",
+	  "dt":"2017-02-28T06:00:00Z","file_count":50,"logical_usage":500,"physical_usage":600,
+	  "soft_threshold":2000,"hard_threshold":3000}
+	]`
+	st, err := p.IngestStorageJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 2 {
+		t.Errorf("stats = %s", st)
+	}
+	series, err := p.Engine.Query(storage.RealmInfo(), aggregate.Request{
+		MetricID: storage.MetricFileCount, Period: aggregate.Month,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0].Aggregate != 150 {
+		t.Errorf("file count = %g, want 150", series[0].Aggregate)
+	}
+	// Invalid documents are rejected whole.
+	if _, err := p.IngestStorageJSON(strings.NewReader(`[{"resource":""}]`)); err == nil {
+		t.Error("invalid document accepted")
+	}
+}
+
+func TestIngestWithoutRealmSetup(t *testing.T) {
+	p := &Pipeline{DB: warehouse.Open("empty")}
+	if _, err := p.IngestJobRecords([]shredder.JobRecord{jobRec(1)}); err == nil {
+		t.Error("jobs ingest without setup must error")
+	}
+	if _, err := p.IngestCloudEvents(nil, time.Now()); err == nil {
+		t.Error("cloud ingest without setup must error")
+	}
+	if _, err := p.IngestStorageSnapshots(nil); err == nil {
+		t.Error("storage ingest without setup must error")
+	}
+}

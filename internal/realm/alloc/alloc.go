@@ -1,0 +1,278 @@
+// Package alloc implements the Allocations realm. The paper describes
+// XDMoD as supporting "job, allocation, and performance data and
+// metrics" (§I); this realm tracks project allocations — awards of
+// XD SUs over a time window — and the charges the Jobs realm accrues
+// against them, exposing award/charge/balance and burn-rate metrics so
+// "funding agencies, institutional administration, computing center
+// management" (§I-A) can watch consumption against awards.
+package alloc
+
+import (
+	"fmt"
+	"time"
+
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/warehouse"
+)
+
+// Warehouse locations for the realm.
+const (
+	SchemaName  = "modw_alloc"
+	AwardTable  = "allocation"
+	ChargeTable = "allocation_charge"
+)
+
+// Allocation is one award of standardized SUs to a project.
+type Allocation struct {
+	Project string // charge account, matches jobfact's pi column
+	Award   float64
+	Start   time.Time
+	End     time.Time
+}
+
+// Validate checks the award.
+func (a Allocation) Validate() error {
+	if a.Project == "" {
+		return fmt.Errorf("alloc: allocation missing project")
+	}
+	if a.Award <= 0 {
+		return fmt.Errorf("alloc: allocation for %q has non-positive award %g", a.Project, a.Award)
+	}
+	if a.Start.IsZero() || a.End.IsZero() || !a.End.After(a.Start) {
+		return fmt.Errorf("alloc: allocation for %q has invalid window", a.Project)
+	}
+	return nil
+}
+
+// AwardDef returns the allocation table definition.
+func AwardDef() warehouse.TableDef {
+	return warehouse.TableDef{
+		Name: AwardTable,
+		Columns: []warehouse.Column{
+			{Name: "project", Type: warehouse.TypeString},
+			{Name: "award_xdsu", Type: warehouse.TypeFloat},
+			{Name: "start_time", Type: warehouse.TypeTime},
+			{Name: "end_time", Type: warehouse.TypeTime},
+		},
+		PrimaryKey: []string{"project", "start_time"},
+	}
+}
+
+// ChargeDef returns the charge fact table definition: one row per job
+// charged to an allocation.
+func ChargeDef() warehouse.TableDef {
+	return warehouse.TableDef{
+		Name: ChargeTable,
+		Columns: []warehouse.Column{
+			{Name: "project", Type: warehouse.TypeString},
+			{Name: "resource", Type: warehouse.TypeString},
+			{Name: "job_id", Type: warehouse.TypeInt},
+			{Name: "charge_time", Type: warehouse.TypeTime},
+			{Name: "xdsu", Type: warehouse.TypeFloat},
+			{Name: "month_key", Type: warehouse.TypeInt},
+		},
+		PrimaryKey: []string{"resource", "job_id"},
+		Indexes:    [][]string{{"project"}},
+	}
+}
+
+// Metric and dimension IDs.
+const (
+	MetricCharged   = "alloc_xdsu_charged"
+	MetricChargeJob = "alloc_jobs_charged"
+
+	DimProject  = "project"
+	DimResource = "resource"
+)
+
+// RealmInfo describes the Allocations realm over the charge table.
+func RealmInfo() realm.Info {
+	return realm.Info{
+		Name:       "Allocations",
+		Schema:     SchemaName,
+		FactTable:  ChargeTable,
+		TimeColumn: "charge_time",
+		Metrics: []realm.Metric{
+			{ID: MetricCharged, Name: "XD SUs Charged to Allocations", Unit: "XD SU", Func: warehouse.AggSum, Column: "xdsu"},
+			{ID: MetricChargeJob, Name: "Jobs Charged", Unit: "jobs", Func: warehouse.AggCount},
+		},
+		Dimensions: []realm.Dimension{
+			{ID: DimProject, Name: "Project", Column: "project"},
+			{ID: DimResource, Name: "Resource", Column: "resource"},
+		},
+	}
+}
+
+// Setup creates the realm's schema and tables.
+func Setup(db *warehouse.DB) error {
+	s := db.EnsureSchema(SchemaName)
+	if _, err := s.EnsureTable(AwardDef()); err != nil {
+		return err
+	}
+	_, err := s.EnsureTable(ChargeDef())
+	return err
+}
+
+// AddAllocation records one award.
+func AddAllocation(db *warehouse.DB, a Allocation) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	return db.Upsert(SchemaName, AwardTable, map[string]any{
+		"project": a.Project, "award_xdsu": a.Award,
+		"start_time": a.Start, "end_time": a.End,
+	})
+}
+
+// ChargeFromJobs derives allocation charges from the Jobs realm fact
+// table: every job whose PI matches an allocation's project within the
+// award window produces a charge of its XD SUs. Re-running is
+// idempotent (charges upsert by job identity). Returns charges made.
+func ChargeFromJobs(db *warehouse.DB) (int, error) {
+	awardTab, err := db.TableIn(SchemaName, AwardTable)
+	if err != nil {
+		return 0, fmt.Errorf("alloc: realm not set up: %w", err)
+	}
+	jobTab, err := db.TableIn(jobs.SchemaName, jobs.FactTable)
+	if err != nil {
+		return 0, fmt.Errorf("alloc: jobs realm not set up: %w", err)
+	}
+	type window struct{ start, end time.Time }
+	windows := map[string][]window{}
+	db.View(func() error {
+		awardTab.Scan(func(r warehouse.Row) bool {
+			st, _ := r.Lookup("start_time")
+			en, _ := r.Lookup("end_time")
+			windows[r.String("project")] = append(windows[r.String("project")],
+				window{st.(time.Time), en.(time.Time)})
+			return true
+		})
+		return nil
+	})
+
+	var charges []map[string]any
+	db.View(func() error {
+		jobTab.Scan(func(r warehouse.Row) bool {
+			project := r.String(jobs.ColPI)
+			wins, ok := windows[project]
+			if !ok {
+				return true
+			}
+			endV, _ := r.Lookup(jobs.ColEnd)
+			end := endV.(time.Time)
+			for _, w := range wins {
+				if !end.Before(w.start) && end.Before(w.end) {
+					charges = append(charges, map[string]any{
+						"project":     project,
+						"resource":    r.String(jobs.ColResource),
+						"job_id":      r.Int(jobs.ColJobID),
+						"charge_time": end,
+						"xdsu":        r.Float(jobs.ColXDSU),
+						"month_key":   r.Int(jobs.ColMonthKey),
+					})
+					break
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	for _, c := range charges {
+		if err := db.Upsert(SchemaName, ChargeTable, c); err != nil {
+			return 0, err
+		}
+	}
+	return len(charges), nil
+}
+
+// Balance summarizes one project's allocation state.
+type Balance struct {
+	Project   string
+	Award     float64
+	Charged   float64
+	Remaining float64
+	// BurnPerDay is the average charge rate over the window so far;
+	// ProjectedExhaustion is when the award runs out at that rate (zero
+	// time when it will not).
+	BurnPerDay          float64
+	ProjectedExhaustion time.Time
+}
+
+// ProjectBalance computes the balance of one project at time now.
+func ProjectBalance(db *warehouse.DB, project string, now time.Time) (Balance, error) {
+	awardTab, err := db.TableIn(SchemaName, AwardTable)
+	if err != nil {
+		return Balance{}, err
+	}
+	chargeTab, err := db.TableIn(SchemaName, ChargeTable)
+	if err != nil {
+		return Balance{}, err
+	}
+	b := Balance{Project: project}
+	var start time.Time
+	found := false
+	db.View(func() error {
+		awardTab.Scan(func(r warehouse.Row) bool {
+			if r.String("project") != project {
+				return true
+			}
+			found = true
+			b.Award += r.Float("award_xdsu")
+			st, _ := r.Lookup("start_time")
+			if start.IsZero() || st.(time.Time).Before(start) {
+				start = st.(time.Time)
+			}
+			return true
+		})
+		chargeTab.ScanIndex([]string{"project"}, []any{project}, func(r warehouse.Row) bool {
+			b.Charged += r.Float("xdsu")
+			return true
+		})
+		return nil
+	})
+	if !found {
+		return Balance{}, fmt.Errorf("alloc: project %q has no allocation", project)
+	}
+	b.Remaining = b.Award - b.Charged
+	days := now.Sub(start).Hours() / 24
+	if days > 0 {
+		b.BurnPerDay = b.Charged / days
+		if b.BurnPerDay > 0 && b.Remaining > 0 {
+			b.ProjectedExhaustion = now.Add(time.Duration(b.Remaining / b.BurnPerDay * 24 * float64(time.Hour)))
+		}
+	}
+	return b, nil
+}
+
+// OverspentProjects returns projects whose charges exceed their award.
+func OverspentProjects(db *warehouse.DB, now time.Time) ([]Balance, error) {
+	awardTab, err := db.TableIn(SchemaName, AwardTable)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var projects []string
+	db.View(func() error {
+		awardTab.Scan(func(r warehouse.Row) bool {
+			p := r.String("project")
+			if !seen[p] {
+				seen[p] = true
+				projects = append(projects, p)
+			}
+			return true
+		})
+		return nil
+	})
+	var out []Balance
+	for _, p := range projects {
+		b, err := ProjectBalance(db, p, now)
+		if err != nil {
+			return nil, err
+		}
+		if b.Remaining < 0 {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// vmState tracks one VM through the event stream.
+type vmState struct {
+	running bool
+	cur     Session // open session when running
+	seq     int
+}
+
+// ReconstructSessions replays a VM event stream through the lifecycle
+// state machine and emits sessions. Events may arrive unordered; they
+// are sorted by (vm, time) first. The horizon closes sessions of VMs
+// still running at the end of the stream (those sessions have
+// Ended=false, modeling "Number of VMs Running").
+//
+// State machine per VM:
+//
+//	START  while stopped -> open a session
+//	STOP/PAUSE while running -> close session (Ended)
+//	RESUME while stopped -> open a session (same config)
+//	RESIZE while running -> close session and immediately open a new
+//	        one with the new configuration ("allocated memory can even
+//	        be changed during the life of the VM", paper §III-B)
+//	TERMINATE -> close session (Ended, Terminated)
+//	REQUEST -> bookkeeping only
+//
+// Out-of-protocol events (STOP while stopped, double START) are
+// tolerated and ignored, as real clouds emit duplicates.
+func ReconstructSessions(events []Event, horizon time.Time) ([]Session, error) {
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].VMID != sorted[j].VMID {
+			return sorted[i].VMID < sorted[j].VMID
+		}
+		return sorted[i].Time.Before(sorted[j].Time)
+	})
+
+	var out []Session
+	states := map[string]*vmState{}
+	order := []string{}
+
+	open := func(st *vmState, e Event) {
+		st.running = true
+		st.cur = Session{
+			VMID: e.VMID, Resource: e.Resource, User: e.User, Project: e.Project,
+			InstanceType: e.InstanceType, Cores: e.Cores, MemoryGB: e.MemoryGB,
+			DiskGB: e.DiskGB, Start: e.Time,
+		}
+	}
+	closeSession := func(st *vmState, at time.Time, terminated bool) Session {
+		st.running = false
+		s := st.cur
+		s.End = at
+		s.Ended = true
+		s.Terminated = terminated
+		st.seq++
+		return s
+	}
+
+	for _, e := range sorted {
+		st, ok := states[e.VMID]
+		if !ok {
+			st = &vmState{}
+			states[e.VMID] = st
+			order = append(order, e.VMID)
+		}
+		switch e.Type {
+		case EvStart, EvResume:
+			if st.running {
+				continue // duplicate start
+			}
+			open(st, e)
+		case EvStop, EvPause:
+			if !st.running {
+				continue
+			}
+			out = append(out, closeSession(st, e.Time, false))
+		case EvTerminate:
+			if st.running {
+				out = append(out, closeSession(st, e.Time, true))
+			}
+		case EvResize:
+			if !st.running {
+				continue // config change while stopped takes effect at next start
+			}
+			out = append(out, closeSession(st, e.Time, false))
+			open(st, e)
+		case EvRequest:
+			// provisioning bookkeeping; no session effect
+		}
+	}
+
+	// Close still-running sessions at the horizon.
+	for _, id := range order {
+		st := states[id]
+		if st.running {
+			s := st.cur
+			if horizon.After(s.Start) {
+				s.End = horizon
+			} else {
+				s.End = s.Start
+			}
+			s.Ended = false
+			st.seq++
+			out = append(out, s)
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].VMID != out[j].VMID {
+			return out[i].VMID < out[j].VMID
+		}
+		return out[i].Start.Before(out[j].Start)
+	})
+	return out, nil
+}
+
+// StateChangeCount returns, per VM, the number of state-transition
+// events (a metric the paper lists as under consideration: "Count of
+// State Changes").
+func StateChangeCount(events []Event) map[string]int {
+	out := map[string]int{}
+	for _, e := range events {
+		switch e.Type {
+		case EvStart, EvStop, EvPause, EvResume, EvTerminate, EvResize:
+			out[e.VMID]++
+		}
+	}
+	return out
+}
+
+// TimePerState sums, per VM, the time spent running vs stopped between
+// the VM's first event and the horizon ("Time Spent per State").
+func TimePerState(events []Event, horizon time.Time) map[string]map[string]time.Duration {
+	sessions, err := ReconstructSessions(events, horizon)
+	if err != nil {
+		return nil
+	}
+	first := map[string]time.Time{}
+	for _, e := range events {
+		if t, ok := first[e.VMID]; !ok || e.Time.Before(t) {
+			first[e.VMID] = e.Time
+		}
+	}
+	out := map[string]map[string]time.Duration{}
+	running := map[string]time.Duration{}
+	for _, s := range sessions {
+		running[s.VMID] += s.Wall()
+	}
+	for vm, start := range first {
+		total := horizon.Sub(start)
+		if total < 0 {
+			total = 0
+		}
+		run := running[vm]
+		stopped := total - run
+		if stopped < 0 {
+			stopped = 0
+		}
+		out[vm] = map[string]time.Duration{"running": run, "stopped": stopped}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package jobs implements the HPC Jobs realm, XDMoD's original and
+// primary realm: metrics "gleaned largely from job accounting data"
+// (paper §I-D) — job counts, CPU hours, wall times, wait times, job
+// sizes, and XD-SU charges — with dimensions for resource, user, PI,
+// and queue. This is also the only realm replicated to the federation
+// hub in the paper's initial federation release (§II-C1).
+package jobs
+
+import (
+	"fmt"
+	"time"
+
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/su"
+	"xdmodfed/internal/warehouse"
+)
+
+// Warehouse locations for the realm.
+const (
+	SchemaName = "modw" // XDMoD's aggregate warehouse schema name
+	FactTable  = "jobfact"
+)
+
+// Fact-table column names.
+const (
+	ColJobID    = "job_id"
+	ColResource = "resource"
+	ColUser     = "username"
+	ColPI       = "pi"
+	ColQueue    = "queue"
+	ColNodes    = "nodes"
+	ColCores    = "cores"
+	ColSubmit   = "submit_time"
+	ColStart    = "start_time"
+	ColEnd      = "end_time"
+	ColWallSec  = "wall_seconds"
+	ColWaitSec  = "wait_seconds"
+	ColCPUHours = "cpu_hours"
+	ColXDSU     = "xdsu_charged"
+	ColExit     = "exit_state"
+	ColDayKey   = "day_key"   // YYYYMMDD of end time
+	ColMonthKey = "month_key" // YYYYMM of end time
+)
+
+// Def returns the jobfact table definition.
+func Def() warehouse.TableDef {
+	return warehouse.TableDef{
+		Name: FactTable,
+		Columns: []warehouse.Column{
+			{Name: ColJobID, Type: warehouse.TypeInt},
+			{Name: ColResource, Type: warehouse.TypeString},
+			{Name: ColUser, Type: warehouse.TypeString},
+			{Name: ColPI, Type: warehouse.TypeString},
+			{Name: ColQueue, Type: warehouse.TypeString},
+			{Name: ColNodes, Type: warehouse.TypeInt},
+			{Name: ColCores, Type: warehouse.TypeInt},
+			{Name: ColSubmit, Type: warehouse.TypeTime},
+			{Name: ColStart, Type: warehouse.TypeTime},
+			{Name: ColEnd, Type: warehouse.TypeTime},
+			{Name: ColWallSec, Type: warehouse.TypeFloat},
+			{Name: ColWaitSec, Type: warehouse.TypeFloat},
+			{Name: ColCPUHours, Type: warehouse.TypeFloat},
+			{Name: ColXDSU, Type: warehouse.TypeFloat},
+			{Name: ColExit, Type: warehouse.TypeString, Nullable: true},
+			{Name: ColDayKey, Type: warehouse.TypeInt},
+			{Name: ColMonthKey, Type: warehouse.TypeInt},
+		},
+		PrimaryKey: []string{ColResource, ColJobID},
+		Indexes:    [][]string{{ColResource}, {ColMonthKey}},
+	}
+}
+
+// Metric and dimension IDs.
+const (
+	MetricNumJobs      = "job_count"
+	MetricCPUHours     = "total_cpu_hours"
+	MetricWallHours    = "total_wall_hours"
+	MetricXDSU         = "total_su_charged"
+	MetricAvgWaitHours = "avg_waitduration_hours"
+	MetricAvgJobSize   = "avg_job_size"
+	MetricMaxJobSize   = "max_job_size"
+
+	DimResource = "resource"
+	DimUser     = "person"
+	DimPI       = "pi"
+	DimQueue    = "queue"
+	DimWallTime = "job_wall_time"
+	DimJobSize  = "job_size"
+)
+
+// RealmInfo describes the Jobs realm for registries and the REST API.
+func RealmInfo() realm.Info {
+	return realm.Info{
+		Name:       "Jobs",
+		Schema:     SchemaName,
+		FactTable:  FactTable,
+		TimeColumn: ColEnd,
+		Metrics: []realm.Metric{
+			{ID: MetricNumJobs, Name: "Number of Jobs Ended", Unit: "jobs", Func: warehouse.AggCount},
+			{ID: MetricCPUHours, Name: "CPU Hours: Total", Unit: "CPU Hour", Func: warehouse.AggSum, Column: ColCPUHours},
+			{ID: MetricWallHours, Name: "Wall Hours: Total", Unit: "Hour", Func: warehouse.AggSum, Column: ColWallSec, Scale: 1.0 / 3600},
+			{ID: MetricXDSU, Name: "XD SUs Charged: Total", Unit: "XD SU", Func: warehouse.AggSum, Column: ColXDSU},
+			{ID: MetricAvgWaitHours, Name: "Wait Hours: Per Job", Unit: "Hour", Func: warehouse.AggAvg, Column: ColWaitSec, Scale: 1.0 / 3600},
+			{ID: MetricAvgJobSize, Name: "Job Size: Per Job", Unit: "Core Count", Func: warehouse.AggAvg, Column: ColCores},
+			{ID: MetricMaxJobSize, Name: "Job Size: Max", Unit: "Core Count", Func: warehouse.AggMax, Column: ColCores},
+		},
+		Dimensions: []realm.Dimension{
+			{ID: DimResource, Name: "Resource", Column: ColResource},
+			{ID: DimUser, Name: "User", Column: ColUser},
+			{ID: DimPI, Name: "PI", Column: ColPI},
+			{ID: DimQueue, Name: "Queue", Column: ColQueue},
+			{ID: DimWallTime, Name: "Job Wall Time", Column: ColWallSec, Numeric: true},
+			{ID: DimJobSize, Name: "Job Size", Column: ColCores, Numeric: true},
+		},
+	}
+}
+
+// Setup creates the realm's schema and fact table in the warehouse.
+func Setup(db *warehouse.DB) (*warehouse.Table, error) {
+	s := db.EnsureSchema(SchemaName)
+	return s.EnsureTable(Def())
+}
+
+// DayKey returns the YYYYMMDD integer key of t (UTC).
+func DayKey(t time.Time) int64 {
+	t = t.UTC()
+	return int64(t.Year())*10000 + int64(t.Month())*100 + int64(t.Day())
+}
+
+// MonthKey returns the YYYYMM integer key of t (UTC).
+func MonthKey(t time.Time) int64 {
+	t = t.UTC()
+	return int64(t.Year())*100 + int64(t.Month())
+}
+
+// FactFromRecord converts a staging record into a jobfact row,
+// applying the XD SU conversion for the record's resource.
+func FactFromRecord(rec shredder.JobRecord, conv *su.Converter) (map[string]any, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	cpuh := rec.CPUHours()
+	xdsu := 0.0
+	if conv != nil {
+		v, err := conv.ToXDSU(rec.Resource, cpuh)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: %w", err)
+		}
+		xdsu = v
+	}
+	return map[string]any{
+		ColJobID:    rec.LocalJobID,
+		ColResource: rec.Resource,
+		ColUser:     rec.User,
+		ColPI:       rec.Account,
+		ColQueue:    rec.Queue,
+		ColNodes:    rec.Nodes,
+		ColCores:    rec.Cores,
+		ColSubmit:   rec.Submit,
+		ColStart:    rec.Start,
+		ColEnd:      rec.End,
+		ColWallSec:  rec.Wall().Seconds(),
+		ColWaitSec:  rec.Wait().Seconds(),
+		ColCPUHours: cpuh,
+		ColXDSU:     xdsu,
+		ColExit:     rec.ExitState,
+		ColDayKey:   DayKey(rec.End),
+		ColMonthKey: MonthKey(rec.End),
+	}, nil
+}

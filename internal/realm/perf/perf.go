@@ -1,0 +1,241 @@
+// Package perf implements the SUPReMM performance realm: job-level
+// performance data collected from system hardware counters (paper
+// §I-D, §I-E). Each job carries timeseries of nine metrics over its
+// lifetime plus its job script — data the paper calls
+// "storage-intensive and quite detailed" (§II-C5). Because replicating
+// that detail "runs counter to the goal of federation", only the
+// per-job summary table is marked for federation; the raw timeseries
+// and scripts stay on the satellite.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/warehouse"
+)
+
+// Warehouse locations. TimeseriesTable and ScriptTable hold the
+// detailed satellite-only data; SummaryTable is the federated form.
+const (
+	SchemaName      = "modw_supremm"
+	TimeseriesTable = "job_timeseries"
+	ScriptTable     = "job_scripts"
+	SummaryTable    = "job_summary"
+)
+
+// MetricNames are the nine per-job timeseries metrics the paper
+// enumerates examples of (CPU user, memory bandwidth, ...).
+var MetricNames = []string{
+	"cpu_user",
+	"cpu_idle",
+	"memory_used",
+	"memory_bandwidth",
+	"io_read_rate",
+	"io_write_rate",
+	"net_rx_rate",
+	"net_tx_rate",
+	"flops",
+}
+
+// NumMetrics is the number of per-job timeseries metrics.
+const NumMetrics = 9
+
+// Sample is one timeseries point for one job: the nine metric values
+// at one offset into the job's life.
+type Sample struct {
+	JobID    int64
+	Resource string
+	Offset   time.Duration // since job start
+	Values   [NumMetrics]float64
+}
+
+// JobTimeseries is the full per-job detail: samples plus job script.
+type JobTimeseries struct {
+	JobID    int64
+	Resource string
+	Start    time.Time
+	Samples  []Sample
+	Script   string
+}
+
+// Summary is the compact per-job form that federates: average and peak
+// of each metric over the job's life.
+type Summary struct {
+	JobID    int64
+	Resource string
+	Start    time.Time
+	Avg      [NumMetrics]float64
+	Peak     [NumMetrics]float64
+	NSamples int64
+}
+
+// Summarize reduces a job's timeseries to its summary.
+func Summarize(ts JobTimeseries) (Summary, error) {
+	if ts.JobID <= 0 || ts.Resource == "" {
+		return Summary{}, fmt.Errorf("perf: timeseries missing job identity")
+	}
+	if len(ts.Samples) == 0 {
+		return Summary{}, fmt.Errorf("perf: job %d has no samples", ts.JobID)
+	}
+	sum := Summary{JobID: ts.JobID, Resource: ts.Resource, Start: ts.Start, NSamples: int64(len(ts.Samples))}
+	for i := range sum.Peak {
+		sum.Peak[i] = math.Inf(-1)
+	}
+	for _, s := range ts.Samples {
+		for i, v := range s.Values {
+			sum.Avg[i] += v
+			if v > sum.Peak[i] {
+				sum.Peak[i] = v
+			}
+		}
+	}
+	for i := range sum.Avg {
+		sum.Avg[i] /= float64(len(ts.Samples))
+	}
+	return sum, nil
+}
+
+// TimeseriesDef returns the raw timeseries table definition.
+func TimeseriesDef() warehouse.TableDef {
+	cols := []warehouse.Column{
+		{Name: "job_id", Type: warehouse.TypeInt},
+		{Name: "resource", Type: warehouse.TypeString},
+		{Name: "offset_sec", Type: warehouse.TypeFloat},
+	}
+	for _, m := range MetricNames {
+		cols = append(cols, warehouse.Column{Name: m, Type: warehouse.TypeFloat})
+	}
+	return warehouse.TableDef{
+		Name:    TimeseriesTable,
+		Columns: cols,
+		Indexes: [][]string{{"resource", "job_id"}},
+	}
+}
+
+// ScriptDef returns the job-script table definition.
+func ScriptDef() warehouse.TableDef {
+	return warehouse.TableDef{
+		Name: ScriptTable,
+		Columns: []warehouse.Column{
+			{Name: "job_id", Type: warehouse.TypeInt},
+			{Name: "resource", Type: warehouse.TypeString},
+			{Name: "script", Type: warehouse.TypeString},
+		},
+		PrimaryKey: []string{"resource", "job_id"},
+	}
+}
+
+// SummaryDef returns the federated summary table definition.
+func SummaryDef() warehouse.TableDef {
+	cols := []warehouse.Column{
+		{Name: "job_id", Type: warehouse.TypeInt},
+		{Name: "resource", Type: warehouse.TypeString},
+		{Name: "start_time", Type: warehouse.TypeTime},
+		{Name: "n_samples", Type: warehouse.TypeInt},
+		{Name: "month_key", Type: warehouse.TypeInt},
+	}
+	for _, m := range MetricNames {
+		cols = append(cols,
+			warehouse.Column{Name: "avg_" + m, Type: warehouse.TypeFloat},
+			warehouse.Column{Name: "peak_" + m, Type: warehouse.TypeFloat},
+		)
+	}
+	return warehouse.TableDef{
+		Name:       SummaryTable,
+		Columns:    cols,
+		PrimaryKey: []string{"resource", "job_id"},
+		Indexes:    [][]string{{"month_key"}},
+	}
+}
+
+// Setup creates the realm's schema and all three tables.
+func Setup(db *warehouse.DB) error {
+	s := db.EnsureSchema(SchemaName)
+	for _, def := range []warehouse.TableDef{TimeseriesDef(), ScriptDef(), SummaryDef()} {
+		if _, err := s.EnsureTable(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoreJob writes a job's detailed timeseries, script and derived
+// summary into the warehouse.
+func StoreJob(db *warehouse.DB, ts JobTimeseries) error {
+	sum, err := Summarize(ts)
+	if err != nil {
+		return err
+	}
+	for _, s := range ts.Samples {
+		row := map[string]any{
+			"job_id":     s.JobID,
+			"resource":   s.Resource,
+			"offset_sec": s.Offset.Seconds(),
+		}
+		for i, m := range MetricNames {
+			row[m] = s.Values[i]
+		}
+		if err := db.Insert(SchemaName, TimeseriesTable, row); err != nil {
+			return err
+		}
+	}
+	if ts.Script != "" {
+		err := db.Upsert(SchemaName, ScriptTable, map[string]any{
+			"job_id": ts.JobID, "resource": ts.Resource, "script": ts.Script,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return StoreSummary(db, sum)
+}
+
+// StoreSummary writes one job summary row.
+func StoreSummary(db *warehouse.DB, sum Summary) error {
+	row := map[string]any{
+		"job_id":     sum.JobID,
+		"resource":   sum.Resource,
+		"start_time": sum.Start,
+		"n_samples":  sum.NSamples,
+		"month_key":  int64(sum.Start.UTC().Year())*100 + int64(sum.Start.UTC().Month()),
+	}
+	for i, m := range MetricNames {
+		row["avg_"+m] = sum.Avg[i]
+		row["peak_"+m] = sum.Peak[i]
+	}
+	return db.Upsert(SchemaName, SummaryTable, row)
+}
+
+// RealmInfo describes the SUPReMM realm over the summary table.
+func RealmInfo() realm.Info {
+	info := realm.Info{
+		Name:       "SUPReMM",
+		Schema:     SchemaName,
+		FactTable:  SummaryTable,
+		TimeColumn: "start_time",
+		Dimensions: []realm.Dimension{
+			{ID: "resource", Name: "Resource", Column: "resource"},
+		},
+	}
+	info.Metrics = append(info.Metrics, realm.Metric{
+		ID: "job_count", Name: "Number of Jobs Profiled", Unit: "jobs", Func: warehouse.AggCount,
+	})
+	for _, m := range MetricNames {
+		info.Metrics = append(info.Metrics,
+			realm.Metric{ID: "avg_" + m, Name: "Avg " + m, Unit: "value", Func: warehouse.AggAvg, Column: "avg_" + m},
+			realm.Metric{ID: "peak_" + m, Name: "Peak " + m, Unit: "value", Func: warehouse.AggMax, Column: "peak_" + m},
+		)
+	}
+	return info
+}
+
+// FederatedTables lists the realm tables that replicate to a hub: only
+// the summary (paper §II-C5: "we plan to replicate summarized
+// performance data to the federated hub database").
+func FederatedTables() []string { return []string{SummaryTable} }
+
+// SatelliteOnlyTables lists the detail tables that never federate.
+func SatelliteOnlyTables() []string { return []string{TimeseriesTable, ScriptTable} }

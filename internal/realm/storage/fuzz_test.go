@@ -1,0 +1,28 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseJSON: the storage realm's JSON ingest faces arbitrary
+// third-party documents; it must never panic, and anything it accepts
+// must satisfy the schema.
+func FuzzParseJSON(f *testing.F) {
+	f.Add(`[{"resource":"fs","resource_type":"scratch","mountpoint":"/s","user":"u","pi":"p","dt":"2017-01-01T00:00:00Z","file_count":1,"logical_usage":1,"physical_usage":1,"soft_threshold":0,"hard_threshold":0}]`)
+	f.Add(`[]`)
+	f.Add(`{`)
+	f.Add(`[{"resource":""}]`)
+	f.Add(`[{"resource":"x","file_count":-5}]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		snaps, err := ParseJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, s := range snaps {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("accepted invalid snapshot: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package replicate
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"xdmodfed/internal/warehouse"
+)
+
+// Local (in-process) replication and loose (dump/ship/load)
+// federation. Tight network replication lives in net.go.
+
+// Pump copies binlog events from src (starting after fromLSN) through
+// the rewriter into dst, returning the new position. It drains
+// whatever is currently in the log without blocking; call repeatedly
+// or use a Sender for continuous replication.
+func Pump(src *warehouse.DB, dst *warehouse.DB, rw *Rewriter, fromLSN uint64) (uint64, error) {
+	pos := fromLSN
+	for {
+		evs, err := src.Binlog().ReadFrom(pos, 1024)
+		if err != nil {
+			return pos, err
+		}
+		if len(evs) == 0 {
+			return pos, nil
+		}
+		out, upTo := rw.ProcessBatch(evs)
+		for _, ev := range out {
+			if err := dst.Apply(ev); err != nil {
+				return pos, fmt.Errorf("replicate: apply %s %s.%s: %w", ev.Kind, ev.Schema, ev.Table, err)
+			}
+		}
+		pos = upTo
+	}
+}
+
+// PumpUntil keeps pumping, blocking for new events, until the context
+// is cancelled or the source log closes. It reports positions through
+// commit after each applied batch.
+func PumpUntil(ctx context.Context, src, dst *warehouse.DB, rw *Rewriter, fromLSN uint64,
+	commit func(uint64) error) error {
+	pos := fromLSN
+	for {
+		evs, err := src.Binlog().Wait(ctx, pos, 1024)
+		if err != nil {
+			if err == warehouse.ErrLogClosed || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		out, upTo := rw.ProcessBatch(evs)
+		for _, ev := range out {
+			if err := dst.Apply(ev); err != nil {
+				return fmt.Errorf("replicate: apply: %w", err)
+			}
+		}
+		pos = upTo
+		if commit != nil {
+			if err := commit(pos); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Dump writes a loose-federation dump of the named schemas (all when
+// nil) of the satellite database: the "log files or database dumps
+// [that] could be periodically shipped to the federation hub" of paper
+// §II-C2.
+func Dump(src *warehouse.DB, schemas []string, w io.Writer) error {
+	return src.SnapshotSchemas(w, schemas)
+}
+
+// Load batch-loads a loose-federation dump into the hub, landing every
+// dumped schema in the instance's hub schema. Tables already present
+// are replaced (periodic re-ships supersede earlier ones).
+func Load(hub *warehouse.DB, instance string, r io.Reader) error {
+	// A dump may contain several satellite schemas; they all collapse
+	// into fed_<instance>. RestoreRenamed needs the rename per source
+	// schema name, which we cannot know up front — so restore into a
+	// scratch DB first, then copy tables across. This also keeps a
+	// malformed dump from corrupting the hub.
+	scratch := warehouse.OpenWithoutBinlog("loose-load")
+	if _, err := scratch.Restore(r); err != nil {
+		return err
+	}
+	target := hub.EnsureSchema(HubSchema(instance))
+	for _, sn := range scratch.Schemas() {
+		ss := scratch.Schema(sn)
+		for _, tn := range ss.Tables() {
+			st := ss.Table(tn)
+			def := st.Def()
+			var rows [][]any
+			scratch.View(func() error {
+				st.Scan(func(r warehouse.Row) bool {
+					rows = append(rows, r.Values())
+					return true
+				})
+				return nil
+			})
+			tab, err := target.EnsureTable(def)
+			if err != nil {
+				return fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
+			}
+			if err := hub.Do(func() error {
+				tab.Truncate()
+				for _, row := range rows {
+					if err := tab.InsertRow(row); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
+			}
+		}
+	}
+	return nil
+}

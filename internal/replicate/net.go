@@ -1,0 +1,278 @@
+package replicate
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"xdmodfed/internal/warehouse"
+)
+
+// Tight federation: the satellite streams binlog events to the hub
+// over TCP as they are committed ("live replication", paper §II-A).
+// Protocol (gob-framed):
+//
+//	satellite -> hub:  hello{instance, version}
+//	hub -> satellite:  helloAck{ok, err, resumeLSN}
+//	satellite -> hub:  batch{upTo, events}   (repeated)
+//	hub -> satellite:  ack{upTo}             (one per batch)
+//
+// The hub enforces the paper's same-version requirement ("each
+// individual XDMoD instance must run the same version of XDMoD",
+// §II-A) at handshake time and tells the satellite where to resume
+// from, using its durable per-instance commit position.
+
+type hello struct {
+	Instance string
+	Version  string
+}
+
+type helloAck struct {
+	OK     bool
+	Err    string
+	Resume uint64
+}
+
+type batch struct {
+	UpTo   uint64
+	Events []warehouse.Event
+}
+
+type ack struct {
+	UpTo uint64
+}
+
+// Sink is the hub-side handler for replicated event streams; the
+// federation core provides one.
+type Sink interface {
+	// Resume returns the position after which instance should resume.
+	Resume(instance string) (uint64, error)
+	// ApplyBatch applies events from instance and durably records upTo
+	// as its new commit position.
+	ApplyBatch(instance string, upTo uint64, events []warehouse.Event) error
+}
+
+// Receiver accepts tight-replication connections on the hub.
+type Receiver struct {
+	Version string
+	Sink    Sink
+	// Authorize, when set, vets an instance at handshake (the
+	// federation core uses it to restrict membership to registered
+	// instances).
+	Authorize func(instance string) error
+
+	ln     net.Listener
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
+// It returns the bound address.
+func (r *Receiver) Listen(addr string) (string, error) {
+	if r.Sink == nil {
+		return "", fmt.Errorf("replicate: receiver has no sink")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (r *Receiver) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			r.serve(conn)
+		}()
+	}
+}
+
+func (r *Receiver) serve(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	if h.Version != r.Version {
+		enc.Encode(helloAck{OK: false, Err: fmt.Sprintf(
+			"version mismatch: hub runs %q, instance %q runs %q (each instance must run the same version)",
+			r.Version, h.Instance, h.Version)})
+		return
+	}
+	if r.Authorize != nil {
+		if err := r.Authorize(h.Instance); err != nil {
+			enc.Encode(helloAck{OK: false, Err: err.Error()})
+			return
+		}
+	}
+	resume, err := r.Sink.Resume(h.Instance)
+	if err != nil {
+		enc.Encode(helloAck{OK: false, Err: err.Error()})
+		return
+	}
+	if err := enc.Encode(helloAck{OK: true, Resume: resume}); err != nil {
+		return
+	}
+	for {
+		var b batch
+		if err := dec.Decode(&b); err != nil {
+			return // connection closed
+		}
+		if err := r.Sink.ApplyBatch(h.Instance, b.UpTo, b.Events); err != nil {
+			return
+		}
+		if err := enc.Encode(ack{UpTo: b.UpTo}); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the receiver and waits for connection handlers.
+func (r *Receiver) Close() {
+	r.mu.Lock()
+	if !r.closed && r.ln != nil {
+		r.closed = true
+		r.ln.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// SenderStats reports a sender's progress.
+type SenderStats struct {
+	SentBatches int
+	SentEvents  int
+	Position    uint64
+}
+
+// Sender streams one satellite's binlog to one hub (one Sender per
+// federation route; a satellite replicating to multiple hubs runs
+// several senders, paper §II-C4).
+type Sender struct {
+	Instance  string
+	Version   string
+	DB        *warehouse.DB
+	Rewriter  *Rewriter
+	BatchSize int // default 512
+
+	mu    sync.Mutex
+	stats SenderStats
+}
+
+// Stats returns a snapshot of the sender's progress.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ErrHandshakeRejected reports that the hub refused the connection
+// (version mismatch or unauthorized instance).
+var ErrHandshakeRejected = errors.New("replicate: handshake rejected")
+
+// Run connects to the hub and streams until the context is cancelled,
+// the binlog closes, or the connection fails. It returns nil on clean
+// shutdown. Callers wanting reconnection wrap Run in a retry loop
+// (see RunWithRetry).
+func (s *Sender) Run(ctx context.Context, hubAddr string) error {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", hubAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Unblock protocol reads/writes when the context is cancelled.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{Instance: s.Instance, Version: s.Version}); err != nil {
+		return err
+	}
+	var ha helloAck
+	if err := dec.Decode(&ha); err != nil {
+		return err
+	}
+	if !ha.OK {
+		return fmt.Errorf("%w: %s", ErrHandshakeRejected, ha.Err)
+	}
+	pos := ha.Resume
+	batchSize := s.BatchSize
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	for {
+		evs, err := s.DB.Binlog().Wait(ctx, pos, batchSize)
+		if err != nil {
+			if err == warehouse.ErrLogClosed || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		out, upTo := s.Rewriter.ProcessBatch(evs)
+		if err := enc.Encode(batch{UpTo: upTo, Events: out}); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		var a ack
+		if err := dec.Decode(&a); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if a.UpTo != upTo {
+			return fmt.Errorf("replicate: hub acked %d, expected %d", a.UpTo, upTo)
+		}
+		pos = upTo
+		s.mu.Lock()
+		s.stats.SentBatches++
+		s.stats.SentEvents += len(out)
+		s.stats.Position = pos
+		s.mu.Unlock()
+	}
+}
+
+// RunWithRetry runs the sender, reconnecting with backoff on transient
+// failures, until the context is cancelled or the handshake is
+// permanently rejected.
+func (s *Sender) RunWithRetry(ctx context.Context, hubAddr string, backoff time.Duration) error {
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for {
+		err := s.Run(ctx, hubAddr)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrHandshakeRejected):
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+	}
+}

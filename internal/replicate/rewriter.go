@@ -1,0 +1,150 @@
+// Package replicate implements the database replication layer of
+// XDMoD federation — the role Continuent's Tungsten Replicator plays
+// in the paper (§II-C1): it "reads binary logs on the XDMoD instance
+// databases, copying their tables into new, uniquely named schemas
+// (one schema per XDMoD instance) on the XDMoD federation hub's
+// database", supporting "renaming the data schema during transfer, and
+// selective replication of data from satellite instances".
+//
+// Two coupling modes are provided (paper §II-C2): tight federation
+// streams binlog events live over TCP; loose federation ships database
+// dumps that the hub batch-loads. Both land satellite data verbatim in
+// per-instance hub schemas; the hub never alters replicated raw data.
+package replicate
+
+import (
+	"fmt"
+
+	"xdmodfed/internal/warehouse"
+)
+
+// HubSchemaPrefix prefixes per-instance schemas on the hub: satellite
+// "ccr" lands in hub schema "fed_ccr".
+const HubSchemaPrefix = "fed_"
+
+// HubSchema names the hub schema for an instance.
+func HubSchema(instance string) string { return HubSchemaPrefix + instance }
+
+// Filter selects which binlog events replicate. The zero Filter passes
+// everything.
+type Filter struct {
+	// IncludeTables, when non-nil, allows only these table names (the
+	// paper's initial release replicates only the HPC Jobs realm and
+	// excludes user-profile data).
+	IncludeTables map[string]bool
+	// ExcludeResources, when non-nil, drops row events whose fact row
+	// belongs to one of these resources (paper §II-C4: selectively
+	// exclude sensitive resources from federation).
+	ExcludeResources map[string]bool
+	// ResourceColumn names the column checked by ExcludeResources
+	// (default "resource").
+	ResourceColumn string
+}
+
+// Rewriter statefully transforms a satellite's binlog event stream for
+// application on a hub: it renames schemas to the instance's hub
+// schema and applies the filter. It tracks table definitions from DDL
+// events so row-level resource filtering can find the resource column
+// in positional rows.
+type Rewriter struct {
+	instance string
+	filter   Filter
+	resCol   map[string]int // "schema.table" -> resource column index (-1 none)
+}
+
+// NewRewriter creates a rewriter for one satellite instance.
+func NewRewriter(instance string, f Filter) *Rewriter {
+	if f.ResourceColumn == "" {
+		f.ResourceColumn = "resource"
+	}
+	return &Rewriter{instance: instance, filter: f, resCol: make(map[string]int)}
+}
+
+// Process transforms one event. It returns the rewritten event and
+// whether it should be sent; filtered events return false. DDL events
+// for filtered tables are dropped; schema DDL is passed (collapsed to
+// the single hub schema, which the applier creates idempotently).
+func (rw *Rewriter) Process(ev warehouse.Event) (warehouse.Event, bool) {
+	key := ev.Schema + "." + ev.Table
+	switch ev.Kind {
+	case warehouse.EvCreateSchema, warehouse.EvDropSchema:
+		// All satellite schemas collapse into one hub schema; emit a
+		// create for it (drops are not propagated — the hub retains
+		// replicated data as backup, paper §II-E4).
+		if ev.Kind == warehouse.EvDropSchema {
+			return warehouse.Event{}, false
+		}
+		ev.Schema = HubSchema(rw.instance)
+		return ev, true
+	case warehouse.EvCreateTable:
+		if ev.Def != nil {
+			idx := -1
+			for i, c := range ev.Def.Columns {
+				if c.Name == rw.filter.ResourceColumn {
+					idx = i
+					break
+				}
+			}
+			rw.resCol[key] = idx
+		}
+		if !rw.tableAllowed(ev.Table) {
+			return warehouse.Event{}, false
+		}
+		ev.Schema = HubSchema(rw.instance)
+		return ev, true
+	}
+	if !rw.tableAllowed(ev.Table) {
+		return warehouse.Event{}, false
+	}
+	if rw.filter.ExcludeResources != nil {
+		if idx, ok := rw.resCol[key]; ok && idx >= 0 {
+			row := ev.Row
+			if row == nil {
+				row = ev.Old
+			}
+			if idx < len(row) {
+				if res, ok := row[idx].(string); ok && rw.filter.ExcludeResources[res] {
+					return warehouse.Event{}, false
+				}
+			}
+		}
+	}
+	ev.Schema = HubSchema(rw.instance)
+	return ev, true
+}
+
+func (rw *Rewriter) tableAllowed(table string) bool {
+	if rw.filter.IncludeTables == nil {
+		return true
+	}
+	return rw.filter.IncludeTables[table]
+}
+
+// ProcessBatch rewrites a slice of events, returning the survivors and
+// the highest input LSN seen (so positions advance past filtered
+// events too).
+func (rw *Rewriter) ProcessBatch(evs []warehouse.Event) (out []warehouse.Event, upTo uint64) {
+	for _, ev := range evs {
+		if ev.LSN > upTo {
+			upTo = ev.LSN
+		}
+		if r, ok := rw.Process(ev); ok {
+			out = append(out, r)
+		}
+	}
+	return out, upTo
+}
+
+// JobsOnlyFilter returns the paper's initial-release filter: only the
+// HPC Jobs realm fact table replicates.
+func JobsOnlyFilter(jobsFactTable string) Filter {
+	return Filter{IncludeTables: map[string]bool{jobsFactTable: true}}
+}
+
+// Validate checks filter consistency.
+func (f Filter) Validate() error {
+	if f.IncludeTables != nil && len(f.IncludeTables) == 0 {
+		return fmt.Errorf("replicate: filter includes no tables; nothing would replicate")
+	}
+	return nil
+}

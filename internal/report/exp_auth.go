@@ -1,0 +1,189 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+)
+
+// RunFig4 regenerates Figure 4: two methods of user authentication on
+// one XDMoD instance. User group R authenticates directly with local
+// XDMoD passwords; user group S authenticates via web-browser SSO
+// against an institutional identity provider.
+func RunFig4(opts Options) (*Result, error) {
+	cfg := config.InstanceConfig{Name: "xdmod-instance", Version: core.Version}
+	in, err := core.NewInstance(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	idp := auth.NewIdentityProvider("https://idp.university.edu/shibboleth", "campus-secret")
+	if err := in.Auth.AddSSOSource(auth.SSOSource{
+		Name: "shibboleth", Issuer: idp.Issuer, Secret: "campus-secret", Metadata: true,
+	}); err != nil {
+		return nil, err
+	}
+
+	groupR := []string{"r_alice", "r_bob", "r_carol"}
+	groupS := []string{"s_dana", "s_eli", "s_fen"}
+	for _, u := range groupR {
+		if err := in.Auth.Vault().Create(auth.User{Username: u, Role: auth.RoleUser}, "password-"+u); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range groupS {
+		idp.Register(u, "idp-"+u, u+"@university.edu", strings.ToUpper(u[:3]), map[string]string{"department": "Physics"})
+	}
+
+	var b strings.Builder
+	b.WriteString("Authentication paths on one SSO-enabled instance:\n\n")
+	okLocal, okSSO := 0, 0
+	for _, u := range groupR {
+		sess, err := in.Auth.LoginLocal(u, "password-"+u)
+		status := "DENIED"
+		if err == nil {
+			status = "signed in via " + sess.Via
+			okLocal++
+		}
+		fmt.Fprintf(&b, "  group R  %-8s local password  -> %s\n", u, status)
+	}
+	for _, u := range groupS {
+		assertion, err := idp.Authenticate(u, "idp-"+u, time.Now())
+		if err != nil {
+			return nil, err
+		}
+		sess, err := in.Auth.LoginSSO(assertion)
+		status := "DENIED"
+		if err == nil {
+			status = "signed in via " + sess.Via
+			okSSO++
+		}
+		fmt.Fprintf(&b, "  group S  %-8s SSO assertion   -> %s\n", u, status)
+	}
+	// Negative paths.
+	_, errWrongPw := in.Auth.LoginLocal(groupR[0], "wrong")
+	badAssertion, _ := idp.Authenticate(groupS[0], "idp-"+groupS[0], time.Now())
+	badAssertion.Subject = "superuser"
+	_, errTampered := in.Auth.LoginSSO(badAssertion)
+	fmt.Fprintf(&b, "\n  wrong local password      -> rejected: %v\n", errWrongPw != nil)
+	fmt.Fprintf(&b, "  tampered SSO assertion    -> rejected: %v\n", errTampered != nil)
+
+	provisioned, _ := in.Auth.Vault().Get(groupS[0])
+	checks := []Check{
+		check("all group R users sign in locally", okLocal == len(groupR), "%d/%d", okLocal, len(groupR)),
+		check("all group S users sign in via SSO", okSSO == len(groupS), "%d/%d", okSSO, len(groupS)),
+		check("SSO users auto-provisioned with provider metadata",
+			provisioned.SSOManaged && provisioned.Email == groupS[0]+"@university.edu",
+			"%+v", provisioned),
+		check("wrong password rejected", errWrongPw != nil, ""),
+		check("tampered assertion rejected", errTampered != nil, ""),
+	}
+	return &Result{ID: "fig4", Title: "Local vs SSO authentication (Figure 4)",
+		Text: b.String(), Checks: checks}, nil
+}
+
+// RunFig5 regenerates Figure 5: user authentication across an XDMoD
+// federation. Users of instances X and Z authenticate directly on
+// their satellites; instance Y's users and the federated users use
+// SSO; the hub acts in identity-provider mode for its federated users
+// (paper §II-D3).
+func RunFig5(opts Options) (*Result, error) {
+	// Hub doubles as the federation's identity provider.
+	hub, err := core.NewHub(config.InstanceConfig{Name: "federated-hub", Version: core.Version})
+	if err != nil {
+		return nil, err
+	}
+	hubIdP := auth.NewIdentityProvider("https://hub.federation.org/idp", "federation-secret")
+	if err := hub.Auth.AddSSOSource(auth.SSOSource{
+		Name: "federation-idp", Issuer: hubIdP.Issuer, Secret: "federation-secret",
+	}); err != nil {
+		return nil, err
+	}
+
+	// Institutional IdP used by instance Y.
+	campusIdP := auth.NewIdentityProvider("https://idp.campus.edu/shibboleth", "campus-secret")
+
+	mk := func(name string) (*core.Instance, error) {
+		return core.NewInstance(config.InstanceConfig{Name: name, Version: core.Version})
+	}
+	instX, err := mk("instanceX")
+	if err != nil {
+		return nil, err
+	}
+	instY, err := mk("instanceY")
+	if err != nil {
+		return nil, err
+	}
+	if err := instY.Auth.AddSSOSource(auth.SSOSource{
+		Name: "shibboleth", Issuer: campusIdP.Issuer, Secret: "campus-secret", Metadata: true,
+	}); err != nil {
+		return nil, err
+	}
+	instZ, err := mk("instanceZ")
+	if err != nil {
+		return nil, err
+	}
+
+	var b strings.Builder
+	b.WriteString("Authentication across the federation:\n\n")
+	results := map[string]bool{}
+
+	// X and Z users: direct local sign-on to their satellites.
+	for _, pair := range []struct {
+		in   *core.Instance
+		user string
+	}{{instX, "xuser"}, {instZ, "zuser"}} {
+		pair.in.Auth.Vault().Create(auth.User{Username: pair.user, Role: auth.RoleUser}, "local-"+pair.user)
+		_, err := pair.in.Auth.LoginLocal(pair.user, "local-"+pair.user)
+		results[pair.user+" local->"+pair.in.Config.Name] = err == nil
+		fmt.Fprintf(&b, "  %-10s -> %-14s direct local password: ok=%v\n", pair.user, pair.in.Config.Name, err == nil)
+	}
+
+	// Y user: SSO through the campus IdP into instance Y.
+	campusIdP.Register("yuser", "pw", "yuser@campus.edu", "Y User", nil)
+	ya, err := campusIdP.Authenticate("yuser", "pw", time.Now())
+	if err != nil {
+		return nil, err
+	}
+	_, err = instY.Auth.LoginSSO(ya)
+	results["yuser sso->instanceY"] = err == nil
+	fmt.Fprintf(&b, "  %-10s -> %-14s campus SSO:            ok=%v\n", "yuser", "instanceY", err == nil)
+
+	// Federated users: SSO into the hub via the federation IdP.
+	okFed := 0
+	for _, u := range []string{"fedadmin", "fedanalyst"} {
+		hubIdP.Register(u, "pw-"+u, u+"@federation.org", u, nil)
+		fa, err := hubIdP.Authenticate(u, "pw-"+u, time.Now())
+		if err != nil {
+			return nil, err
+		}
+		_, err = hub.Auth.LoginSSO(fa)
+		if err == nil {
+			okFed++
+		}
+		results[u+" sso->hub"] = err == nil
+		fmt.Fprintf(&b, "  %-10s -> %-14s federation SSO (hub as IdP): ok=%v\n", u, "federated-hub", err == nil)
+	}
+
+	// Cross-domain rejection: the campus assertion must not grant hub
+	// access (the hub does not trust the campus IdP in this setup).
+	_, errCross := hub.Auth.LoginSSO(ya)
+	fmt.Fprintf(&b, "\n  campus assertion presented to hub -> rejected: %v\n", errCross != nil)
+
+	allOK := true
+	for _, ok := range results {
+		allOK = allOK && ok
+	}
+	checks := []Check{
+		check("every legitimate path signs in", allOK, "%v", results),
+		check("hub authenticates federated users in IdP mode", okFed == 2, "%d/2", okFed),
+		check("assertions do not cross trust domains", errCross != nil, ""),
+	}
+	_ = opts
+	return &Result{ID: "fig5", Title: "Authentication across a federation (Figure 5)",
+		Text: b.String(), Checks: checks}, nil
+}

@@ -1,0 +1,203 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/chart"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/realm/cloud"
+	"xdmodfed/internal/realm/storage"
+	"xdmodfed/internal/warehouse"
+	"xdmodfed/internal/workload"
+)
+
+func ccrConfig() config.InstanceConfig {
+	return config.InstanceConfig{
+		Name:    "ccr-xdmod",
+		Version: core.Version,
+		Resources: []config.ResourceConfig{
+			{Name: "lakeeffect", Type: "cloud"},
+			{Name: "isilon-home", Type: "storage"},
+			{Name: "isilon-projects", Type: "storage"},
+			{Name: "gpfs-scratch", Type: "storage"},
+		},
+		AggregationLevels: []config.AggregationLevels{
+			config.HubWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+		},
+	}
+}
+
+// RunFig6 regenerates Figure 6: "CCR's file count (blue circles) and
+// physical storage usage (red diamonds), by month of 2017", computed
+// by the Storage realm over synthesized monthly Isilon/GPFS snapshots.
+func RunFig6(opts Options) (*Result, error) {
+	in, err := core.NewInstance(ccrConfig())
+	if err != nil {
+		return nil, err
+	}
+	users := opts.Scale / 5
+	if users < 5 {
+		users = 5
+	}
+	snaps := workload.CCRStorage2017(users, opts.Seed)
+	st, err := in.Pipeline.IngestStorageSnapshots(snaps)
+	if err != nil {
+		return nil, err
+	}
+
+	fileSeries, err := in.Query("Storage", aggregate.Request{
+		MetricID: storage.MetricFileCount, Period: aggregate.Month,
+		StartKey: 201701, EndKey: 201712,
+	})
+	if err != nil {
+		return nil, err
+	}
+	physSeries, err := in.Query("Storage", aggregate.Request{
+		MetricID: storage.MetricPhysicalUsage, Period: aggregate.Month,
+		StartKey: 201701, EndKey: 201712,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(fileSeries) != 1 || len(physSeries) != 1 {
+		return nil, fmt.Errorf("report: fig6 expected one series per metric")
+	}
+
+	// Scale physical usage to TB for a readable joint chart, as the
+	// figure plots both on one canvas.
+	phys := physSeries[0]
+	physTB := aggregate.Series{Group: "physical usage (TB)", Aggregate: phys.Aggregate / 1e12, N: phys.N}
+	for _, p := range phys.Points {
+		physTB.Points = append(physTB.Points, aggregate.Point{PeriodKey: p.PeriodKey, Value: p.Value / 1e12})
+	}
+	files := fileSeries[0]
+	filesM := aggregate.Series{Group: "file count (millions)", Aggregate: files.Aggregate / 1e6, N: files.N}
+	for _, p := range files.Points {
+		filesM.Points = append(filesM.Points, aggregate.Point{PeriodKey: p.PeriodKey, Value: p.Value / 1e6})
+	}
+
+	ch := chart.New("CCR Storage: File Count and Physical Usage",
+		"By month of 2017 (synthesized snapshots)", "see legend",
+		aggregate.Month, []aggregate.Series{filesM, physTB})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ingested %d storage snapshots (%d users, 3 filesystems; %s).\n\n", st.Ingested, users, st)
+	b.WriteString(ch.Text())
+
+	first := func(s aggregate.Series) float64 { return s.Points[0].Value }
+	last := func(s aggregate.Series) float64 { return s.Points[len(s.Points)-1].Value }
+	checks := []Check{
+		check("12 monthly points per metric",
+			len(files.Points) == 12 && len(phys.Points) == 12,
+			"files=%d phys=%d", len(files.Points), len(phys.Points)),
+		check("file count grows through 2017 (Dec > Jan)",
+			last(files) > first(files), "Jan=%.0f Dec=%.0f", first(files), last(files)),
+		check("physical usage grows through 2017 (Dec > Jan)",
+			last(phys) > first(phys), "Jan=%.0f Dec=%.0f", first(phys), last(phys)),
+	}
+	return &Result{ID: "fig6", Title: "CCR storage metrics by month of 2017 (Figure 6)",
+		Text: b.String(), Charts: []*chart.Chart{ch}, Checks: checks}, nil
+}
+
+// RunFig7 regenerates Figure 7: "average core hours used per VM, by VM
+// memory size, CCR research cloud, 2017", with memory aggregated into
+// the paper's bins (<1, 1-2, 2-4, 4-8 GB). Average-per-VM is computed
+// as total core hours per bin/month divided by distinct VMs active in
+// that bin/month.
+func RunFig7(opts Options) (*Result, error) {
+	in, err := core.NewInstance(ccrConfig())
+	if err != nil {
+		return nil, err
+	}
+	vms := opts.Scale * 3
+	if vms < 40 {
+		vms = 40
+	}
+	events := workload.CCRCloud2017(vms, opts.Seed)
+	st, err := in.Pipeline.IngestCloudEvents(events, workload.CloudHorizon2017)
+	if err != nil {
+		return nil, err
+	}
+
+	// Core hours per (memory bin, month) from the aggregation tables...
+	coreSeries, err := in.Query("Cloud", aggregate.Request{
+		MetricID: cloud.MetricCoreHours, GroupBy: cloud.DimVMSizeMem,
+		Period: aggregate.Month, StartKey: 201701, EndKey: 201712,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// ...and distinct VMs per (bin, month) from the session facts (the
+	// Job-Viewer-style drill into raw records).
+	levels := config.CloudVMMemory()
+	type cell struct {
+		bin   string
+		month int64
+	}
+	vmsIn := map[cell]map[string]bool{}
+	sessTab, err := in.DB.TableIn(cloud.SchemaName, cloud.SessionTable)
+	if err != nil {
+		return nil, err
+	}
+	in.DB.View(func() error {
+		sessTab.Scan(func(r warehouse.Row) bool {
+			c := cell{levels.BucketFor(r.Float("memory_gb")), r.Int("month_key")}
+			if vmsIn[c] == nil {
+				vmsIn[c] = map[string]bool{}
+			}
+			vmsIn[c][r.String("vm_id")] = true
+			return true
+		})
+		return nil
+	})
+
+	var chartSeries []aggregate.Series
+	yearCore := map[string]float64{}
+	yearVMs := map[string]map[string]bool{}
+	for _, s := range coreSeries {
+		out := aggregate.Series{Group: s.Group}
+		for _, p := range s.Points {
+			n := len(vmsIn[cell{s.Group, p.PeriodKey}])
+			if n == 0 {
+				continue
+			}
+			out.Points = append(out.Points, aggregate.Point{PeriodKey: p.PeriodKey, Value: p.Value / float64(n)})
+			yearCore[s.Group] += p.Value
+			if yearVMs[s.Group] == nil {
+				yearVMs[s.Group] = map[string]bool{}
+			}
+			for c := range vmsIn[cell{s.Group, p.PeriodKey}] {
+				yearVMs[s.Group][c] = true
+			}
+		}
+		out.Aggregate = yearCore[s.Group] / float64(len(yearVMs[s.Group]))
+		chartSeries = append(chartSeries, out)
+	}
+
+	ch := chart.New("Average Core Hours per VM, by VM Memory Size",
+		"CCR research cloud, 2017 (synthesized OpenStack events)", "Core Hours",
+		aggregate.Month, chartSeries)
+
+	avg := map[string]float64{}
+	for _, s := range chartSeries {
+		avg[s.Group] = s.Aggregate
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ingested %d VM lifecycle events for %d VMs (%s).\n\n", st.Ingested, vms, st)
+	b.WriteString(ch.Text())
+	b.WriteByte('\n')
+	b.WriteString(formatMap("Average core hours per VM over 2017, by memory bin:", avg, "core hours"))
+
+	checks := []Check{
+		check("all four memory bins of the figure are populated",
+			avg["<1 GB"] > 0 && avg["1-2 GB"] > 0 && avg["2-4 GB"] > 0 && avg["4-8 GB"] > 0,
+			"%v", avg),
+		check("average core hours per VM increase with memory size",
+			avg["4-8 GB"] > avg["2-4 GB"] && avg["2-4 GB"] > avg["1-2 GB"] && avg["1-2 GB"] > avg["<1 GB"],
+			"<1=%.1f 1-2=%.1f 2-4=%.1f 4-8=%.1f", avg["<1 GB"], avg["1-2 GB"], avg["2-4 GB"], avg["4-8 GB"]),
+	}
+	return &Result{ID: "fig7", Title: "Average core hours per VM by memory size, 2017 (Figure 7)",
+		Text: b.String(), Charts: []*chart.Chart{ch}, Checks: checks}, nil
+}

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdown(t *testing.T) {
+	results := []*Result{
+		{ID: "fig1", Title: "T1", Text: "body1\n", Checks: []Check{{Name: "ranking holds", Pass: true}}},
+		{ID: "table1", Title: "T2", Text: "body2\n", Checks: []Check{{Name: "no loss", Pass: false, Detail: "boom"}}},
+	}
+	out := Markdown(results, Options{Scale: 150, Seed: 2017})
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"-scale 150 -seed 2017",
+		"1/2 PASS",
+		"| Fig. 1 |",
+		"| Table I |",
+		"| **NO** |",
+		"ranking holds: PASS",
+		"no loss: FAIL",
+		"== fig1: T1 ==",
+		"[FAIL] no loss — boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Results without registered claims are skipped in the table but
+	// still printed in full.
+	out2 := Markdown([]*Result{{ID: "custom", Title: "X", Text: "y\n"}}, Options{})
+	if strings.Contains(out2, "| custom |") {
+		t.Error("unregistered claim leaked into table")
+	}
+	if !strings.Contains(out2, "== custom: X ==") {
+		t.Error("unregistered result missing from output")
+	}
+}

@@ -1,0 +1,167 @@
+// Package report implements XDMoD-style report generation and the
+// experiment harness that regenerates every table and figure of the
+// paper. Each experiment builds the full pipeline it needs (workload
+// synthesis → shredding/ingest → replication → aggregation → chart),
+// renders the series the paper plots, and self-checks the published
+// shape (who leads, ramps, crossovers). EXPERIMENTS.md is produced
+// from these results.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xdmodfed/internal/chart"
+)
+
+// Check is one shape assertion about an experiment's output.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is an experiment's output: human-readable text, optional
+// charts (for SVG export), and its shape checks.
+type Result struct {
+	ID     string
+	Title  string
+	Text   string
+	Charts []*chart.Chart
+	Checks []Check
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the result for terminals and EXPERIMENTS.md.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	b.WriteString(r.Text)
+	if len(r.Checks) > 0 {
+		b.WriteString("\nShape checks:\n")
+		for _, c := range r.Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&b, "  [%s] %s", status, c.Name)
+			if c.Detail != "" {
+				fmt.Fprintf(&b, " — %s", c.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// SaveSVGs writes the result's charts into dir as
+// <id>_<n>.svg; returns the written paths.
+func (r *Result) SaveSVGs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for i, c := range r.Charts {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.svg", r.ID, i+1))
+		if err := os.WriteFile(path, []byte(c.SVG(0, 0)), 0o644); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// Options tunes experiment runs. Scale is the base workload size (jobs
+// per month per unit weight, VMs, users); Seed fixes the generators.
+type Options struct {
+	Scale int
+	Seed  int64
+}
+
+// DefaultOptions are the EXPERIMENTS.md settings.
+func DefaultOptions() Options { return Options{Scale: 200, Seed: 2017} }
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Options) (*Result, error)
+}
+
+// Experiments returns the registry of all paper artifacts, in paper
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "fig1", Title: "Top XSEDE resources of 2017 by total XD SUs charged (Figure 1)",
+			Description: "Monthly XD SU series for Comet, Stampede2, Stampede through the full pipeline.", Run: RunFig1},
+		{ID: "fig2", Title: "Fan-in federation of three satellite instances (Figure 2)",
+			Description: "Satellites X, Y, Z replicate to a hub; the hub view equals the union.", Run: RunFig2},
+		{ID: "fig3", Title: "Ingestion, replication and hub aggregation data flow (Figure 3)",
+			Description: "Two satellites, four resources, selective routing of sensitive resources.", Run: RunFig3},
+		{ID: "table1", Title: "Aggregation levels on satellites and hub (Table I)",
+			Description: "Wall-time levels of instances A, B and the federation hub applied to one federated workload.", Run: RunTable1},
+		{ID: "fig4", Title: "Local vs SSO authentication on one instance (Figure 4)",
+			Description: "User group R signs in with local passwords, group S via SSO assertions.", Run: RunFig4},
+		{ID: "fig5", Title: "Authentication across a federation (Figure 5)",
+			Description: "Mixed local/SSO sign-on on satellites and hub, hub in IdP mode.", Run: RunFig5},
+		{ID: "fig6", Title: "CCR storage file count and physical usage by month of 2017 (Figure 6)",
+			Description: "Storage realm over synthesized Isilon/GPFS snapshots.", Run: RunFig6},
+		{ID: "fig7", Title: "Average core hours per VM by VM memory size, 2017 (Figure 7)",
+			Description: "Cloud realm over a synthesized OpenStack event stream.", Run: RunFig7},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and returns results in order.
+func RunAll(opts Options) ([]*Result, error) {
+	var out []*Result
+	for _, e := range Experiments() {
+		r, err := e.Run(opts)
+		if err != nil {
+			return out, fmt.Errorf("report: %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// formatMap renders a map as aligned "key: value" lines, sorted.
+func formatMap(title string, m map[string]float64, unit string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-22s %14.2f %s\n", k, m[k], unit)
+	}
+	return b.String()
+}
+
+func check(name string, pass bool, detail string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(detail, args...)}
+}

@@ -1,0 +1,136 @@
+package report
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallOpts keeps experiment workloads test-sized.
+func smallOpts() Options { return Options{Scale: 40, Seed: 2017} }
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 8 {
+		t.Fatalf("have %d experiments, want 8 (one per paper artifact)", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "fig7"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+	if _, ok := Find("fig1"); !ok {
+		t.Error("Find(fig1) failed")
+	}
+	if _, ok := Find("fig99"); ok {
+		t.Error("Find(fig99) should miss")
+	}
+}
+
+// runAndCheck runs one experiment and asserts every shape check passes.
+func runAndCheck(t *testing.T, id string) *Result {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not found", id)
+	}
+	res, err := e.Run(smallOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if !res.Passed() {
+		t.Errorf("%s: shape checks failed:\n%s", id, res.Render())
+	}
+	if res.Text == "" {
+		t.Errorf("%s: empty text output", id)
+	}
+	return res
+}
+
+func TestFig1(t *testing.T) {
+	res := runAndCheck(t, "fig1")
+	if len(res.Charts) != 1 {
+		t.Errorf("fig1 charts = %d", len(res.Charts))
+	}
+	if !strings.Contains(res.Text, "comet") {
+		t.Error("fig1 text missing comet")
+	}
+}
+
+func TestFig2(t *testing.T)   { runAndCheck(t, "fig2") }
+func TestFig3(t *testing.T)   { runAndCheck(t, "fig3") }
+func TestTable1(t *testing.T) { runAndCheck(t, "table1") }
+func TestFig4(t *testing.T)   { runAndCheck(t, "fig4") }
+func TestFig5(t *testing.T)   { runAndCheck(t, "fig5") }
+
+func TestFig6(t *testing.T) {
+	res := runAndCheck(t, "fig6")
+	if !strings.Contains(res.Text, "file count") {
+		t.Error("fig6 text missing series")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	res := runAndCheck(t, "fig7")
+	for _, bin := range []string{"<1 GB", "1-2 GB", "2-4 GB", "4-8 GB"} {
+		if !strings.Contains(res.Text, bin) {
+			t.Errorf("fig7 text missing bin %s", bin)
+		}
+	}
+}
+
+func TestRenderIncludesChecks(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "T", Text: "body\n",
+		Checks: []Check{{Name: "good", Pass: true}, {Name: "bad", Pass: false, Detail: "boom"}},
+	}
+	out := r.Render()
+	for _, want := range []string{"[PASS] good", "[FAIL] bad", "boom", "== x: T =="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if r.Passed() {
+		t.Error("Passed() should be false with a failing check")
+	}
+}
+
+func TestSaveSVGs(t *testing.T) {
+	res := runAndCheck(t, "fig1")
+	dir := t.TempDir()
+	paths, err := res.SaveSVGs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || filepath.Ext(paths[0]) != ".svg" {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	results, err := RunAll(Options{Scale: 25, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Experiments()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			t.Errorf("%s failed:\n%s", r.ID, r.Render())
+		}
+	}
+}

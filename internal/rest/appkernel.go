@@ -1,0 +1,77 @@
+package rest
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"xdmodfed/internal/appkernel"
+	"xdmodfed/internal/auth"
+)
+
+// Application Kernel (QoS) endpoints: center staff record scheduled
+// kernel runs and read the control-band evaluations (paper §I-E).
+
+// registerAppKernelHandlers adds the QoS routes.
+func (s *Server) registerAppKernelHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("GET /api/appkernels", s.requireAuth(s.handleAppKernelReports))
+	mux.HandleFunc("GET /api/appkernels/alarms", s.requireAuth(s.handleAppKernelAlarms))
+	mux.HandleFunc("POST /api/appkernels/runs", s.requireRole(auth.RoleStaff, s.handleAppKernelRun))
+}
+
+type appKernelRunRequest struct {
+	Kernel   string    `json:"kernel"`
+	Resource string    `json:"resource"`
+	Nodes    int       `json:"nodes"`
+	Time     time.Time `json:"time"`
+	Value    float64   `json:"value"`
+	Failed   bool      `json:"failed"`
+}
+
+func (s *Server) handleAppKernelRun(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	var req appKernelRunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	err := s.Instance.AppKernels.Record(appkernel.Run{
+		Kernel: req.Kernel, Resource: req.Resource, Nodes: req.Nodes,
+		Time: req.Time, Value: req.Value, Failed: req.Failed,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]bool{"recorded": true})
+}
+
+type appKernelReport struct {
+	Kernel    string  `json:"kernel"`
+	Resource  string  `json:"resource"`
+	Nodes     int     `json:"nodes"`
+	Status    string  `json:"status"`
+	Baseline  float64 `json:"baseline"`
+	Latest    float64 `json:"latest"`
+	Deviation float64 `json:"deviation_sigmas"`
+	Runs      int     `json:"runs"`
+}
+
+func toReportJSON(reps []appkernel.Report) []appKernelReport {
+	out := make([]appKernelReport, 0, len(reps))
+	for _, r := range reps {
+		out = append(out, appKernelReport{
+			Kernel: r.Kernel, Resource: r.Resource, Nodes: r.Nodes,
+			Status: r.Status.String(), Baseline: r.Baseline, Latest: r.Latest,
+			Deviation: r.Deviation, Runs: r.Runs,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleAppKernelReports(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	writeJSON(w, http.StatusOK, toReportJSON(s.Instance.AppKernels.EvaluateAll()))
+}
+
+func (s *Server) handleAppKernelAlarms(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	writeJSON(w, http.StatusOK, toReportJSON(s.Instance.AppKernels.Alarms()))
+}

@@ -1,0 +1,132 @@
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/core"
+)
+
+// Client is a typed HTTP client for the XDMoD REST API — what
+// downstream tooling (report schedulers, loose-federation shippers,
+// dashboards) programs against.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	token   string
+}
+
+// NewClient creates a client for the instance at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// Login signs in with a local password and stores the session token.
+func (c *Client) Login(username, password string) error {
+	body, _ := json.Marshal(loginRequest{Username: username, Password: password})
+	var resp loginResponse
+	if err := c.do("POST", "/api/auth/login", bytes.NewReader(body), &resp); err != nil {
+		return err
+	}
+	c.token = resp.Token
+	return nil
+}
+
+// LoginSSO signs in with an SSO assertion.
+func (c *Client) LoginSSO(assertion auth.Assertion) error {
+	body, _ := json.Marshal(assertion)
+	var resp loginResponse
+	if err := c.do("POST", "/api/auth/sso", bytes.NewReader(body), &resp); err != nil {
+		return err
+	}
+	c.token = resp.Token
+	return nil
+}
+
+// Chart runs a chart query; params mirror the /api/chart query string
+// (metric, group_by, period, start, end, top, filter.<dim>).
+func (c *Client) Chart(realm string, params map[string]string) (ChartResult, error) {
+	q := url.Values{"realm": {realm}}
+	for k, v := range params {
+		q.Set(k, v)
+	}
+	var resp chartResponse
+	if err := c.do("GET", "/api/chart?"+q.Encode(), nil, &resp); err != nil {
+		return ChartResult{}, err
+	}
+	return ChartResult(resp), nil
+}
+
+// ChartResult is the decoded chart payload.
+type ChartResult chartResponse
+
+// JobDetail fetches the Job Viewer document for one job.
+func (c *Client) JobDetail(resource string, jobID int64) (*core.JobDetail, error) {
+	var detail core.JobDetail
+	path := fmt.Sprintf("/api/jobs/%s/%d", url.PathEscape(resource), jobID)
+	if err := c.do("GET", path, nil, &detail); err != nil {
+		return nil, err
+	}
+	return &detail, nil
+}
+
+// FederationStatus fetches a hub's federation status.
+func (c *Client) FederationStatus() (core.Status, error) {
+	var resp federationStatusResponse
+	if err := c.do("GET", "/api/federation/status", nil, &resp); err != nil {
+		return core.Status{}, err
+	}
+	st := core.Status{Hub: resp.Hub, Version: resp.Version, Dirty: resp.Dirty}
+	for _, m := range resp.Members {
+		st.Members = append(st.Members, core.Member{
+			Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events,
+		})
+	}
+	return st, nil
+}
+
+// RegisterMember registers a federation member (manager role).
+func (c *Client) RegisterMember(name string) error {
+	body, _ := json.Marshal(addMemberRequest{Name: name})
+	return c.do("POST", "/api/federation/members", bytes.NewReader(body), nil)
+}
+
+// UploadLooseDump ships a loose-federation dump for an instance to the
+// hub (manager role) — the "ship" half of dump/ship/load.
+func (c *Client) UploadLooseDump(instance string, dump io.Reader) error {
+	path := "/api/federation/loose/" + url.PathEscape(instance)
+	return c.do("POST", path, dump, nil)
+}
+
+// do executes one request, decoding a JSON body into out when non-nil.
+func (c *Client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("rest: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("rest: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

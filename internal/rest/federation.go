@@ -1,0 +1,144 @@
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"xdmodfed/internal/auth"
+)
+
+// Hub-only management endpoints: federation membership, identity
+// mapping (paper §II-D4), and satellite backup regeneration (§II-E4).
+// These mutate federation state, so they require the manager role —
+// XDMoD's role model gives "resource managers" capabilities end users
+// do not have (paper §I-A).
+
+// requireRole wraps requireAuth with a role check.
+func (s *Server) requireRole(role auth.Role, next func(http.ResponseWriter, *http.Request, auth.Session)) http.HandlerFunc {
+	return s.requireAuth(func(w http.ResponseWriter, r *http.Request, sess auth.Session) {
+		if sess.Role != role {
+			writeErr(w, http.StatusForbidden, fmt.Errorf("requires role %q, signed in as %q", role, sess.Role))
+			return
+		}
+		next(w, r, sess)
+	})
+}
+
+// registerFederationHandlers adds the hub-only routes.
+func (s *Server) registerFederationHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/federation/members", s.requireRole(auth.RoleManager, s.handleAddMember))
+	mux.HandleFunc("GET /api/federation/identity/{instance}/{username}", s.requireAuth(s.handleIdentityResolve))
+	mux.HandleFunc("POST /api/federation/identity/link", s.requireRole(auth.RoleManager, s.handleIdentityLink))
+	mux.HandleFunc("GET /api/federation/backup/{instance}", s.requireRole(auth.RoleManager, s.handleBackup))
+	mux.HandleFunc("POST /api/federation/aggregate", s.requireRole(auth.RoleManager, s.handleAggregate))
+	mux.HandleFunc("POST /api/federation/loose/{instance}", s.requireRole(auth.RoleManager, s.handleLooseUpload))
+}
+
+// handleLooseUpload batch-loads a shipped loose-federation dump for a
+// registered member (paper §II-C2).
+func (s *Server) handleLooseUpload(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	instance := r.PathValue("instance")
+	if err := s.Hub.LoadLooseDump(instance, r.Body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"loaded": instance})
+}
+
+type addMemberRequest struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) handleAddMember(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	var req addMemberRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Hub.Register(req.Name); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"registered": req.Name})
+}
+
+type identityResponse struct {
+	PersonID string              `json:"person_id"`
+	Accounts []auth.InstanceUser `json:"accounts"`
+}
+
+func (s *Server) handleIdentityResolve(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	acct := auth.InstanceUser{Instance: r.PathValue("instance"), Username: r.PathValue("username")}
+	id, ok := s.Hub.Identity.Resolve(acct)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no identity observed for %s", acct))
+		return
+	}
+	writeJSON(w, http.StatusOK, identityResponse{PersonID: id, Accounts: s.Hub.Identity.AccountsOf(acct)})
+}
+
+type linkRequest struct {
+	A auth.InstanceUser `json:"a"`
+	B auth.InstanceUser `json:"b"`
+}
+
+func (s *Server) handleIdentityLink(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	var req linkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Hub.Identity.Link(req.A, req.B); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, _ := s.Hub.Identity.Resolve(req.A)
+	writeJSON(w, http.StatusOK, identityResponse{
+		PersonID: id,
+		Accounts: s.Hub.Identity.AccountsOf(req.A),
+	})
+}
+
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	instance := r.PathValue("instance")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", instance+".snap"))
+	if err := s.Hub.RegenerateSatellite(instance, w); err != nil {
+		// Headers may already be out; best effort error body.
+		writeErr(w, http.StatusNotFound, err)
+	}
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	counts, err := s.Hub.AggregateFederation()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, counts)
+}

@@ -1,0 +1,53 @@
+package rest
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/realm/perf"
+)
+
+func TestJobViewerEndpoint(t *testing.T) {
+	in := testInstance(t)
+	// Attach perf detail to job 5.
+	ts := perf.JobTimeseries{
+		JobID: 5, Resource: "rush",
+		Start:  time.Date(2017, 5, 10, 0, 0, 0, 0, time.UTC),
+		Script: "#!/bin/bash\n./a.out\n",
+	}
+	for i := 0; i < 4; i++ {
+		s := perf.Sample{JobID: 5, Resource: "rush", Offset: time.Duration(i) * time.Minute}
+		s.Values[0] = 90
+		ts.Samples = append(ts.Samples, s)
+	}
+	if err := perf.StoreJob(in.DB, ts); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(in).Handler()
+	token := login(t, srv)
+
+	rec := get(t, srv, token, "/api/jobs/rush/5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var detail core.JobDetail
+	if err := json.Unmarshal(rec.Body.Bytes(), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Accounting.JobID != 5 || !detail.HasPerf || len(detail.Timeseries) != 4 || detail.Script == "" {
+		t.Errorf("detail = %+v", detail)
+	}
+
+	if rec := get(t, srv, token, "/api/jobs/rush/99999"); rec.Code != http.StatusNotFound {
+		t.Errorf("missing job status = %d", rec.Code)
+	}
+	if rec := get(t, srv, token, "/api/jobs/rush/notanumber"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id status = %d", rec.Code)
+	}
+	if rec := get(t, srv, "", "/api/jobs/rush/5"); rec.Code != http.StatusUnauthorized {
+		t.Errorf("unauthenticated status = %d", rec.Code)
+	}
+}

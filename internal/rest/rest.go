@@ -1,0 +1,356 @@
+// Package rest exposes an XDMoD instance (or federation hub) over
+// HTTP: the programmatic face of the paper's web interface. It serves
+// realm/metric discovery, chart queries (timeseries and aggregate,
+// with filtering, grouping and drill-down), data export (JSON/CSV/SVG),
+// authentication (local password and SSO assertions, Fig. 4), and —
+// on hubs — federation status and membership (Fig. 2).
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/chart"
+	"xdmodfed/internal/core"
+)
+
+// Server wraps one instance (satellite or hub) with HTTP handlers.
+type Server struct {
+	Instance *core.Instance
+	Hub      *core.Hub // nil on satellites
+}
+
+// NewServer creates a server for a satellite instance.
+func NewServer(in *core.Instance) *Server { return &Server{Instance: in} }
+
+// NewHubServer creates a server for a federation hub.
+func NewHubServer(h *core.Hub) *Server { return &Server{Instance: h.Instance, Hub: h} }
+
+// Handler returns the HTTP mux for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/auth/login", s.handleLogin)
+	mux.HandleFunc("POST /api/auth/sso", s.handleSSO)
+	mux.HandleFunc("POST /api/auth/logout", s.handleLogout)
+	mux.HandleFunc("GET /api/version", s.handleVersion)
+	mux.HandleFunc("GET /api/realms", s.requireAuth(s.handleRealms))
+	mux.HandleFunc("GET /api/chart", s.requireAuth(s.handleChart))
+	mux.HandleFunc("GET /api/jobs/{resource}/{id}", s.requireAuth(s.handleJobViewer))
+	mux.HandleFunc("GET /api/federation/status", s.requireAuth(s.handleFederationStatus))
+	s.registerFederationHandlers(mux)
+	s.registerAppKernelHandlers(mux)
+	s.registerRealmExtraHandlers(mux)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// requireAuth enforces sign-on: "users must sign on to XDMoD to use
+// most of its advanced features" (paper §II-D).
+func (s *Server) requireAuth(next func(http.ResponseWriter, *http.Request, auth.Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := r.Header.Get("Authorization")
+		const prefix = "Bearer "
+		if !strings.HasPrefix(h, prefix) {
+			writeErr(w, http.StatusUnauthorized, fmt.Errorf("missing bearer token"))
+			return
+		}
+		sess, err := s.Instance.Auth.Validate(strings.TrimPrefix(h, prefix))
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		next(w, r, sess)
+	}
+}
+
+type loginRequest struct {
+	Username string `json:"username"`
+	Password string `json:"password"`
+}
+
+type loginResponse struct {
+	Token    string `json:"token"`
+	Username string `json:"username"`
+	Role     string `json:"role"`
+	Via      string `json:"via"`
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req loginRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.Instance.Auth.LoginLocal(req.Username, req.Password)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, loginResponse{Token: sess.Token, Username: sess.Username, Role: string(sess.Role), Via: sess.Via})
+}
+
+func (s *Server) handleSSO(w http.ResponseWriter, r *http.Request) {
+	var assertion auth.Assertion
+	if err := json.NewDecoder(r.Body).Decode(&assertion); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.Instance.Auth.LoginSSO(assertion)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, loginResponse{Token: sess.Token, Username: sess.Username, Role: string(sess.Role), Via: sess.Via})
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	h := r.Header.Get("Authorization")
+	if strings.HasPrefix(h, "Bearer ") {
+		s.Instance.Auth.Logout(strings.TrimPrefix(h, "Bearer "))
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"name":    s.Instance.Config.Name,
+		"version": s.Instance.Config.Version,
+		"role":    map[bool]string{true: "hub", false: "instance"}[s.Hub != nil],
+	})
+}
+
+type realmResponse struct {
+	Name       string           `json:"name"`
+	Metrics    []metricResponse `json:"metrics"`
+	Dimensions []dimResponse    `json:"dimensions"`
+}
+
+type metricResponse struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	Unit string `json:"unit"`
+}
+
+type dimResponse struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Numeric bool   `json:"numeric"`
+}
+
+func (s *Server) handleRealms(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	var out []realmResponse
+	for _, name := range s.Instance.Registry.Names() {
+		info, _ := s.Instance.Registry.Get(name)
+		rr := realmResponse{Name: info.Name}
+		for _, m := range info.Metrics {
+			rr.Metrics = append(rr.Metrics, metricResponse{ID: m.ID, Name: m.Name, Unit: m.Unit})
+		}
+		for _, d := range info.Dimensions {
+			rr.Dimensions = append(rr.Dimensions, dimResponse{ID: d.ID, Name: d.Name, Numeric: d.Numeric})
+		}
+		out = append(out, rr)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type chartResponse struct {
+	Realm  string           `json:"realm"`
+	Metric string           `json:"metric"`
+	Period string           `json:"period"`
+	Series []seriesResponse `json:"series"`
+}
+
+type seriesResponse struct {
+	Group     string          `json:"group"`
+	Aggregate float64         `json:"aggregate"`
+	N         int64           `json:"n"`
+	Points    []pointResponse `json:"points"`
+}
+
+type pointResponse struct {
+	Period string  `json:"period"`
+	Key    int64   `json:"key"`
+	Value  float64 `json:"value"`
+}
+
+// handleChart answers chart queries:
+//
+//	GET /api/chart?realm=Jobs&metric=total_su_charged&group_by=resource
+//	    &period=month&start=201701&end=201712&filter.resource=comet
+//	    &top=3&format=json|csv|svg|text
+func (s *Server) handleChart(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	q := r.URL.Query()
+	realmName := q.Get("realm")
+	if realmName == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("realm parameter required"))
+		return
+	}
+	req := aggregate.Request{
+		MetricID: q.Get("metric"),
+		GroupBy:  q.Get("group_by"),
+		Period:   aggregate.Month,
+	}
+	if p := q.Get("period"); p != "" {
+		period, err := aggregate.Parse(p)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Period = period
+	}
+	var err error
+	if req.StartKey, err = parseKey(q.Get("start")); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.EndKey, err = parseKey(q.Get("end")); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for key, vals := range q {
+		if dim, ok := strings.CutPrefix(key, "filter."); ok && len(vals) > 0 {
+			if req.Filters == nil {
+				req.Filters = map[string]string{}
+			}
+			req.Filters[dim] = vals[0]
+		}
+	}
+
+	series, err := s.query(realmName, req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// rollup=<level> regroups a by-PI result through the instance's
+	// institutional hierarchy (decanal unit / department / PI group).
+	if level := q.Get("rollup"); level != "" {
+		if s.Instance.Hierarchy == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("this instance has no hierarchy configured"))
+			return
+		}
+		if req.GroupBy != "pi" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("rollup requires group_by=pi"))
+			return
+		}
+		series = s.Instance.Hierarchy.Rollup(series, level)
+	}
+	if topStr := q.Get("top"); topStr != "" {
+		top, err := strconv.Atoi(topStr)
+		if err != nil || top < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid top parameter %q", topStr))
+			return
+		}
+		series = aggregate.TopN(series, top)
+	}
+
+	title := q.Get("title")
+	if title == "" {
+		title = realmName + ": " + req.MetricID
+	}
+	ch := chart.New(title, q.Get("subtitle"), req.MetricID, req.Period, series)
+	switch q.Get("format") {
+	case "", "json":
+		resp := chartResponse{Realm: realmName, Metric: req.MetricID, Period: req.Period.String()}
+		for _, ser := range series {
+			sr := seriesResponse{Group: ser.Group, Aggregate: ser.Aggregate, N: ser.N}
+			for _, pt := range ser.Points {
+				sr.Points = append(sr.Points, pointResponse{Period: req.Period.Label(pt.PeriodKey), Key: pt.PeriodKey, Value: pt.Value})
+			}
+			resp.Series = append(resp.Series, sr)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		fmt.Fprint(w, ch.CSV())
+	case "svg":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, ch.SVG(0, 0))
+	case "text":
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, ch.Text())
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", q.Get("format")))
+	}
+}
+
+func parseKey(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid period key %q", s)
+	}
+	return v, nil
+}
+
+// query routes through the hub (triggering federation re-aggregation
+// when needed) or the plain instance.
+func (s *Server) query(realmName string, req aggregate.Request) ([]aggregate.Series, error) {
+	if s.Hub != nil {
+		return s.Hub.Query(realmName, req)
+	}
+	return s.Instance.Query(realmName, req)
+}
+
+// handleJobViewer serves the Job Viewer document for one job:
+// accounting, SUPReMM summary, and (on satellites) the full metric
+// timeseries and job script.
+func (s *Server) handleJobViewer(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid job id %q", r.PathValue("id")))
+		return
+	}
+	detail, err := s.Instance.JobDetail(r.PathValue("resource"), id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+type federationStatusResponse struct {
+	Hub     string           `json:"hub"`
+	Version string           `json:"version"`
+	Dirty   bool             `json:"pending_aggregation"`
+	Members []memberResponse `json:"members"`
+}
+
+type memberResponse struct {
+	Name     string `json:"name"`
+	Position uint64 `json:"position"`
+	Batches  int    `json:"batches"`
+	Events   int    `json:"events"`
+}
+
+func (s *Server) handleFederationStatus(w http.ResponseWriter, r *http.Request, _ auth.Session) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	st := s.Hub.Status()
+	resp := federationStatusResponse{Hub: st.Hub, Version: st.Version, Dirty: st.Dirty}
+	for _, m := range st.Members {
+		resp.Members = append(resp.Members, memberResponse{Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

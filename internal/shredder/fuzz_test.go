@@ -1,0 +1,56 @@
+package shredder
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the shredders consume hostile, malformed accounting
+// data from the wild; whatever the input, they must neither panic nor
+// emit records that fail validation.
+
+func FuzzSlurmParse(f *testing.F) {
+	f.Add(slurmSample)
+	f.Add("1|n|u|a|q|1|1|2017-01-01T00:00:00|2017-01-01T00:00:00|2017-01-01T01:00:00|OK")
+	f.Add("a|b|c")
+	f.Add("")
+	f.Add("1|n|u|a|q|1|1|bogus|x|y|OK")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, _ := SlurmParser{}.Parse(strings.NewReader(input), "r")
+		for _, rec := range recs {
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("parser emitted invalid record: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzPBSParse(f *testing.F) {
+	f.Add(pbsSample)
+	f.Add(`03/01/2017 21:30:00;E;1.s;user=a ctime=1 start=2 end=3 Resource_List.ncpus=4`)
+	f.Add(";;;;")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, _ := PBSParser{}.Parse(strings.NewReader(input), "r")
+		for _, rec := range recs {
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("parser emitted invalid record: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzLSFParse(f *testing.F) {
+	f.Add(lsfSample)
+	f.Add(`"JOB_FINISH" "10.1" 3 1 1001 0 4 1 1 0 2 "u" "q"`)
+	f.Add(`"unterminated`)
+	f.Add(`"" "" "" ""`)
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, _ := LSFParser{}.Parse(strings.NewReader(input), "r")
+		for _, rec := range recs {
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("parser emitted invalid record: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package su
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterAndConvert(t *testing.T) {
+	c := NewConverter()
+	if err := c.Register("comet", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ToXDSU("comet", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 80 {
+		t.Errorf("ToXDSU = %g, want 80", got)
+	}
+}
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	c := NewConverter()
+	if err := c.Register("", 1); err == nil {
+		t.Error("empty resource should fail")
+	}
+	if err := c.Register("x", 0); err == nil {
+		t.Error("zero factor should fail")
+	}
+	if err := c.Register("x", -1); err == nil {
+		t.Error("negative factor should fail")
+	}
+}
+
+func TestUnknownResourceErrors(t *testing.T) {
+	c := NewConverter()
+	if _, err := c.ToXDSU("ghost", 1); err == nil {
+		t.Error("unknown resource must error, not identity-convert")
+	}
+	if _, err := c.ToNU("ghost", 1); err == nil {
+		t.Error("unknown resource must error for NU too")
+	}
+}
+
+func TestNUConversionConstant(t *testing.T) {
+	c := NewConverter()
+	c.Register("dtf-phase1", 1.0) // 1 CPU-hour on Phase-1 DTF = 1 XD SU
+	nu, err := c.ToNU("dtf-phase1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu != 21.576 {
+		t.Errorf("1 XD SU = %g NUs, want 21.576 (paper footnote)", nu)
+	}
+}
+
+func TestXDSUNURoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > math.MaxFloat64/NUsPerXDSU {
+			return true // product would overflow; out of scope
+		}
+		back := NUToXDSU(XDSUToNU(x))
+		return math.Abs(back-x) <= 1e-9*math.Max(1, math.Abs(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourcesSorted(t *testing.T) {
+	c := NewConverter()
+	c.Register("stampede2", 1.0)
+	c.Register("comet", 0.8)
+	c.Register("stampede", 0.72)
+	got := c.Resources()
+	want := []string{"comet", "stampede", "stampede2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Resources()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	hub := NewConverter()
+	hub.Register("local", 2.0)
+	sat := NewConverter()
+	sat.Register("comet", 0.8)
+	sat.Register("local", 3.0) // collision: satellite wins on merge
+	hub.Merge(sat)
+	if f, _ := hub.Factor("comet"); f != 0.8 {
+		t.Errorf("merged factor = %g, want 0.8", f)
+	}
+	if f, _ := hub.Factor("local"); f != 3.0 {
+		t.Errorf("collision factor = %g, want 3.0", f)
+	}
+	hub.Merge(nil) // must not panic
+}

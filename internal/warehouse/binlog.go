@@ -1,0 +1,202 @@
+package warehouse
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind enumerates binlog event kinds.
+type EventKind int
+
+// Binlog event kinds. DDL events (schema/table creation, truncation)
+// are logged too so a replication applier can recreate structure on the
+// hub without out-of-band coordination.
+const (
+	EvInsert EventKind = iota + 1
+	EvUpdate
+	EvDelete
+	EvTruncate
+	EvCreateSchema
+	EvCreateTable
+	EvDropSchema
+)
+
+// String returns the event-kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EvInsert:
+		return "INSERT"
+	case EvUpdate:
+		return "UPDATE"
+	case EvDelete:
+		return "DELETE"
+	case EvTruncate:
+		return "TRUNCATE"
+	case EvCreateSchema:
+		return "CREATE_SCHEMA"
+	case EvCreateTable:
+		return "CREATE_TABLE"
+	case EvDropSchema:
+		return "DROP_SCHEMA"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one binlog entry: a single row mutation or DDL statement.
+// LSN (log sequence number) is assigned on append and is strictly
+// increasing from 1.
+type Event struct {
+	LSN    uint64
+	Time   time.Time
+	Kind   EventKind
+	Schema string
+	Table  string
+	Row    []any     // new values (insert/update)
+	Old    []any     // previous values (update/delete)
+	Def    *TableDef // table definition (create table)
+}
+
+func init() {
+	// Register the concrete types that travel inside []any cells so the
+	// binlog and snapshots can cross gob boundaries (loose federation
+	// dumps, tight federation streams).
+	gob.Register(time.Time{})
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+}
+
+// Binlog is an in-memory, append-only ordered log of events with
+// support for blocking tails. Events below the low-water mark (set by
+// Trim) are discarded; readers that fall behind a trim receive
+// ErrPositionTrimmed.
+type Binlog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	first  uint64 // LSN of events[0]; next LSN is first+len(events)
+	closed bool
+}
+
+// ErrPositionTrimmed reports a read from a position older than the log
+// retains.
+var ErrPositionTrimmed = fmt.Errorf("warehouse: binlog position has been trimmed")
+
+// ErrLogClosed reports a read from a closed binlog.
+var ErrLogClosed = fmt.Errorf("warehouse: binlog closed")
+
+// NewBinlog creates an empty binlog whose first event will have LSN 1.
+func NewBinlog() *Binlog {
+	b := &Binlog{first: 1}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Append adds an event, assigns its LSN, and wakes blocked readers.
+func (b *Binlog) Append(ev Event) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ev.LSN = b.first + uint64(len(b.events))
+	if ev.Time.IsZero() {
+		ev.Time = time.Now().UTC()
+	}
+	b.events = append(b.events, ev)
+	b.cond.Broadcast()
+	return ev.LSN
+}
+
+// Last returns the LSN of the most recent event (0 when empty).
+func (b *Binlog) Last() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.first + uint64(len(b.events)) - 1
+}
+
+// Len returns the number of retained events.
+func (b *Binlog) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// ReadFrom returns up to max events with LSN > pos without blocking.
+func (b *Binlog) ReadFrom(pos uint64, max int) ([]Event, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.readLocked(pos, max)
+}
+
+func (b *Binlog) readLocked(pos uint64, max int) ([]Event, error) {
+	if pos+1 < b.first {
+		return nil, ErrPositionTrimmed
+	}
+	start := int(pos + 1 - b.first)
+	if start >= len(b.events) {
+		return nil, nil
+	}
+	end := len(b.events)
+	if max > 0 && start+max < end {
+		end = start + max
+	}
+	out := make([]Event, end-start)
+	copy(out, b.events[start:end])
+	return out, nil
+}
+
+// Wait blocks until events beyond pos exist (returning up to max of
+// them), the context is cancelled, or the log is closed.
+func (b *Binlog) Wait(ctx context.Context, pos uint64, max int) ([]Event, error) {
+	done := make(chan struct{})
+	defer close(done)
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	defer stop()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		evs, err := b.readLocked(pos, max)
+		if err != nil || len(evs) > 0 {
+			return evs, err
+		}
+		if b.closed {
+			return nil, ErrLogClosed
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		b.cond.Wait()
+	}
+}
+
+// Trim discards events with LSN <= upTo, freeing memory once all
+// replicas have acknowledged past that position.
+func (b *Binlog) Trim(upTo uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if upTo+1 <= b.first {
+		return
+	}
+	n := int(upTo + 1 - b.first)
+	if n > len(b.events) {
+		n = len(b.events)
+	}
+	b.events = append([]Event(nil), b.events[n:]...)
+	b.first += uint64(n)
+}
+
+// Close wakes all blocked readers with ErrLogClosed.
+func (b *Binlog) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

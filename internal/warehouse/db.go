@@ -1,0 +1,365 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is an embedded warehouse instance: a set of named schemas, each a
+// set of typed tables, with an optional binlog recording every
+// mutation. A DB plays the role MySQL plays for a real XDMoD instance.
+//
+// All exported methods are safe for concurrent use.
+type DB struct {
+	name    string
+	mu      sync.RWMutex
+	schemas map[string]*Schema
+	binlog  *Binlog
+	logging bool
+}
+
+// Schema is a named group of tables (the paper replicates each
+// satellite instance's schema into a uniquely named schema on the hub).
+type Schema struct {
+	name   string
+	db     *DB
+	tables map[string]*Table
+}
+
+// Open creates an empty DB with binary logging enabled.
+func Open(name string) *DB {
+	return &DB{
+		name:    name,
+		schemas: make(map[string]*Schema),
+		binlog:  NewBinlog(),
+		logging: true,
+	}
+}
+
+// OpenWithoutBinlog creates a DB that does not record mutations; used
+// for scratch stores (e.g. staging areas) where replication is not
+// wanted.
+func OpenWithoutBinlog(name string) *DB {
+	db := Open(name)
+	db.logging = false
+	return db
+}
+
+// Name returns the DB's instance name.
+func (db *DB) Name() string { return db.name }
+
+// Binlog returns the DB's binary log.
+func (db *DB) Binlog() *Binlog { return db.binlog }
+
+func (db *DB) logEvent(ev Event) {
+	if db.logging {
+		db.binlog.Append(ev)
+	}
+}
+
+// CreateSchema creates a schema; it is an error if it already exists.
+func (db *DB) CreateSchema(name string) (*Schema, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("warehouse: schema name must not be empty")
+	}
+	if _, ok := db.schemas[name]; ok {
+		return nil, fmt.Errorf("warehouse: schema %q already exists", name)
+	}
+	s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
+	db.schemas[name] = s
+	db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
+	return s, nil
+}
+
+// EnsureSchema returns the named schema, creating it if needed.
+func (db *DB) EnsureSchema(name string) *Schema {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if s, ok := db.schemas[name]; ok {
+		return s
+	}
+	s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
+	db.schemas[name] = s
+	db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
+	return s
+}
+
+// DropSchema removes a schema and all of its tables.
+func (db *DB) DropSchema(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.schemas[name]; !ok {
+		return fmt.Errorf("warehouse: schema %q does not exist", name)
+	}
+	delete(db.schemas, name)
+	db.logEvent(Event{Kind: EvDropSchema, Schema: name})
+	return nil
+}
+
+// Schema returns the named schema, or nil when absent.
+func (db *DB) Schema(name string) *Schema {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.schemas[name]
+}
+
+// Schemas returns the sorted names of all schemas.
+func (db *DB) Schemas() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.schemas))
+	for n := range db.schemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the schema name.
+func (s *Schema) Name() string { return s.name }
+
+// CreateTable creates a table in the schema from the definition.
+func (s *Schema) CreateTable(def TableDef) (*Table, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if _, ok := s.tables[def.Name]; ok {
+		return nil, fmt.Errorf("warehouse: table %s.%s already exists", s.name, def.Name)
+	}
+	t, err := newTable(s.db, s.name, def)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[def.Name] = t
+	d := def.Clone()
+	s.db.logEvent(Event{Kind: EvCreateTable, Schema: s.name, Table: def.Name, Def: &d})
+	return t, nil
+}
+
+// EnsureTable returns the named table, creating it from def if absent.
+func (s *Schema) EnsureTable(def TableDef) (*Table, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if t, ok := s.tables[def.Name]; ok {
+		return t, nil
+	}
+	t, err := newTable(s.db, s.name, def)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[def.Name] = t
+	d := def.Clone()
+	s.db.logEvent(Event{Kind: EvCreateTable, Schema: s.name, Table: def.Name, Def: &d})
+	return t, nil
+}
+
+// Table returns the named table, or nil when absent.
+func (s *Schema) Table(name string) *Table {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.tables[name]
+}
+
+// Tables returns the sorted names of the schema's tables.
+func (s *Schema) Tables() []string {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Do runs fn while holding the DB write lock; Table mutation methods
+// must be called inside Do (the convenience wrappers below do so).
+func (db *DB) Do(fn func() error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return fn()
+}
+
+// View runs fn while holding the read lock.
+func (db *DB) View(fn func() error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return fn()
+}
+
+// Insert inserts one map-form row into schema.table.
+func (db *DB) Insert(schema, table string, row map[string]any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookupLocked(schema, table)
+	if err != nil {
+		return err
+	}
+	return t.Insert(row)
+}
+
+// InsertRow inserts one positional row into schema.table.
+func (db *DB) InsertRow(schema, table string, row []any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookupLocked(schema, table)
+	if err != nil {
+		return err
+	}
+	return t.InsertRow(row)
+}
+
+// Upsert upserts one map-form row into schema.table.
+func (db *DB) Upsert(schema, table string, row map[string]any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.lookupLocked(schema, table)
+	if err != nil {
+		return err
+	}
+	return t.Upsert(row)
+}
+
+// Scan iterates schema.table under the read lock.
+func (db *DB) Scan(schema, table string, fn func(Row) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.lookupLocked(schema, table)
+	if err != nil {
+		return err
+	}
+	t.Scan(fn)
+	return nil
+}
+
+// Count returns the number of live rows in schema.table.
+func (db *DB) Count(schema, table string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.lookupLocked(schema, table)
+	if err != nil {
+		return 0
+	}
+	return t.Len()
+}
+
+func (db *DB) lookupLocked(schema, table string) (*Table, error) {
+	s, ok := db.schemas[schema]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: schema %q does not exist", schema)
+	}
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: table %s.%s does not exist", schema, table)
+	}
+	return t, nil
+}
+
+// Apply replays a single binlog event against this DB. This is the
+// applier half of replication: events extracted from a satellite are
+// applied to the hub, optionally after schema renaming. Row events are
+// applied positionally, trusting the upstream definition.
+func (db *DB) Apply(ev Event) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch ev.Kind {
+	case EvCreateSchema:
+		if _, ok := db.schemas[ev.Schema]; !ok {
+			db.schemas[ev.Schema] = &Schema{name: ev.Schema, db: db, tables: make(map[string]*Table)}
+			db.logEvent(Event{Kind: EvCreateSchema, Schema: ev.Schema})
+		}
+		return nil
+	case EvDropSchema:
+		delete(db.schemas, ev.Schema)
+		db.logEvent(Event{Kind: EvDropSchema, Schema: ev.Schema})
+		return nil
+	case EvCreateTable:
+		s, ok := db.schemas[ev.Schema]
+		if !ok {
+			s = &Schema{name: ev.Schema, db: db, tables: make(map[string]*Table)}
+			db.schemas[ev.Schema] = s
+			db.logEvent(Event{Kind: EvCreateSchema, Schema: ev.Schema})
+		}
+		if _, ok := s.tables[ev.Table]; ok {
+			return nil // idempotent: reconnects resend DDL
+		}
+		if ev.Def == nil {
+			return fmt.Errorf("warehouse: CREATE_TABLE event for %s.%s missing definition", ev.Schema, ev.Table)
+		}
+		t, err := newTable(db, ev.Schema, *ev.Def)
+		if err != nil {
+			return err
+		}
+		s.tables[ev.Table] = t
+		d := ev.Def.Clone()
+		db.logEvent(Event{Kind: EvCreateTable, Schema: ev.Schema, Table: ev.Table, Def: &d})
+		return nil
+	}
+	t, err := db.lookupLocked(ev.Schema, ev.Table)
+	if err != nil {
+		return err
+	}
+	switch ev.Kind {
+	case EvInsert:
+		vals, err := t.normalizeSlice(ev.Row)
+		if err != nil {
+			return err
+		}
+		return t.insertVals(vals, true)
+	case EvUpdate:
+		vals, err := t.normalizeSlice(ev.Row)
+		if err != nil {
+			return err
+		}
+		if key, ok := t.pkKey(vals); ok {
+			if pos, exists := t.pk[key]; exists {
+				old := t.rows[pos]
+				t.removeFromIndexes(old, pos)
+				t.rows[pos] = vals
+				t.addToIndexes(vals, pos)
+				db.logEvent(Event{Kind: EvUpdate, Schema: ev.Schema, Table: ev.Table,
+					Row: append([]any(nil), vals...), Old: append([]any(nil), old...)})
+				return nil
+			}
+		}
+		return t.insertVals(vals, true)
+	case EvDelete:
+		vals, err := t.normalizeSlice(ev.Old)
+		if err != nil {
+			return err
+		}
+		if key, ok := t.pkKey(vals); ok {
+			if pos, exists := t.pk[key]; exists {
+				t.deleteAt(pos, t.rows[pos])
+			}
+			_ = key
+			return nil
+		}
+		// No primary key: delete by full-row match (first match wins).
+		target := encodeKey(vals)
+		for pos, rv := range t.rows {
+			if rv == nil {
+				continue
+			}
+			if encodeKey(rv) == target {
+				t.deleteAt(pos, rv)
+				return nil
+			}
+		}
+		return nil
+	case EvTruncate:
+		t.Truncate()
+		return nil
+	default:
+		return fmt.Errorf("warehouse: cannot apply event kind %v", ev.Kind)
+	}
+}
+
+// TableIn returns the table in the named schema, or an error.
+func (db *DB) TableIn(schema, table string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lookupLocked(schema, table)
+}

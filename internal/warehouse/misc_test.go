@@ -1,0 +1,288 @@
+package warehouse
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStringers(t *testing.T) {
+	for v, want := range map[ColumnType]string{
+		TypeInt: "BIGINT", TypeFloat: "DOUBLE", TypeString: "VARCHAR",
+		TypeBool: "BOOLEAN", TypeTime: "DATETIME", ColumnType(42): "ColumnType(42)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q", v, got)
+		}
+	}
+	for v, want := range map[EventKind]string{
+		EvInsert: "INSERT", EvUpdate: "UPDATE", EvDelete: "DELETE",
+		EvTruncate: "TRUNCATE", EvCreateSchema: "CREATE_SCHEMA",
+		EvCreateTable: "CREATE_TABLE", EvDropSchema: "DROP_SCHEMA",
+		EventKind(42): "EventKind(42)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q", v, got)
+		}
+	}
+	for v, want := range map[AggFunc]string{
+		AggSum: "SUM", AggCount: "COUNT", AggAvg: "AVG", AggMin: "MIN",
+		AggMax: "MAX", AggSumLast: "SUM_LAST", AggFunc(42): "AggFunc(42)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q", v, got)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	db := Open("mydb")
+	if db.Name() != "mydb" {
+		t.Errorf("db name = %q", db.Name())
+	}
+	tab := mustTable(t, db, "s1")
+	mustTable(t, db, "s2")
+	if got := db.Schemas(); len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Errorf("schemas = %v", got)
+	}
+	s := db.Schema("s1")
+	if s.Name() != "s1" {
+		t.Errorf("schema name = %q", s.Name())
+	}
+	if got := s.Tables(); len(got) != 1 || got[0] != "jobs" {
+		t.Errorf("tables = %v", got)
+	}
+	if s.Table("jobs") != tab {
+		t.Error("Table lookup wrong")
+	}
+	if s.Table("nope") != nil {
+		t.Error("missing table should be nil")
+	}
+	if tab.Name() != "jobs" {
+		t.Errorf("table name = %q", tab.Name())
+	}
+	def := tab.Def()
+	if def.Name != "jobs" || len(def.Columns) != 6 {
+		t.Errorf("def = %+v", def)
+	}
+	cols := tab.Columns()
+	if len(cols) != 6 || cols[0] != "job_id" {
+		t.Errorf("columns = %v", cols)
+	}
+	// EnsureTable returns the existing table.
+	again, err := s.EnsureTable(jobsDef())
+	if err != nil || again != tab {
+		t.Errorf("EnsureTable: %v %v", again, err)
+	}
+}
+
+func TestSelectSumCount(t *testing.T) {
+	db := Open("t")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		for i := 0; i < 10; i++ {
+			tab.Insert(map[string]any{"job_id": i, "user": "u", "resource": "r", "cores": i, "wall": float64(i)})
+		}
+		return nil
+	})
+	db.View(func() error {
+		rows := tab.Select(func(r Row) bool { return r.Int("cores") >= 5 })
+		if len(rows) != 5 {
+			t.Errorf("Select = %d rows", len(rows))
+		}
+		all := tab.Select(nil)
+		if len(all) != 10 {
+			t.Errorf("Select(nil) = %d rows", len(all))
+		}
+		if got := tab.SumWhere("wall", func(r Row) bool { return r.Int("cores") < 2 }); got != 1 {
+			t.Errorf("SumWhere = %g", got)
+		}
+		if got := tab.CountWhere(func(r Row) bool { return r.Int("cores")%2 == 0 }); got != 5 {
+			t.Errorf("CountWhere = %d", got)
+		}
+		vals := all[0].Values()
+		if len(vals) != 6 {
+			t.Errorf("Values = %v", vals)
+		}
+		return nil
+	})
+}
+
+func TestTruncateAndSortedRows(t *testing.T) {
+	db := Open("t")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		for _, id := range []int{3, 1, 2} {
+			tab.Insert(map[string]any{"job_id": id, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+		}
+		return nil
+	})
+	db.View(func() error {
+		rows := tab.SortedRows("job_id")
+		if len(rows) != 3 || rows[0].Int("job_id") != 1 || rows[2].Int("job_id") != 3 {
+			t.Errorf("sorted order wrong")
+		}
+		return nil
+	})
+	db.Do(func() error {
+		tab.Truncate()
+		return nil
+	})
+	if tab.Len() != 0 {
+		t.Errorf("len after truncate = %d", tab.Len())
+	}
+	// Truncate is logged and replicable.
+	evs, _ := db.Binlog().ReadFrom(0, 0)
+	found := false
+	for _, e := range evs {
+		if e.Kind == EvTruncate {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("truncate not in binlog")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := Open("t")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		return tab.Insert(map[string]any{"job_id": 1, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+	})
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := Open("d")
+	if _, err := dst.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count("s", "jobs") != 1 {
+		t.Error("load file lost rows")
+	}
+	if _, err := dst.LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := db.SaveFile("/nonexistent-dir/x.snap"); err == nil {
+		t.Error("bad save path accepted")
+	}
+}
+
+func TestCoerceVariants(t *testing.T) {
+	intCol := Column{Name: "i", Type: TypeInt}
+	floatCol := Column{Name: "f", Type: TypeFloat}
+	cases := []struct {
+		col  Column
+		in   any
+		want any
+	}{
+		{intCol, int32(5), int64(5)},
+		{intCol, uint64(5), int64(5)},
+		{intCol, float64(5), int64(5)},
+		{floatCol, float32(2), float64(2)},
+		{floatCol, int(2), float64(2)},
+		{floatCol, int64(2), float64(2)},
+	}
+	for _, c := range cases {
+		got, err := coerce(c.col, c.in)
+		if err != nil || got != c.want {
+			t.Errorf("coerce(%T %v) = %v, %v", c.in, c.in, got, err)
+		}
+	}
+	if _, err := coerce(intCol, "x"); err == nil {
+		t.Error("string into int accepted")
+	}
+	if _, err := coerce(Column{Name: "b", Type: TypeBool}, 1); err == nil {
+		t.Error("int into bool accepted")
+	}
+	// Times normalize to UTC.
+	est := time.FixedZone("EST", -5*3600)
+	v, err := coerce(Column{Name: "t", Type: TypeTime}, time.Date(2017, 1, 1, 0, 0, 0, 0, est))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(time.Time).Location() != time.UTC {
+		t.Error("time not normalized to UTC")
+	}
+}
+
+func TestEncodeKeyPartVariants(t *testing.T) {
+	if encodeKeyPart(nil) != "\x00" {
+		t.Error("nil encoding wrong")
+	}
+	if encodeKeyPart(true) != "1" || encodeKeyPart(false) != "0" {
+		t.Error("bool encoding wrong")
+	}
+	ts := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	if encodeKeyPart(ts) == "" {
+		t.Error("time encoding empty")
+	}
+	if encodeKeyPart(2.5) != "2.5" {
+		t.Errorf("float encoding = %q", encodeKeyPart(2.5))
+	}
+	type odd struct{ X int }
+	if encodeKeyPart(odd{1}) == "" {
+		t.Error("fallback encoding empty")
+	}
+}
+
+func TestToFloatVariants(t *testing.T) {
+	if toFloat(true) != 1 || toFloat(false) != 0 {
+		t.Error("bool toFloat wrong")
+	}
+	if toFloat("x") != 0 {
+		t.Error("string toFloat should be 0")
+	}
+	if toFloat(int64(3)) != 3 || toFloat(2.5) != 2.5 {
+		t.Error("numeric toFloat wrong")
+	}
+}
+
+func TestRowAccessorEdgeCases(t *testing.T) {
+	db := Open("t")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		return tab.Insert(map[string]any{"job_id": 1, "user": "u", "resource": "r", "cores": 2, "wall": 1.5})
+	})
+	db.View(func() error {
+		r, _ := tab.GetByKey(int64(1))
+		if r.Int("user") != 0 { // wrong-typed access returns zero
+			t.Error("Int on string column should be 0")
+		}
+		if r.Float("cores") != 2 { // int widens
+			t.Error("Float on int column should widen")
+		}
+		if r.String("cores") != "" {
+			t.Error("String on int column should be empty")
+		}
+		if r.Get("missing") != nil {
+			t.Error("missing column should be nil")
+		}
+		if _, ok := r.Lookup("missing"); ok {
+			t.Error("missing column lookup should report !ok")
+		}
+		return nil
+	})
+}
+
+func TestApplyUnknownKind(t *testing.T) {
+	db := Open("t")
+	mustTable(t, db, "s")
+	if err := db.Apply(Event{Kind: EventKind(99), Schema: "s", Table: "jobs"}); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+	if err := db.Apply(Event{Kind: EvInsert, Schema: "nope", Table: "jobs"}); err == nil {
+		t.Error("apply to missing schema accepted")
+	}
+	if err := db.Apply(Event{Kind: EvCreateTable, Schema: "s", Table: "t2"}); err == nil {
+		t.Error("CREATE_TABLE without def accepted")
+	}
+	// Apply DROP_SCHEMA then re-create.
+	if err := db.Apply(Event{Kind: EvDropSchema, Schema: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Schema("s") != nil {
+		t.Error("schema survived applied drop")
+	}
+}

@@ -1,0 +1,163 @@
+package warehouse
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the gob wire form of an entire DB (or a subset of its
+// schemas). It doubles as the "database dump" format used by loose
+// federation (dump / ship / batch-load, paper §II-C2).
+type snapshot struct {
+	Name    string
+	LastLSN uint64
+	Schemas []schemaSnapshot
+}
+
+type schemaSnapshot struct {
+	Name   string
+	Tables []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Def  TableDef
+	Rows [][]any
+}
+
+// Snapshot writes the full DB state to w. The snapshot records the
+// binlog position it corresponds to, so a restore followed by binlog
+// replay from that position is consistent.
+func (db *DB) Snapshot(w io.Writer) error {
+	return db.SnapshotSchemas(w, nil)
+}
+
+// SnapshotSchemas writes the named schemas (all when names is nil).
+func (db *DB) SnapshotSchemas(w io.Writer, names []string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	snap := snapshot{Name: db.name, LastLSN: db.binlog.Last()}
+	for _, sn := range db.schemasSortedLocked() {
+		if names != nil && !want[sn] {
+			continue
+		}
+		s := db.schemas[sn]
+		ss := schemaSnapshot{Name: sn}
+		for _, tn := range s.tablesSortedLocked() {
+			t := s.tables[tn]
+			ts := tableSnapshot{Def: t.def.Clone()}
+			for _, vals := range t.rows {
+				if vals != nil {
+					ts.Rows = append(ts.Rows, append([]any(nil), vals...))
+				}
+			}
+			ss.Tables = append(ss.Tables, ts)
+		}
+		snap.Schemas = append(snap.Schemas, ss)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+func (db *DB) schemasSortedLocked() []string {
+	names := make([]string, 0, len(db.schemas))
+	for n := range db.schemas {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func (s *Schema) tablesSortedLocked() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Restore loads a snapshot into the DB, creating the schemas and
+// tables it contains. Existing schemas with the same names are
+// replaced. Returns the binlog position the snapshot was taken at.
+func (db *DB) Restore(r io.Reader) (uint64, error) {
+	return db.RestoreRenamed(r, nil)
+}
+
+// RestoreRenamed loads a snapshot, renaming schemas through the given
+// map (identity for schemas not in the map). Renaming on load is how a
+// loose-federation hub lands each satellite's dump in a uniquely named
+// schema, mirroring Tungsten's rename-on-transfer feature.
+func (db *DB) RestoreRenamed(r io.Reader, rename map[string]string) (uint64, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("warehouse: restore: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, ss := range snap.Schemas {
+		name := ss.Name
+		if rename != nil {
+			if to, ok := rename[name]; ok {
+				name = to
+			}
+		}
+		s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
+		db.schemas[name] = s
+		db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
+		for _, ts := range ss.Tables {
+			t, err := newTable(db, name, ts.Def)
+			if err != nil {
+				return 0, err
+			}
+			s.tables[ts.Def.Name] = t
+			d := ts.Def.Clone()
+			db.logEvent(Event{Kind: EvCreateTable, Schema: name, Table: ts.Def.Name, Def: &d})
+			for _, row := range ts.Rows {
+				vals, err := t.normalizeSlice(row)
+				if err != nil {
+					return 0, err
+				}
+				if err := t.insertVals(vals, true); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return snap.LastLSN, nil
+}
+
+// SaveFile snapshots the DB to a file path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Snapshot(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a DB snapshot from a file path.
+func (db *DB) LoadFile(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return db.Restore(f)
+}

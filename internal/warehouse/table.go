@@ -1,0 +1,449 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Row is one table row with access to column values by name.
+type Row struct {
+	table *Table
+	vals  []any
+}
+
+// Get returns the value of the named column, or nil when the column
+// does not exist (callers that care should use Lookup).
+func (r Row) Get(col string) any {
+	v, _ := r.Lookup(col)
+	return v
+}
+
+// Lookup returns the value of the named column and whether the column
+// exists in the row's table.
+func (r Row) Lookup(col string) (any, bool) {
+	i, ok := r.table.colIndex[col]
+	if !ok {
+		return nil, false
+	}
+	return r.vals[i], true
+}
+
+// Int returns the column as int64 (zero when null or absent).
+func (r Row) Int(col string) int64 {
+	if v, _ := r.Lookup(col); v != nil {
+		if x, ok := v.(int64); ok {
+			return x
+		}
+	}
+	return 0
+}
+
+// Float returns the column as float64, widening integers.
+func (r Row) Float(col string) float64 {
+	if v, _ := r.Lookup(col); v != nil {
+		switch x := v.(type) {
+		case float64:
+			return x
+		case int64:
+			return float64(x)
+		}
+	}
+	return 0
+}
+
+// String returns the column as a string (empty when null or absent).
+func (r Row) String(col string) string {
+	if v, _ := r.Lookup(col); v != nil {
+		if x, ok := v.(string); ok {
+			return x
+		}
+	}
+	return ""
+}
+
+// Values returns a copy of the underlying value slice, in column order.
+func (r Row) Values() []any {
+	return append([]any(nil), r.vals...)
+}
+
+// Table is a typed, indexed, mutex-free table; synchronization is
+// provided by the owning DB (all Table methods must be called while
+// holding the DB lock, which the Schema/DB wrappers do).
+type Table struct {
+	def      TableDef
+	schema   string
+	db       *DB
+	rows     [][]any
+	colIndex map[string]int
+	pkCols   []int
+	pk       map[string]int // pk key -> row position
+	indexes  []*secondaryIndex
+	deleted  int // count of tombstoned rows (nil entries in rows)
+}
+
+type secondaryIndex struct {
+	cols []int
+	m    map[string][]int
+}
+
+func newTable(db *DB, schema string, def TableDef) (*Table, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		def:      def.Clone(),
+		schema:   schema,
+		db:       db,
+		colIndex: make(map[string]int, len(def.Columns)),
+	}
+	for i, c := range def.Columns {
+		t.colIndex[c.Name] = i
+	}
+	for _, k := range def.PrimaryKey {
+		t.pkCols = append(t.pkCols, t.colIndex[k])
+	}
+	if len(t.pkCols) > 0 {
+		t.pk = make(map[string]int)
+	}
+	for _, ix := range def.Indexes {
+		si := &secondaryIndex{m: make(map[string][]int)}
+		for _, k := range ix {
+			si.cols = append(si.cols, t.colIndex[k])
+		}
+		t.indexes = append(t.indexes, si)
+	}
+	return t, nil
+}
+
+// Def returns a copy of the table definition.
+func (t *Table) Def() TableDef { return t.def.Clone() }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.def.Name }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return len(t.rows) - t.deleted }
+
+// normalize converts a map-form row into a coerced value slice.
+func (t *Table) normalize(row map[string]any) ([]any, error) {
+	vals := make([]any, len(t.def.Columns))
+	for k := range row {
+		if _, ok := t.colIndex[k]; !ok {
+			return nil, fmt.Errorf("warehouse: table %s.%s has no column %q", t.schema, t.def.Name, k)
+		}
+	}
+	for i, c := range t.def.Columns {
+		v, err := coerce(c, row[c.Name])
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: table %s.%s: %w", t.schema, t.def.Name, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// normalizeSlice coerces a positional row.
+func (t *Table) normalizeSlice(row []any) ([]any, error) {
+	if len(row) != len(t.def.Columns) {
+		return nil, fmt.Errorf("warehouse: table %s.%s expects %d values, got %d",
+			t.schema, t.def.Name, len(t.def.Columns), len(row))
+	}
+	vals := make([]any, len(row))
+	for i, c := range t.def.Columns {
+		v, err := coerce(c, row[i])
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: table %s.%s: %w", t.schema, t.def.Name, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+func (t *Table) pkKey(vals []any) (string, bool) {
+	if len(t.pkCols) == 0 {
+		return "", false
+	}
+	parts := make([]any, len(t.pkCols))
+	for i, c := range t.pkCols {
+		parts[i] = vals[c]
+	}
+	return encodeKey(parts), true
+}
+
+// insertVals inserts a pre-normalized row and logs the mutation.
+func (t *Table) insertVals(vals []any, log bool) error {
+	if key, ok := t.pkKey(vals); ok {
+		if _, dup := t.pk[key]; dup {
+			return fmt.Errorf("warehouse: table %s.%s: duplicate primary key %q", t.schema, t.def.Name, key)
+		}
+		t.pk[key] = len(t.rows)
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, vals)
+	for _, ix := range t.indexes {
+		k := ix.key(vals)
+		ix.m[k] = append(ix.m[k], pos)
+	}
+	if log {
+		t.db.logEvent(Event{Kind: EvInsert, Schema: t.schema, Table: t.def.Name, Row: append([]any(nil), vals...)})
+	}
+	return nil
+}
+
+func (ix *secondaryIndex) key(vals []any) string {
+	parts := make([]any, len(ix.cols))
+	for i, c := range ix.cols {
+		parts[i] = vals[c]
+	}
+	return encodeKey(parts)
+}
+
+// Insert adds a row given as a column-name map.
+func (t *Table) Insert(row map[string]any) error {
+	vals, err := t.normalize(row)
+	if err != nil {
+		return err
+	}
+	return t.insertVals(vals, true)
+}
+
+// InsertRow adds a positional row (values in column order).
+func (t *Table) InsertRow(row []any) error {
+	vals, err := t.normalizeSlice(row)
+	if err != nil {
+		return err
+	}
+	return t.insertVals(vals, true)
+}
+
+// Upsert inserts the row, or replaces the existing row with the same
+// primary key. Tables without a primary key reject Upsert.
+func (t *Table) Upsert(row map[string]any) error {
+	vals, err := t.normalize(row)
+	if err != nil {
+		return err
+	}
+	key, ok := t.pkKey(vals)
+	if !ok {
+		return fmt.Errorf("warehouse: table %s.%s has no primary key; cannot upsert", t.schema, t.def.Name)
+	}
+	if pos, exists := t.pk[key]; exists {
+		old := t.rows[pos]
+		t.removeFromIndexes(old, pos)
+		t.rows[pos] = vals
+		t.addToIndexes(vals, pos)
+		t.db.logEvent(Event{Kind: EvUpdate, Schema: t.schema, Table: t.def.Name,
+			Row: append([]any(nil), vals...), Old: append([]any(nil), old...)})
+		return nil
+	}
+	return t.insertVals(vals, true)
+}
+
+func (t *Table) removeFromIndexes(vals []any, pos int) {
+	for _, ix := range t.indexes {
+		k := ix.key(vals)
+		lst := ix.m[k]
+		for i, p := range lst {
+			if p == pos {
+				lst[i] = lst[len(lst)-1]
+				lst = lst[:len(lst)-1]
+				break
+			}
+		}
+		if len(lst) == 0 {
+			delete(ix.m, k)
+		} else {
+			ix.m[k] = lst
+		}
+	}
+}
+
+func (t *Table) addToIndexes(vals []any, pos int) {
+	for _, ix := range t.indexes {
+		k := ix.key(vals)
+		ix.m[k] = append(ix.m[k], pos)
+	}
+}
+
+// Delete removes rows matching the predicate and returns the count.
+func (t *Table) Delete(where func(Row) bool) int {
+	n := 0
+	for pos, vals := range t.rows {
+		if vals == nil {
+			continue
+		}
+		if where(Row{table: t, vals: vals}) {
+			t.deleteAt(pos, vals)
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Table) deleteAt(pos int, vals []any) {
+	if key, ok := t.pkKey(vals); ok {
+		delete(t.pk, key)
+	}
+	t.removeFromIndexes(vals, pos)
+	t.rows[pos] = nil
+	t.deleted++
+	t.db.logEvent(Event{Kind: EvDelete, Schema: t.schema, Table: t.def.Name, Old: append([]any(nil), vals...)})
+}
+
+// DeleteByKey removes the row with the given primary key values.
+func (t *Table) DeleteByKey(keyVals ...any) bool {
+	key := encodeKey(keyVals)
+	pos, ok := t.pk[key]
+	if !ok {
+		return false
+	}
+	t.deleteAt(pos, t.rows[pos])
+	return true
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.rows = nil
+	t.deleted = 0
+	if t.pk != nil {
+		t.pk = make(map[string]int)
+	}
+	for _, ix := range t.indexes {
+		ix.m = make(map[string][]int)
+	}
+	t.db.logEvent(Event{Kind: EvTruncate, Schema: t.schema, Table: t.def.Name})
+}
+
+// GetByKey returns the row with the given primary key values.
+func (t *Table) GetByKey(keyVals ...any) (Row, bool) {
+	pos, ok := t.pk[encodeKey(keyVals)]
+	if !ok {
+		return Row{}, false
+	}
+	return Row{table: t, vals: t.rows[pos]}, true
+}
+
+// UpdateByKey applies the given column assignments to the row with the
+// primary key values and logs the update. It fails when the update
+// would change the primary key to a conflicting value.
+func (t *Table) UpdateByKey(keyVals []any, set map[string]any) error {
+	key := encodeKey(keyVals)
+	pos, ok := t.pk[key]
+	if !ok {
+		return fmt.Errorf("warehouse: table %s.%s: no row with key %v", t.schema, t.def.Name, keyVals)
+	}
+	old := t.rows[pos]
+	vals := append([]any(nil), old...)
+	for k, v := range set {
+		i, ok := t.colIndex[k]
+		if !ok {
+			return fmt.Errorf("warehouse: table %s.%s has no column %q", t.schema, t.def.Name, k)
+		}
+		cv, err := coerce(t.def.Columns[i], v)
+		if err != nil {
+			return err
+		}
+		vals[i] = cv
+	}
+	newKey, _ := t.pkKey(vals)
+	if newKey != key {
+		if _, dup := t.pk[newKey]; dup {
+			return fmt.Errorf("warehouse: table %s.%s: update collides on key %q", t.schema, t.def.Name, newKey)
+		}
+		delete(t.pk, key)
+		t.pk[newKey] = pos
+	}
+	t.removeFromIndexes(old, pos)
+	t.rows[pos] = vals
+	t.addToIndexes(vals, pos)
+	t.db.logEvent(Event{Kind: EvUpdate, Schema: t.schema, Table: t.def.Name,
+		Row: append([]any(nil), vals...), Old: append([]any(nil), old...)})
+	return nil
+}
+
+// Scan calls fn for every live row; fn returning false stops the scan.
+func (t *Table) Scan(fn func(Row) bool) {
+	for _, vals := range t.rows {
+		if vals == nil {
+			continue
+		}
+		if !fn(Row{table: t, vals: vals}) {
+			return
+		}
+	}
+}
+
+// ScanIndex scans only rows whose indexed columns equal the given
+// values. The index is chosen by exact column-name match; when no such
+// index exists ScanIndex falls back to a full scan with an equality
+// filter (so callers stay correct even if an index was not declared).
+func (t *Table) ScanIndex(cols []string, vals []any, fn func(Row) bool) {
+	want := make([]int, len(cols))
+	for i, c := range cols {
+		want[i] = t.colIndex[c]
+	}
+	for _, ix := range t.indexes {
+		if equalIntSlices(ix.cols, want) {
+			coerced := make([]any, len(vals))
+			for i, c := range want {
+				cv, err := coerce(t.def.Columns[c], vals[i])
+				if err != nil {
+					return
+				}
+				coerced[i] = cv
+			}
+			for _, pos := range ix.m[encodeKey(coerced)] {
+				if t.rows[pos] == nil {
+					continue
+				}
+				if !fn(Row{table: t, vals: t.rows[pos]}) {
+					return
+				}
+			}
+			return
+		}
+	}
+	t.Scan(func(r Row) bool {
+		for i, c := range cols {
+			if encodeKeyPart(r.Get(c)) != encodeKeyPart(vals[i]) {
+				return true
+			}
+		}
+		return fn(r)
+	})
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Columns returns the ordered column names.
+func (t *Table) Columns() []string {
+	names := make([]string, len(t.def.Columns))
+	for i, c := range t.def.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// SortedRows returns all live rows ordered by the given column
+// (ascending); used by deterministic exports and tests.
+func (t *Table) SortedRows(orderBy string) []Row {
+	var rows []Row
+	t.Scan(func(r Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	sort.SliceStable(rows, func(i, j int) bool {
+		return encodeKeyPart(rows[i].Get(orderBy)) < encodeKeyPart(rows[j].Get(orderBy))
+	})
+	return rows
+}

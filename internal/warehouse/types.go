@@ -1,0 +1,201 @@
+// Package warehouse implements the embedded data warehouse that backs
+// every XDMoD instance in this reproduction. The real Open XDMoD uses
+// MySQL/MariaDB; federation only requires a transactional, schema/table
+// structured store that emits a binary log of its mutations, so this
+// package provides exactly that: typed tables grouped into named
+// schemas, primary-key and secondary indexes, snapshot persistence, and
+// an append-only binlog that replicators can tail (the MySQL binlog
+// analog that Tungsten Replicator reads in the paper).
+package warehouse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ColumnType enumerates the value types a column may hold.
+type ColumnType int
+
+// Supported column types.
+const (
+	TypeInt ColumnType = iota + 1
+	TypeFloat
+	TypeString
+	TypeBool
+	TypeTime
+)
+
+// String returns the SQL-ish name of the column type.
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "BIGINT"
+	case TypeFloat:
+		return "DOUBLE"
+	case TypeString:
+		return "VARCHAR"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeTime:
+		return "DATETIME"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// Column describes a single table column.
+type Column struct {
+	Name     string
+	Type     ColumnType
+	Nullable bool
+}
+
+// TableDef is the schema of a table: its ordered columns, the primary
+// key (a subset of column names; may be empty for append-only fact
+// tables), and optional secondary index definitions.
+type TableDef struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string
+	Indexes    [][]string
+}
+
+// Clone returns a deep copy of the definition.
+func (d TableDef) Clone() TableDef {
+	c := TableDef{Name: d.Name}
+	c.Columns = append([]Column(nil), d.Columns...)
+	c.PrimaryKey = append([]string(nil), d.PrimaryKey...)
+	for _, ix := range d.Indexes {
+		c.Indexes = append(c.Indexes, append([]string(nil), ix...))
+	}
+	return c
+}
+
+// Validate checks the definition for internal consistency.
+func (d TableDef) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("warehouse: table definition missing name")
+	}
+	if len(d.Columns) == 0 {
+		return fmt.Errorf("warehouse: table %q has no columns", d.Name)
+	}
+	seen := make(map[string]bool, len(d.Columns))
+	for _, c := range d.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("warehouse: table %q has an unnamed column", d.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("warehouse: table %q duplicates column %q", d.Name, c.Name)
+		}
+		switch c.Type {
+		case TypeInt, TypeFloat, TypeString, TypeBool, TypeTime:
+		default:
+			return fmt.Errorf("warehouse: table %q column %q has invalid type %d", d.Name, c.Name, c.Type)
+		}
+		seen[c.Name] = true
+	}
+	for _, k := range d.PrimaryKey {
+		if !seen[k] {
+			return fmt.Errorf("warehouse: table %q primary key references unknown column %q", d.Name, k)
+		}
+	}
+	for _, ix := range d.Indexes {
+		if len(ix) == 0 {
+			return fmt.Errorf("warehouse: table %q has an empty index definition", d.Name)
+		}
+		for _, k := range ix {
+			if !seen[k] {
+				return fmt.Errorf("warehouse: table %q index references unknown column %q", d.Name, k)
+			}
+		}
+	}
+	return nil
+}
+
+// coerce normalizes v to the canonical Go representation for the column
+// type: int64, float64, string, bool or time.Time. nil is permitted for
+// nullable columns.
+func coerce(col Column, v any) (any, error) {
+	if v == nil {
+		if !col.Nullable {
+			return nil, fmt.Errorf("warehouse: column %q is not nullable", col.Name)
+		}
+		return nil, nil
+	}
+	switch col.Type {
+	case TypeInt:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case uint64:
+			return int64(x), nil
+		case float64:
+			return int64(x), nil
+		}
+	case TypeFloat:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case float32:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		}
+	case TypeString:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case TypeBool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	case TypeTime:
+		if x, ok := v.(time.Time); ok {
+			return x.UTC(), nil
+		}
+	}
+	return nil, fmt.Errorf("warehouse: column %q (%s) cannot hold %T value", col.Name, col.Type, v)
+}
+
+// encodeKeyPart renders one value into a key-safe string.
+func encodeKeyPart(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "\x00"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case bool:
+		if x {
+			return "1"
+		}
+		return "0"
+	case time.Time:
+		return strconv.FormatInt(x.UnixNano(), 10)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// encodeKey builds a composite key string for index maps.
+func encodeKey(parts []any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(0x1f) // unit separator; cannot collide with numeric encodings
+		}
+		b.WriteString(encodeKeyPart(p))
+	}
+	return b.String()
+}

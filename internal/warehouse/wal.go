@@ -1,0 +1,171 @@
+package warehouse
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Durable binlog: production satellites must survive restarts without
+// losing replication state, so the binlog can be mirrored to an
+// append-only file (a write-ahead log of row events) and replayed on
+// startup. The on-disk format is a stream of length-prefixed
+// gob-encoded Event records (framing allows appending across process
+// restarts, which a bare gob stream does not);
+// recovery replays events into a fresh DB, which re-logs them in the
+// same order so replication positions remain meaningful across
+// restarts.
+
+// LogWriter tees binlog events to an append-only file as they are
+// committed. It follows the in-memory binlog from a starting position,
+// so it can also be attached to an already-populated DB.
+type LogWriter struct {
+	mu     sync.Mutex
+	f      *os.File
+	pos    uint64
+	db     *DB
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// OpenLogWriter opens (creating or appending) the binlog file for db
+// and starts mirroring events committed after fromLSN. Callers that
+// created the file fresh pass 0; callers resuming pass the LSN
+// returned by RecoverDB.
+func OpenLogWriter(db *DB, path string, fromLSN uint64) (*LogWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &LogWriter{
+		f:      f,
+		pos:    fromLSN,
+		db:     db,
+		cancel: cancel,
+	}
+	w.wg.Add(1)
+	go w.follow(ctx)
+	return w, nil
+}
+
+func (w *LogWriter) follow(ctx context.Context) {
+	defer w.wg.Done()
+	for {
+		evs, err := w.db.binlog.Wait(ctx, w.Position(), 256)
+		if err != nil {
+			return // cancelled, log closed, or trimmed past us
+		}
+		if err := w.writeEvents(evs); err != nil {
+			return
+		}
+	}
+}
+
+func (w *LogWriter) writeEvents(evs []Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var frame bytes.Buffer
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, ev := range evs {
+		frame.Reset()
+		if err := gob.NewEncoder(&frame).Encode(ev); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(frame.Len()))
+		if _, err := w.f.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := w.f.Write(frame.Bytes()); err != nil {
+			return err
+		}
+		w.pos = ev.LSN
+	}
+	return w.f.Sync()
+}
+
+// Position returns the LSN durably written so far.
+func (w *LogWriter) Position() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pos
+}
+
+// Close stops following, drains every already-committed event to disk,
+// and closes the file.
+func (w *LogWriter) Close() error {
+	w.cancel()
+	w.wg.Wait()
+	for {
+		evs, err := w.db.binlog.ReadFrom(w.Position(), 1024)
+		if err != nil || len(evs) == 0 {
+			break
+		}
+		if err := w.writeEvents(evs); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.f.Close()
+}
+
+// RecoverDB rebuilds a DB by replaying the on-disk binlog file. It
+// returns the recovered DB and the last LSN applied. A missing file
+// yields an empty DB at position 0. Truncated tails (a crash mid-write)
+// stop recovery at the last complete event rather than failing.
+func RecoverDB(name, path string) (*DB, uint64, error) {
+	db := Open(name)
+	last, err := ReplayLog(db, path)
+	if err != nil {
+		return nil, last, err
+	}
+	return db, last, nil
+}
+
+// ReplayLog replays the on-disk binlog file into an existing DB
+// (schemas/tables already present are filled idempotently). Returns
+// the last LSN applied. Used by daemons that construct their realm
+// schemas first and then recover prior state into them.
+func ReplayLog(db *DB, path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var last uint64
+	for {
+		frameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				break // clean end or truncated length prefix
+			}
+			return last, fmt.Errorf("warehouse: recover %s: %w", path, err)
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			break // truncated tail record: stop at the last full event
+		}
+		var ev Event
+		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&ev); err != nil {
+			// The frame was complete but undecodable: a partially
+			// synced tail; stop here.
+			break
+		}
+		if err := db.Apply(ev); err != nil {
+			return last, fmt.Errorf("warehouse: recover %s at LSN %d: %w", path, ev.LSN, err)
+		}
+		last = ev.LSN
+	}
+	return last, nil
+}

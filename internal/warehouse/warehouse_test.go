@@ -1,0 +1,620 @@
+package warehouse
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func jobsDef() TableDef {
+	return TableDef{
+		Name: "jobs",
+		Columns: []Column{
+			{Name: "job_id", Type: TypeInt},
+			{Name: "user", Type: TypeString},
+			{Name: "resource", Type: TypeString},
+			{Name: "cores", Type: TypeInt},
+			{Name: "wall", Type: TypeFloat},
+			{Name: "end_time", Type: TypeTime, Nullable: true},
+		},
+		PrimaryKey: []string{"job_id"},
+		Indexes:    [][]string{{"resource"}},
+	}
+}
+
+func mustTable(t *testing.T, db *DB, schema string) *Table {
+	t.Helper()
+	s := db.EnsureSchema(schema)
+	tab, err := s.CreateTable(jobsDef())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	return tab
+}
+
+func TestTableDefValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		def  TableDef
+		ok   bool
+	}{
+		{"valid", jobsDef(), true},
+		{"no name", TableDef{Columns: []Column{{Name: "a", Type: TypeInt}}}, false},
+		{"no columns", TableDef{Name: "t"}, false},
+		{"dup column", TableDef{Name: "t", Columns: []Column{{Name: "a", Type: TypeInt}, {Name: "a", Type: TypeInt}}}, false},
+		{"bad type", TableDef{Name: "t", Columns: []Column{{Name: "a", Type: 0}}}, false},
+		{"bad pk", TableDef{Name: "t", Columns: []Column{{Name: "a", Type: TypeInt}}, PrimaryKey: []string{"z"}}, false},
+		{"bad index", TableDef{Name: "t", Columns: []Column{{Name: "a", Type: TypeInt}}, Indexes: [][]string{{"z"}}}, false},
+		{"empty index", TableDef{Name: "t", Columns: []Column{{Name: "a", Type: TypeInt}}, Indexes: [][]string{{}}}, false},
+	}
+	for _, c := range cases {
+		err := c.def.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestInsertAndGetByKey(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "mod_shredder")
+	err := db.Do(func() error {
+		return tab.Insert(map[string]any{
+			"job_id": 1, "user": "alice", "resource": "comet", "cores": 24, "wall": 3600.0,
+		})
+	})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	var row Row
+	var ok bool
+	db.View(func() error {
+		row, ok = tab.GetByKey(int64(1))
+		return nil
+	})
+	if !ok {
+		t.Fatal("row not found by key")
+	}
+	if row.String("user") != "alice" || row.Int("cores") != 24 || row.Float("wall") != 3600 {
+		t.Errorf("unexpected row values: %v", row.Values())
+	}
+	if v, _ := row.Lookup("end_time"); v != nil {
+		t.Errorf("nullable column should be nil, got %v", v)
+	}
+}
+
+func TestInsertRejectsBadRows(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	cases := []map[string]any{
+		{"job_id": 1, "user": "a", "resource": "r", "cores": "x", "wall": 1.0}, // wrong type
+		{"job_id": 1, "user": "a", "resource": "r", "cores": 1, "bogus": 1},    // unknown column
+		{"user": "a", "resource": "r", "cores": 1, "wall": 1.0},                // nil non-nullable pk
+		{"job_id": 1, "user": nil, "resource": "r", "cores": 1, "wall": 1.0},   // nil non-nullable
+	}
+	for i, row := range cases {
+		if err := db.Do(func() error { return tab.Insert(row) }); err == nil {
+			t.Errorf("case %d: expected error for %v", i, row)
+		}
+	}
+}
+
+func TestDuplicatePrimaryKey(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	row := map[string]any{"job_id": 7, "user": "a", "resource": "r", "cores": 1, "wall": 1.0}
+	if err := db.Do(func() error { return tab.Insert(row) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Do(func() error { return tab.Insert(row) }); err == nil {
+		t.Fatal("expected duplicate-key error")
+	}
+}
+
+func TestUpsertReplacesRow(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		if err := tab.Upsert(map[string]any{"job_id": 1, "user": "a", "resource": "r", "cores": 1, "wall": 1.0}); err != nil {
+			return err
+		}
+		return tab.Upsert(map[string]any{"job_id": 1, "user": "b", "resource": "r", "cores": 8, "wall": 2.0})
+	})
+	db.View(func() error {
+		r, ok := tab.GetByKey(int64(1))
+		if !ok {
+			t.Fatal("row missing after upsert")
+		}
+		if r.String("user") != "b" || r.Int("cores") != 8 {
+			t.Errorf("upsert did not replace: %v", r.Values())
+		}
+		if tab.Len() != 1 {
+			t.Errorf("Len = %d, want 1", tab.Len())
+		}
+		return nil
+	})
+}
+
+func TestUpdateByKey(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		return tab.Insert(map[string]any{"job_id": 1, "user": "a", "resource": "r", "cores": 1, "wall": 1.0})
+	})
+	if err := db.Do(func() error {
+		return tab.UpdateByKey([]any{int64(1)}, map[string]any{"cores": 16})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.View(func() error {
+		r, _ := tab.GetByKey(int64(1))
+		if r.Int("cores") != 16 {
+			t.Errorf("cores = %d, want 16", r.Int("cores"))
+		}
+		return nil
+	})
+	if err := db.Do(func() error {
+		return tab.UpdateByKey([]any{int64(99)}, map[string]any{"cores": 1})
+	}); err == nil {
+		t.Error("expected error updating missing key")
+	}
+}
+
+func TestDeleteAndTombstones(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		for i := 0; i < 10; i++ {
+			if err := tab.Insert(map[string]any{"job_id": i, "user": "u", "resource": "r", "cores": i, "wall": float64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var n int
+	db.Do(func() error {
+		n = tab.Delete(func(r Row) bool { return r.Int("cores")%2 == 0 })
+		return nil
+	})
+	if n != 5 {
+		t.Fatalf("deleted %d, want 5", n)
+	}
+	db.View(func() error {
+		if tab.Len() != 5 {
+			t.Errorf("Len = %d, want 5", tab.Len())
+		}
+		tab.Scan(func(r Row) bool {
+			if r.Int("cores")%2 == 0 {
+				t.Errorf("even row survived: %v", r.Values())
+			}
+			return true
+		})
+		if _, ok := tab.GetByKey(int64(2)); ok {
+			t.Error("deleted row still reachable by key")
+		}
+		return nil
+	})
+}
+
+func TestScanIndexEqualsFullScan(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		for i := 0; i < 100; i++ {
+			res := fmt.Sprintf("res%d", i%7)
+			if err := tab.Insert(map[string]any{"job_id": i, "user": "u", "resource": res, "cores": 1, "wall": 1.0}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	db.View(func() error {
+		var viaIndex, viaScan int
+		tab.ScanIndex([]string{"resource"}, []any{"res3"}, func(r Row) bool { viaIndex++; return true })
+		tab.Scan(func(r Row) bool {
+			if r.String("resource") == "res3" {
+				viaScan++
+			}
+			return true
+		})
+		if viaIndex != viaScan || viaIndex == 0 {
+			t.Errorf("index scan %d != full scan %d", viaIndex, viaScan)
+		}
+		// Unindexed column falls back to a filtered full scan.
+		var viaFallback int
+		tab.ScanIndex([]string{"user"}, []any{"u"}, func(r Row) bool { viaFallback++; return true })
+		if viaFallback != 100 {
+			t.Errorf("fallback scan %d, want 100", viaFallback)
+		}
+		return nil
+	})
+}
+
+func TestIndexMaintainedAcrossDeleteAndUpsert(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		tab.Insert(map[string]any{"job_id": 1, "user": "u", "resource": "a", "cores": 1, "wall": 1.0})
+		tab.Insert(map[string]any{"job_id": 2, "user": "u", "resource": "a", "cores": 1, "wall": 1.0})
+		tab.Upsert(map[string]any{"job_id": 2, "user": "u", "resource": "b", "cores": 1, "wall": 1.0})
+		tab.DeleteByKey(int64(1))
+		return nil
+	})
+	db.View(func() error {
+		var inA, inB int
+		tab.ScanIndex([]string{"resource"}, []any{"a"}, func(r Row) bool { inA++; return true })
+		tab.ScanIndex([]string{"resource"}, []any{"b"}, func(r Row) bool { inB++; return true })
+		if inA != 0 || inB != 1 {
+			t.Errorf("index counts a=%d b=%d, want 0,1", inA, inB)
+		}
+		return nil
+	})
+}
+
+func TestGroupBy(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		rows := []map[string]any{
+			{"job_id": 1, "user": "a", "resource": "x", "cores": 4, "wall": 10.0},
+			{"job_id": 2, "user": "a", "resource": "x", "cores": 8, "wall": 20.0},
+			{"job_id": 3, "user": "b", "resource": "y", "cores": 2, "wall": 30.0},
+		}
+		for _, r := range rows {
+			if err := tab.Insert(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var res []GroupResult
+	var err error
+	db.View(func() error {
+		res, err = tab.GroupBy(GroupQuery{
+			GroupBy: []string{"resource"},
+			Aggregates: []Aggregate{
+				{Func: AggSum, Column: "wall", As: "wall_sum"},
+				{Func: AggCount, As: "n"},
+				{Func: AggAvg, Column: "cores", As: "cores_avg"},
+				{Func: AggMin, Column: "cores", As: "cores_min"},
+				{Func: AggMax, Column: "cores", As: "cores_max"},
+			},
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res))
+	}
+	x := res[0]
+	if x.Keys[0] != "x" {
+		x = res[1]
+	}
+	if x.Values["wall_sum"] != 30 || x.Values["n"] != 2 || x.Values["cores_avg"] != 6 ||
+		x.Values["cores_min"] != 4 || x.Values["cores_max"] != 8 {
+		t.Errorf("group x aggregates wrong: %+v", x.Values)
+	}
+}
+
+func TestGroupByUnknownColumns(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.View(func() error {
+		if _, err := tab.GroupBy(GroupQuery{GroupBy: []string{"nope"}}); err == nil {
+			t.Error("expected error for unknown group-by column")
+		}
+		if _, err := tab.GroupBy(GroupQuery{Aggregates: []Aggregate{{Func: AggSum, Column: "nope"}}}); err == nil {
+			t.Error("expected error for unknown aggregate column")
+		}
+		return nil
+	})
+}
+
+func TestBinlogRecordsMutations(t *testing.T) {
+	db := Open("test")
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		tab.Insert(map[string]any{"job_id": 1, "user": "a", "resource": "r", "cores": 1, "wall": 1.0})
+		tab.Upsert(map[string]any{"job_id": 1, "user": "b", "resource": "r", "cores": 2, "wall": 2.0})
+		tab.DeleteByKey(int64(1))
+		return nil
+	})
+	evs, err := db.Binlog().ReadFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []EventKind
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EvCreateSchema, EvCreateTable, EvInsert, EvUpdate, EvDelete}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d: got %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	for i, e := range evs {
+		if e.LSN != uint64(i+1) {
+			t.Errorf("event %d LSN = %d, want %d", i, e.LSN, i+1)
+		}
+	}
+}
+
+func TestBinlogTrimAndTrimmedError(t *testing.T) {
+	b := NewBinlog()
+	for i := 0; i < 10; i++ {
+		b.Append(Event{Kind: EvInsert, Schema: "s", Table: "t"})
+	}
+	b.Trim(5)
+	if _, err := b.ReadFrom(3, 0); err != ErrPositionTrimmed {
+		t.Errorf("expected ErrPositionTrimmed, got %v", err)
+	}
+	evs, err := b.ReadFrom(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 || evs[0].LSN != 6 {
+		t.Errorf("got %d events starting %d", len(evs), evs[0].LSN)
+	}
+	if b.Last() != 10 {
+		t.Errorf("Last = %d, want 10", b.Last())
+	}
+}
+
+func TestBinlogWaitWakesOnAppend(t *testing.T) {
+	b := NewBinlog()
+	got := make(chan []Event, 1)
+	go func() {
+		evs, err := b.Wait(context.Background(), 0, 0)
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		got <- evs
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Append(Event{Kind: EvInsert, Schema: "s", Table: "t"})
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].LSN != 1 {
+			t.Errorf("unexpected events %v", evs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on append")
+	}
+}
+
+func TestBinlogWaitContextCancel(t *testing.T) {
+	b := NewBinlog()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Wait(ctx, 0, 0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Errorf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not observe cancellation")
+	}
+}
+
+func TestBinlogCloseWakesWaiters(t *testing.T) {
+	b := NewBinlog()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Wait(context.Background(), 0, 0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if err != ErrLogClosed {
+			t.Errorf("got %v, want ErrLogClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not observe close")
+	}
+}
+
+func TestApplyReplaysBinlogIdentically(t *testing.T) {
+	src := Open("satellite")
+	tab := mustTable(t, src, "mod_shredder")
+	src.Do(func() error {
+		for i := 0; i < 50; i++ {
+			tab.Insert(map[string]any{"job_id": i, "user": fmt.Sprintf("u%d", i%5), "resource": "r", "cores": i, "wall": float64(i)})
+		}
+		tab.UpdateByKey([]any{int64(3)}, map[string]any{"cores": 1000})
+		tab.DeleteByKey(int64(7))
+		return nil
+	})
+
+	dst := Open("hub")
+	evs, _ := src.Binlog().ReadFrom(0, 0)
+	for _, ev := range evs {
+		if err := dst.Apply(ev); err != nil {
+			t.Fatalf("apply %v: %v", ev.Kind, err)
+		}
+	}
+
+	if dst.Count("mod_shredder", "jobs") != src.Count("mod_shredder", "jobs") {
+		t.Fatalf("row counts differ: %d vs %d", dst.Count("mod_shredder", "jobs"), src.Count("mod_shredder", "jobs"))
+	}
+	dtab, err := dst.TableIn("mod_shredder", "jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.View(func() error {
+		r, ok := dtab.GetByKey(int64(3))
+		if !ok || r.Int("cores") != 1000 {
+			t.Errorf("update not replicated: ok=%v row=%v", ok, r.Values())
+		}
+		if _, ok := dtab.GetByKey(int64(7)); ok {
+			t.Error("delete not replicated")
+		}
+		return nil
+	})
+}
+
+func TestApplyIdempotentDDL(t *testing.T) {
+	dst := Open("hub")
+	def := jobsDef()
+	ev := Event{Kind: EvCreateTable, Schema: "s", Table: "jobs", Def: &def}
+	if err := dst.Apply(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Apply(ev); err != nil {
+		t.Fatalf("re-apply of CREATE_TABLE must be idempotent, got %v", err)
+	}
+	if err := dst.Apply(Event{Kind: EvCreateSchema, Schema: "s"}); err != nil {
+		t.Fatalf("re-apply of CREATE_SCHEMA must be idempotent, got %v", err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	db := Open("src")
+	tab := mustTable(t, db, "mod_shredder")
+	now := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	db.Do(func() error {
+		for i := 0; i < 25; i++ {
+			tab.Insert(map[string]any{"job_id": i, "user": "u", "resource": "r", "cores": i, "wall": float64(i), "end_time": now})
+		}
+		return nil
+	})
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := Open("dst")
+	lsn, err := dst.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != db.Binlog().Last() {
+		t.Errorf("restore LSN = %d, want %d", lsn, db.Binlog().Last())
+	}
+	if dst.Count("mod_shredder", "jobs") != 25 {
+		t.Errorf("restored %d rows, want 25", dst.Count("mod_shredder", "jobs"))
+	}
+	dtab, _ := dst.TableIn("mod_shredder", "jobs")
+	dst.View(func() error {
+		r, ok := dtab.GetByKey(int64(3))
+		if !ok {
+			t.Fatal("row 3 missing after restore")
+		}
+		if v, _ := r.Lookup("end_time"); v.(time.Time) != now {
+			t.Errorf("time survived wrong: %v", v)
+		}
+		return nil
+	})
+}
+
+func TestRestoreRenamed(t *testing.T) {
+	db := Open("src")
+	mustTable(t, db, "mod_shredder")
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := Open("dst")
+	if _, err := dst.RestoreRenamed(&buf, map[string]string{"mod_shredder": "fed_siteA"}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Schema("fed_siteA") == nil {
+		t.Error("renamed schema missing")
+	}
+	if dst.Schema("mod_shredder") != nil {
+		t.Error("original schema name should not exist on destination")
+	}
+}
+
+func TestSnapshotSubsetOfSchemas(t *testing.T) {
+	db := Open("src")
+	mustTable(t, db, "keep")
+	mustTable(t, db, "drop")
+	var buf bytes.Buffer
+	if err := db.SnapshotSchemas(&buf, []string{"keep"}); err != nil {
+		t.Fatal(err)
+	}
+	dst := Open("dst")
+	if _, err := dst.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Schema("keep") == nil || dst.Schema("drop") != nil {
+		t.Errorf("subset snapshot wrong: schemas=%v", dst.Schemas())
+	}
+}
+
+func TestSchemaLifecycle(t *testing.T) {
+	db := Open("test")
+	if _, err := db.CreateSchema("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateSchema("a"); err == nil {
+		t.Error("duplicate schema should fail")
+	}
+	if _, err := db.CreateSchema(""); err == nil {
+		t.Error("empty schema name should fail")
+	}
+	if err := db.DropSchema("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropSchema("a"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if db.Schema("a") != nil {
+		t.Error("dropped schema still visible")
+	}
+}
+
+func TestOpenWithoutBinlog(t *testing.T) {
+	db := OpenWithoutBinlog("scratch")
+	mustTable(t, db, "s")
+	if db.Binlog().Len() != 0 {
+		t.Errorf("binlog should stay empty, has %d events", db.Binlog().Len())
+	}
+}
+
+func TestDBHelpers(t *testing.T) {
+	db := Open("test")
+	mustTable(t, db, "s")
+	if err := db.Insert("s", "jobs", map[string]any{"job_id": 1, "user": "a", "resource": "r", "cores": 1, "wall": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Upsert("s", "jobs", map[string]any{"job_id": 1, "user": "z", "resource": "r", "cores": 1, "wall": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRow("s", "jobs", []any{int64(2), "b", "r", int64(4), 2.0, nil}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("s", "jobs") != 2 {
+		t.Errorf("count = %d, want 2", db.Count("s", "jobs"))
+	}
+	n := 0
+	db.Scan("s", "jobs", func(r Row) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("scan visited %d, want 2", n)
+	}
+	if err := db.Insert("nope", "jobs", nil); err == nil {
+		t.Error("insert into missing schema should fail")
+	}
+	if err := db.Insert("s", "nope", nil); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+}

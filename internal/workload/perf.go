@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"xdmodfed/internal/realm/perf"
+	"xdmodfed/internal/shredder"
+)
+
+// PerfTimeseries synthesizes SUPReMM-style per-job performance
+// timeseries for the given accounting records: the nine hardware
+// counter metrics sampled every interval over the job's life, plus a
+// job script. Profiles are deterministic in (records, seed).
+func PerfTimeseries(recs []shredder.JobRecord, interval time.Duration, seed int64) []perf.JobTimeseries {
+	rng := rand.New(rand.NewSource(seed))
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	out := make([]perf.JobTimeseries, 0, len(recs))
+	for _, rec := range recs {
+		ts := perf.JobTimeseries{
+			JobID:    rec.LocalJobID,
+			Resource: rec.Resource,
+			Start:    rec.Start,
+			Script:   "#!/bin/bash\n#SBATCH -N " + itoa(int(rec.Nodes)) + "\nsrun ./" + rec.JobName + "\n",
+		}
+		// Per-job performance personality: CPU-bound, memory-bound, or
+		// IO-bound, with stable levels plus sampling noise.
+		kind := rng.Intn(3)
+		base := [perf.NumMetrics]float64{}
+		switch kind {
+		case 0: // CPU bound
+			base = [perf.NumMetrics]float64{95, 3, 20, 30, 2, 2, 1, 1, 80}
+		case 1: // memory-bandwidth bound
+			base = [perf.NumMetrics]float64{60, 35, 85, 95, 5, 5, 2, 2, 30}
+		case 2: // IO bound
+			base = [perf.NumMetrics]float64{25, 70, 30, 20, 80, 60, 10, 10, 5}
+		}
+		n := int(rec.Wall()/interval) + 1
+		if n > 240 {
+			n = 240 // cap samples per job, as production summarizers do
+		}
+		for i := 0; i < n; i++ {
+			s := perf.Sample{JobID: rec.LocalJobID, Resource: rec.Resource, Offset: time.Duration(i) * interval}
+			for m := range s.Values {
+				v := base[m] * (0.9 + rng.Float64()*0.2)
+				if v < 0 {
+					v = 0
+				}
+				s.Values[m] = v
+			}
+			ts.Samples = append(ts.Samples, s)
+		}
+		out = append(out, ts)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"xdmodfed/internal/realm/perf"
+)
+
+func TestPerfTimeseriesDeterministic(t *testing.T) {
+	recs := GenerateJobs(XSEDE2017Models()[0], 5, 1)
+	a := PerfTimeseries(recs, time.Minute, 9)
+	b := PerfTimeseries(recs, time.Minute, 9)
+	if len(a) != len(b) || len(a) != len(recs) {
+		t.Fatalf("lengths: %d %d %d", len(a), len(b), len(recs))
+	}
+	for i := range a {
+		if len(a[i].Samples) != len(b[i].Samples) {
+			t.Fatalf("job %d sample counts differ", a[i].JobID)
+		}
+		for j := range a[i].Samples {
+			if a[i].Samples[j] != b[i].Samples[j] {
+				t.Fatalf("job %d sample %d differs", a[i].JobID, j)
+			}
+		}
+	}
+}
+
+func TestPerfTimeseriesShape(t *testing.T) {
+	recs := GenerateJobs(XSEDE2017Models()[0], 10, 2)
+	profiles := PerfTimeseries(recs, 0, 2) // zero interval defaults to 30s
+	for _, ts := range profiles {
+		if ts.JobID <= 0 || ts.Resource == "" || ts.Script == "" {
+			t.Fatalf("incomplete profile: %+v", ts)
+		}
+		if len(ts.Samples) == 0 || len(ts.Samples) > 240 {
+			t.Fatalf("job %d has %d samples", ts.JobID, len(ts.Samples))
+		}
+		for _, s := range ts.Samples {
+			for m, v := range s.Values {
+				if v < 0 {
+					t.Fatalf("job %d metric %d negative: %g", ts.JobID, m, v)
+				}
+			}
+		}
+		if _, err := perf.Summarize(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

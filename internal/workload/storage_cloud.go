@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"xdmodfed/internal/realm/cloud"
+	"xdmodfed/internal/realm/storage"
+)
+
+// CCRStorage2017 synthesizes monthly storage usage snapshots shaped
+// like the paper's Figure 6: CCR's file count and physical storage
+// usage grow through 2017. One snapshot per user per filesystem is
+// taken on the last day of each month (the figure aggregates monthly).
+func CCRStorage2017(users int, seed int64) []storage.Snapshot {
+	rng := rand.New(rand.NewSource(seed))
+	type fs struct {
+		name       string
+		kind       string
+		mountpoint string
+		quota      int64
+	}
+	filesystems := []fs{
+		{"isilon-home", "persistent", "/home", 20 << 30},
+		{"isilon-projects", "persistent", "/projects", 200 << 30},
+		{"gpfs-scratch", "scratch", "/scratch", 0},
+	}
+	// Per-user baseline and growth rates.
+	type profile struct {
+		files0, filesGrow float64
+		bytes0, bytesGrow float64
+	}
+	profiles := make([]profile, users)
+	for i := range profiles {
+		profiles[i] = profile{
+			files0:    float64(20000 + rng.Intn(200000)),
+			filesGrow: 0.02 + rng.Float64()*0.06, // 2-8%/month
+			bytes0:    float64(int64(1+rng.Intn(40)) << 30),
+			bytesGrow: 0.03 + rng.Float64()*0.05,
+		}
+	}
+	var snaps []storage.Snapshot
+	for month := 1; month <= 12; month++ {
+		// Last day of the month, 06:00 UTC collection run.
+		ts := time.Date(2017, time.Month(month)+1, 1, 6, 0, 0, 0, time.UTC).AddDate(0, 0, -1)
+		growth := float64(month - 1)
+		for u := 0; u < users; u++ {
+			p := profiles[u]
+			for fi, f := range filesystems {
+				if (u+fi)%3 == 2 && f.kind == "scratch" {
+					continue // not every user touches scratch
+				}
+				share := 1.0 / float64(fi+1)
+				files := p.files0 * share * (1 + p.filesGrow*growth) * (0.97 + rng.Float64()*0.06)
+				logical := p.bytes0 * share * (1 + p.bytesGrow*growth) * (0.97 + rng.Float64()*0.06)
+				physical := logical * 1.35 // replication/protection overhead
+				snaps = append(snaps, storage.Snapshot{
+					Resource:      f.name,
+					ResourceType:  f.kind,
+					Mountpoint:    f.mountpoint,
+					User:          userName("ccr", u),
+					PI:            accountName(u / 4),
+					Timestamp:     ts,
+					FileCount:     int64(files),
+					LogicalBytes:  int64(logical),
+					PhysicalBytes: int64(physical),
+					SoftThreshold: f.quota,
+					HardThreshold: f.quota + f.quota/5,
+				})
+			}
+		}
+	}
+	return snaps
+}
+
+// CloudHorizon2017 is the observation horizon for the 2017 cloud
+// trace: the start of 2018.
+var CloudHorizon2017 = time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// CCRCloud2017 synthesizes a VM lifecycle event stream shaped like the
+// paper's Figure 7: VMs on the CCR research cloud in 2017, with memory
+// sizes spread over the figure's bins (<1, 1-2, 2-4, 4-8 GB) and
+// average core hours per VM increasing with VM memory size. Larger VMs
+// run longer and with more cores, as in the published plot.
+func CCRCloud2017(vms int, seed int64) []cloud.Event {
+	rng := rand.New(rand.NewSource(seed))
+	type class struct {
+		memGB       float64
+		cores       []int64
+		meanRunDays float64
+		instance    string
+	}
+	classes := []class{
+		{0.5, []int64{1}, 2, "m1.tiny"},
+		{1.5, []int64{1, 2}, 4, "m1.small"},
+		{3, []int64{2, 4}, 8, "m1.medium"},
+		{6, []int64{4, 8}, 16, "m1.large"},
+	}
+	var events []cloud.Event
+	for v := 0; v < vms; v++ {
+		cl := classes[rng.Intn(len(classes))]
+		vmID := "vm-" + itoa(v)
+		user := userName("cloud", rng.Intn(30))
+		project := "project-" + itoa(rng.Intn(8))
+		cores := cl.cores[rng.Intn(len(cl.cores))]
+		created := time.Date(2017, time.Month(1+rng.Intn(12)), 1+rng.Intn(28), rng.Intn(24), 0, 0, 0, time.UTC)
+
+		mk := func(t cloud.EventType, at time.Time) cloud.Event {
+			return cloud.Event{
+				VMID: vmID, Resource: "lakeeffect", User: user, Project: project,
+				InstanceType: cl.instance, Type: t, Time: at,
+				Cores: cores, MemoryGB: cl.memGB, DiskGB: 40,
+			}
+		}
+		events = append(events, mk(cloud.EvRequest, created))
+		at := created.Add(time.Duration(rng.Intn(10)) * time.Minute)
+		events = append(events, mk(cloud.EvStart, at))
+
+		// Run in 1-3 segments separated by stop/resume gaps.
+		segments := 1 + rng.Intn(3)
+		for seg := 0; seg < segments; seg++ {
+			run := time.Duration(rng.ExpFloat64() * cl.meanRunDays / float64(segments) * float64(24*time.Hour))
+			if run < time.Hour {
+				run = time.Hour
+			}
+			at = at.Add(run)
+			if at.After(CloudHorizon2017) {
+				break // still running at horizon
+			}
+			if seg == segments-1 {
+				events = append(events, mk(cloud.EvTerminate, at))
+			} else {
+				events = append(events, mk(cloud.EvStop, at))
+				gap := time.Duration(rng.Intn(72)+1) * time.Hour
+				at = at.Add(gap)
+				if at.After(CloudHorizon2017) {
+					break
+				}
+				events = append(events, mk(cloud.EvResume, at))
+			}
+		}
+	}
+	return events
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"xdmodfed/internal/realm/cloud"
+)
+
+func TestGenerateJobsDeterministic(t *testing.T) {
+	m := XSEDE2017Models()[0]
+	a := GenerateJobs(m, 50, 42)
+	b := GenerateJobs(m, 50, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c := GenerateJobs(m, 50, 43)
+	same := len(a) == len(c)
+	if same {
+		identical := true
+		for i := range a {
+			if a[i] != c[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateJobsValidAndIn2017(t *testing.T) {
+	for _, m := range XSEDE2017Models() {
+		recs := GenerateJobs(m, 30, 1)
+		ids := map[int64]bool{}
+		for _, r := range recs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s: invalid record: %v", m.Name, err)
+			}
+			if r.End.Year() != 2017 {
+				t.Fatalf("%s: job ends outside 2017: %v", m.Name, r.End)
+			}
+			if ids[r.LocalJobID] {
+				t.Fatalf("%s: duplicate job id %d", m.Name, r.LocalJobID)
+			}
+			ids[r.LocalJobID] = true
+		}
+	}
+}
+
+func TestXSEDE2017Shape(t *testing.T) {
+	conv := SUConverter2017()
+	recs := XSEDE2017(120, 7)
+	totalSU := map[string]float64{}
+	monthlySU := map[string][12]float64{}
+	for _, r := range recs {
+		v, err := conv.ToXDSU(r.Resource, r.CPUHours())
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSU[r.Resource] += v
+		ms := monthlySU[r.Resource]
+		ms[r.End.Month()-1] += v
+		monthlySU[r.Resource] = ms
+	}
+	// Figure 1 ordering: Comet > Stampede2 > Stampede by total XD SUs.
+	if !(totalSU["comet"] > totalSU["stampede2"] && totalSU["stampede2"] > totalSU["stampede"]) {
+		t.Errorf("total SU ordering wrong: %v", totalSU)
+	}
+	// Stampede ramps down: H2 < H1. Stampede2 ramps up: H2 > H1.
+	h := func(res string, lo, hi int) float64 {
+		var s float64
+		ms := monthlySU[res]
+		for i := lo; i < hi; i++ {
+			s += ms[i]
+		}
+		return s
+	}
+	if !(h("stampede", 6, 12) < h("stampede", 0, 6)) {
+		t.Error("stampede should decline through 2017")
+	}
+	if !(h("stampede2", 6, 12) > h("stampede2", 0, 6)) {
+		t.Error("stampede2 should ramp up through 2017")
+	}
+	if h("stampede2", 0, 4) != 0 {
+		t.Error("stampede2 had no production before May 2017")
+	}
+}
+
+func TestCCRStorage2017(t *testing.T) {
+	snaps := CCRStorage2017(20, 3)
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	monthlyFiles := map[time.Month]int64{}
+	monthlyBytes := map[time.Month]int64{}
+	for _, s := range snaps {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid snapshot: %v", err)
+		}
+		if s.Timestamp.Year() != 2017 {
+			t.Fatalf("snapshot outside 2017: %v", s.Timestamp)
+		}
+		monthlyFiles[s.Timestamp.Month()] += s.FileCount
+		monthlyBytes[s.Timestamp.Month()] += s.PhysicalBytes
+	}
+	// Figure 6 shape: growth through the year (compare Q1 vs Q4 sums).
+	q1 := monthlyFiles[1] + monthlyFiles[2] + monthlyFiles[3]
+	q4 := monthlyFiles[10] + monthlyFiles[11] + monthlyFiles[12]
+	if q4 <= q1 {
+		t.Errorf("file count should grow: Q1=%d Q4=%d", q1, q4)
+	}
+	b1 := monthlyBytes[1] + monthlyBytes[2] + monthlyBytes[3]
+	b4 := monthlyBytes[10] + monthlyBytes[11] + monthlyBytes[12]
+	if b4 <= b1 {
+		t.Errorf("physical usage should grow: Q1=%d Q4=%d", b1, b4)
+	}
+	// Deterministic.
+	again := CCRStorage2017(20, 3)
+	if len(again) != len(snaps) || again[0] != snaps[0] {
+		t.Error("storage trace not deterministic")
+	}
+}
+
+func TestCCRCloud2017(t *testing.T) {
+	events := CCRCloud2017(150, 5)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("invalid event: %v", err)
+		}
+	}
+	sessions, err := cloud.ReconstructSessions(events, CloudHorizon2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) == 0 {
+		t.Fatal("no sessions reconstructed")
+	}
+	// Figure 7 shape: average core hours per VM increase with memory bin.
+	binCore := map[string]float64{}
+	binVMs := map[string]map[string]bool{}
+	binOf := func(mem float64) string {
+		switch {
+		case mem < 1:
+			return "<1"
+		case mem < 2:
+			return "1-2"
+		case mem < 4:
+			return "2-4"
+		default:
+			return "4-8"
+		}
+	}
+	for _, s := range sessions {
+		b := binOf(s.MemoryGB)
+		binCore[b] += s.CoreHours()
+		if binVMs[b] == nil {
+			binVMs[b] = map[string]bool{}
+		}
+		binVMs[b][s.VMID] = true
+	}
+	avg := func(b string) float64 {
+		if len(binVMs[b]) == 0 {
+			return 0
+		}
+		return binCore[b] / float64(len(binVMs[b]))
+	}
+	if !(avg("4-8") > avg("2-4") && avg("2-4") > avg("1-2") && avg("1-2") > avg("<1")) {
+		t.Errorf("avg core hours per VM should increase with memory: <1=%.1f 1-2=%.1f 2-4=%.1f 4-8=%.1f",
+			avg("<1"), avg("1-2"), avg("2-4"), avg("4-8"))
+	}
+	// All four bins are populated (the figure plots four series).
+	for _, b := range []string{"<1", "1-2", "2-4", "4-8"} {
+		if len(binVMs[b]) == 0 {
+			t.Errorf("bin %s empty", b)
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for i, want := range map[int]string{0: "0", 7: "7", 42: "42", 12345: "12345"} {
+		if got := itoa(i); got != want {
+			t.Errorf("itoa(%d) = %q", i, got)
+		}
+	}
+}
