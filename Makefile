@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with the most lock-free/concurrent code: the
+# metrics registry and the replication senders/receivers.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/replicate/...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 20000x .
+
+# Tier-1 gate: everything CI runs.
+check: build vet test race

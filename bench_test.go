@@ -18,6 +18,7 @@ import (
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/replicate"
 	"xdmodfed/internal/report"
@@ -431,6 +432,50 @@ func BenchmarkAuthSSO(b *testing.B) {
 		if _, err := a.LoginSSO(assertion); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObsOverhead (EXP-B9): instrumentation cost on the ingest
+// hot path. The same workload runs with the obs registry gated off and
+// on; the reported overhead_% is the relative slowdown from leaving
+// instrumentation enabled. Pre-resolved metric handles keep this to
+// one atomic op per event — the budget is <5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	ingest := func(n int) time.Duration {
+		in := benchInstance(b)
+		recs := benchRecords(n)
+		start := time.Now()
+		st, err := in.Pipeline.IngestJobRecords(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Ingested != n {
+			b.Fatalf("ingested %d of %d", st.Ingested, n)
+		}
+		return time.Since(start)
+	}
+
+	defer obs.SetEnabled(true)
+	ingest(min(b.N, 5000)) // warm up allocator and code paths untimed
+
+	// Interleave disabled/enabled rounds so allocator and cache drift
+	// hits both sides equally.
+	var off, on time.Duration
+	b.ResetTimer()
+	for round := 0; round < 2; round++ {
+		obs.SetEnabled(false)
+		off += ingest(b.N)
+		obs.SetEnabled(true)
+		on += ingest(b.N)
+	}
+	b.StopTimer()
+
+	b.ReportMetric(float64(2*b.N)/on.Seconds(), "jobs/s")
+	// Tiny b.N runs are all noise; only report overhead when the
+	// workload is large enough to mean something.
+	if b.N >= 5000 && off > 0 {
+		pct := (on.Seconds() - off.Seconds()) / off.Seconds() * 100
+		b.ReportMetric(pct, "overhead_%")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/rest"
 )
 
@@ -45,6 +46,7 @@ func main() {
 		members     = flag.String("members", "", "comma-separated registered member instances")
 		adminUser   = flag.String("admin-user", "", "bootstrap a local admin account")
 		adminPass   = flag.String("admin-pass", "", "password for -admin-user")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		loose       looseFlags
 	)
 	flag.Var(&loose, "loose", "load a loose dump: instance=path (repeatable)")
@@ -52,6 +54,7 @@ func main() {
 	if *configPath == "" {
 		fatal(fmt.Errorf("-config is required"))
 	}
+	obs.SetLogOutput(os.Stderr, *logJSON)
 	cfg, err := config.LoadFile(*configPath)
 	if err != nil {
 		fatal(err)

@@ -16,10 +16,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/shredder"
 )
 
@@ -32,10 +35,27 @@ func main() {
 		resource    = flag.String("resource", "", "resource name for -slurm/-pbs")
 		stagingJSON = flag.String("staging", "", "staging job records JSON (from xdmod-shredder)")
 		storageJSON = flag.String("storage-json", "", "storage realm JSON document")
+		metricsAddr = flag.String("metrics-listen", "", "serve GET /metrics (Prometheus text) on this address during the run")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
 	if *configPath == "" || *dbPath == "" {
 		fatal(fmt.Errorf("-config and -db are required"))
+	}
+	obs.SetLogOutput(os.Stderr, *logJSON)
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", obs.ContentType)
+			obs.Default.Render(w)
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, mux)
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	sat, err := loadSatellite(*configPath, *dbPath)

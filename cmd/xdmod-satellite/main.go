@@ -23,6 +23,7 @@ import (
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/rest"
 	"xdmodfed/internal/warehouse"
 )
@@ -35,11 +36,13 @@ func main() {
 		adminUser  = flag.String("admin-user", "", "bootstrap a local admin account")
 		adminPass  = flag.String("admin-pass", "", "password for -admin-user")
 		walPath    = flag.String("wal", "", "durable binlog path: replayed on startup, appended while running")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
 	if *configPath == "" {
 		fatal(fmt.Errorf("-config is required"))
 	}
+	obs.SetLogOutput(os.Stderr, *logJSON)
 	cfg, err := config.LoadFile(*configPath)
 	if err != nil {
 		fatal(err)
@@ -94,7 +97,7 @@ func main() {
 	}
 	defer sat.StopFederation()
 
-	srv := &http.Server{Addr: *listen, Handler: rest.NewServer(sat.Instance).Handler()}
+	srv := &http.Server{Addr: *listen, Handler: rest.NewSatelliteServer(sat).Handler()}
 	go func() {
 		<-ctx.Done()
 		srv.Shutdown(context.Background())

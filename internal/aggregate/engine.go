@@ -201,6 +201,7 @@ func (e *Engine) ApplyFactRow(info realm.Info, r warehouse.Row) error {
 // applyLocked folds one fact row into the resolved targets. Must run
 // while holding the DB write lock.
 func (e *Engine) applyLocked(info realm.Info, targets []target, cols, weights []string, r warehouse.Row) error {
+	mFactsApplied.Inc()
 	ts, ok := r.Lookup(info.TimeColumn)
 	if !ok {
 		return fmt.Errorf("aggregate: fact row missing time column %q", info.TimeColumn)

@@ -1,0 +1,18 @@
+package aggregate
+
+import (
+	"xdmodfed/internal/obs"
+)
+
+// Aggregation-engine instrumentation: chart-query latency per realm,
+// aggregation-table rows scanned while answering queries, and fact
+// rows folded into aggregates.
+var (
+	mQuerySeconds = obs.Default.HistogramVec("xdmodfed_query_seconds",
+		"Latency of one chart query against a realm's aggregation tables.",
+		nil, "realm")
+	mRowsScanned = obs.Default.Counter("xdmodfed_query_rows_scanned_total",
+		"Aggregation-table rows scanned while answering chart queries.")
+	mFactsApplied = obs.Default.Counter("xdmodfed_aggregate_facts_total",
+		"Fact rows folded into aggregation tables.")
+)

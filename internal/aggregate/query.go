@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"xdmodfed/internal/realm"
 	"xdmodfed/internal/warehouse"
@@ -105,6 +106,7 @@ func (c *cell) value(m realm.Metric) float64 {
 
 // Query runs a request against the realm's aggregation tables.
 func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
+	defer mQuerySeconds.With(info.Name).ObserveSince(time.Now())
 	metric, ok := info.Metric(req.MetricID)
 	if !ok {
 		return nil, fmt.Errorf("aggregate: realm %s has no metric %q", info.Name, req.MetricID)
@@ -136,8 +138,10 @@ func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 	}
 	cells := map[gp]*cell{}
 	aggCells := map[string]*cell{}
+	scanned := 0
 	err = e.db.View(func() error {
 		tab.Scan(func(r warehouse.Row) bool {
+			scanned++
 			pk := r.Int("period_key")
 			if req.StartKey != 0 && pk < req.StartKey {
 				return true
@@ -171,6 +175,7 @@ func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 		})
 		return nil
 	})
+	mRowsScanned.Add(uint64(scanned))
 	if err != nil {
 		return nil, err
 	}

@@ -132,6 +132,9 @@ type InstanceConfig struct {
 	// HierarchyFile optionally points at an institutional hierarchy
 	// JSON document (see internal/hierarchy) used for roll-up charts.
 	HierarchyFile string `json:"hierarchy_file,omitempty"`
+	// EnablePprof mounts net/http/pprof profiling handlers under
+	// /debug/pprof/ on the instance's REST server.
+	EnablePprof bool `json:"enable_pprof,omitempty"`
 }
 
 // Validate checks the whole instance configuration.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"xdmodfed/internal/aggregate"
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/replicate"
 	"xdmodfed/internal/warehouse"
@@ -19,8 +21,9 @@ import (
 type Member struct {
 	Name      string
 	JoinedAt  time.Time
-	Position  uint64 // last committed binlog LSN
-	LastBatch time.Time
+	Position  uint64    // last committed binlog LSN
+	LastBatch time.Time // wall time the last batch (or loose dump) landed
+	LastEvent time.Time // origin timestamp of the newest applied event
 	Batches   int
 	Events    int
 }
@@ -74,6 +77,8 @@ func (h *Hub) Register(instance string) error {
 		return fmt.Errorf("core: instance %q is already a federation member", instance)
 	}
 	h.members[instance] = &Member{Name: instance, JoinedAt: h.now()}
+	mHubMembers.Set(float64(len(h.members)))
+	coreLog.Info("member registered", "federation", h.Config.Name, "instance", instance)
 	return nil
 }
 
@@ -110,8 +115,13 @@ func (h *Hub) Resume(instance string) (uint64, error) {
 // commit position advances durably, usernames feed the identity map,
 // and the hub marks its aggregates stale.
 func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event) error {
+	_, sp := obs.StartSpan(context.Background(), "hub.ApplyBatch")
+	sp.SetAttr("instance", instance)
+	defer sp.End()
+	defer mHubBatchSeconds.ObserveSince(time.Now())
 	for _, ev := range events {
 		if err := h.DB.Apply(ev); err != nil {
+			coreLog.Error("apply batch failed", "instance", instance, "lsn", ev.LSN, "err", err)
 			return err
 		}
 		h.observeIdentity(instance, ev)
@@ -119,10 +129,19 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 	if err := h.Positions.Set(instance, upTo); err != nil {
 		return err
 	}
+	mHubApplied.With(instance).Add(uint64(len(events)))
+	mMemberPosition.With(instance).Set(float64(upTo))
 	h.mu.Lock()
 	if m, ok := h.members[instance]; ok {
 		m.Position = upTo
 		m.LastBatch = h.now()
+		if n := len(events); n > 0 {
+			if t := events[n-1].Time; !t.IsZero() {
+				m.LastEvent = t
+			} else {
+				m.LastEvent = h.now()
+			}
+		}
 		m.Batches++
 		m.Events += len(events)
 	}
@@ -179,6 +198,7 @@ func (h *Hub) LoadLooseDump(instance string, r io.Reader) error {
 	h.dirty = true
 	if m, ok := h.members[instance]; ok {
 		m.LastBatch = h.now()
+		m.LastEvent = h.now()
 		m.Batches++
 	}
 	h.mu.Unlock()
@@ -205,6 +225,10 @@ func (h *Hub) memberSchemas(factTable string) []string {
 // the federation hub's aggregation levels, so no data are lost or
 // changed", §II-C3). Returns fact rows aggregated per realm.
 func (h *Hub) AggregateFederation() (map[string]int, error) {
+	_, sp := obs.StartSpan(context.Background(), "hub.AggregateFederation")
+	defer sp.End()
+	defer mAggSeconds.ObserveSince(time.Now())
+	defer mAggRuns.Inc()
 	counts := map[string]int{}
 	for _, name := range h.Registry.Names() {
 		info, _ := h.Registry.Get(name)

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"xdmodfed/internal/obs"
+)
+
+// Federation-core instrumentation: hub apply path, membership, and
+// aggregation runs (both the hub's federation-wide pass and each
+// instance's daily pass).
+var (
+	mHubMembers = obs.Default.Gauge("xdmodfed_hub_members",
+		"Number of satellite instances registered with this hub.")
+	mHubApplied = obs.Default.CounterVec("xdmodfed_hub_applied_events_total",
+		"Replicated binlog events applied on the hub, per member.", "member")
+	mHubBatchSeconds = obs.Default.Histogram("xdmodfed_hub_apply_batch_seconds",
+		"Latency of applying one replication batch on the hub.", nil)
+	mMemberPosition = obs.Default.GaugeVec("xdmodfed_hub_member_position",
+		"Last durably committed binlog LSN per member, as seen by the hub.", "member")
+	mAggRuns = obs.Default.Counter("xdmodfed_aggregation_runs_total",
+		"Completed aggregation runs (instance-local and federation-wide).")
+	mAggSeconds = obs.Default.Histogram("xdmodfed_aggregation_run_seconds",
+		"Duration of one full aggregation run across all realms.", nil)
+
+	coreLog = obs.Logger("core")
+)

@@ -22,6 +22,7 @@ import (
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/hierarchy"
 	"xdmodfed/internal/ingest"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/realm"
 	"xdmodfed/internal/realm/alloc"
 	"xdmodfed/internal/realm/cloud"
@@ -183,6 +184,10 @@ func (in *Instance) Query(realmName string, req aggregate.Request) ([]aggregate.
 // AggregateAll (re)aggregates every realm from the instance's own raw
 // data — the daily aggregation run.
 func (in *Instance) AggregateAll() error {
+	_, sp := obs.StartSpan(context.Background(), "instance.AggregateAll")
+	defer sp.End()
+	defer mAggSeconds.ObserveSince(time.Now())
+	defer mAggRuns.Inc()
 	for _, name := range in.Registry.Names() {
 		info, _ := in.Registry.Get(name)
 		if _, err := in.Engine.Reaggregate(info, []string{info.Schema}); err != nil {

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"xdmodfed/internal/warehouse"
+)
+
+// TestStatusMemberFreshness exercises the Status() fields /healthz
+// freshness is built on: per-member last-applied position and the wall
+// time of the newest applied event.
+func TestStatusMemberFreshness(t *testing.T) {
+	hub, err := NewHub(hubCfg("fedhub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Register("siteA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Register("siteB"); err != nil {
+		t.Fatal(err)
+	}
+
+	st := hub.Status()
+	if len(st.Members) != 2 {
+		t.Fatalf("members = %d, want 2", len(st.Members))
+	}
+	for _, m := range st.Members {
+		if m.Position != 0 || !m.LastEvent.IsZero() || !m.LastBatch.IsZero() {
+			t.Errorf("member %s before any batch: Position=%d LastEvent=%v LastBatch=%v",
+				m.Name, m.Position, m.LastEvent, m.LastBatch)
+		}
+	}
+
+	// Apply a batch carrying an event with an origin timestamp.
+	evTime := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	events := []warehouse.Event{
+		{Kind: warehouse.EvCreateSchema, Schema: "fed_siteA", Time: evTime.Add(-time.Minute)},
+		{Kind: warehouse.EvCreateTable, Schema: "fed_siteA", Table: "tt", Time: evTime,
+			Def: &warehouse.TableDef{
+				Name:    "tt",
+				Columns: []warehouse.Column{{Name: "id", Type: warehouse.TypeInt}},
+			}},
+	}
+	if err := hub.ApplyBatch("siteA", 42, events); err != nil {
+		t.Fatal(err)
+	}
+
+	st = hub.Status()
+	var a, b *Member
+	for i := range st.Members {
+		switch st.Members[i].Name {
+		case "siteA":
+			a = &st.Members[i]
+		case "siteB":
+			b = &st.Members[i]
+		}
+	}
+	if a == nil || b == nil {
+		t.Fatalf("members = %v", st.Members)
+	}
+	if a.Position != 42 {
+		t.Errorf("siteA Position = %d, want 42", a.Position)
+	}
+	if !a.LastEvent.Equal(evTime) {
+		t.Errorf("siteA LastEvent = %v, want the newest event's time %v", a.LastEvent, evTime)
+	}
+	if a.LastBatch.IsZero() {
+		t.Error("siteA LastBatch not set after ApplyBatch")
+	}
+	if b.Position != 0 || !b.LastEvent.IsZero() {
+		t.Errorf("siteB untouched member changed: Position=%d LastEvent=%v", b.Position, b.LastEvent)
+	}
+	if !st.Dirty {
+		t.Error("hub not marked dirty after applying events")
+	}
+
+	// An empty keep-alive batch advances the position but not LastEvent.
+	if err := hub.ApplyBatch("siteA", 50, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = hub.Status()
+	for _, m := range st.Members {
+		if m.Name != "siteA" {
+			continue
+		}
+		if m.Position != 50 {
+			t.Errorf("siteA Position after empty batch = %d, want 50", m.Position)
+		}
+		if !m.LastEvent.Equal(evTime) {
+			t.Errorf("siteA LastEvent changed by empty batch: %v", m.LastEvent)
+		}
+	}
+}

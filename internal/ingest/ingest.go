@@ -7,11 +7,13 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/realm/cloud"
 	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/realm/storage"
@@ -48,6 +50,10 @@ type Pipeline struct {
 // (resource, job id) already exist are skipped.
 func (p *Pipeline) IngestJobRecords(recs []shredder.JobRecord) (Stats, error) {
 	var st Stats
+	_, sp := obs.StartSpan(context.Background(), "ingest.IngestJobRecords")
+	defer sp.End()
+	defer mBatchSeconds.With("Jobs").ObserveSince(time.Now())
+	defer func() { countStats("Jobs", st) }()
 	tab, err := p.DB.TableIn(jobs.SchemaName, jobs.FactTable)
 	if err != nil {
 		return st, fmt.Errorf("ingest: jobs realm not set up: %w", err)
@@ -112,6 +118,10 @@ func (p *Pipeline) IngestJobLog(r io.Reader, format, resource string) (Stats, er
 // of the event history), and re-aggregates the Cloud realm.
 func (p *Pipeline) IngestCloudEvents(events []cloud.Event, horizon time.Time) (Stats, error) {
 	var st Stats
+	_, sp := obs.StartSpan(context.Background(), "ingest.IngestCloudEvents")
+	defer sp.End()
+	defer mBatchSeconds.With("Cloud").ObserveSince(time.Now())
+	defer func() { countStats("Cloud", st) }()
 	evTab, err := p.DB.TableIn(cloud.SchemaName, cloud.EventTable)
 	if err != nil {
 		return st, fmt.Errorf("ingest: cloud realm not set up: %w", err)
@@ -204,6 +214,10 @@ func (p *Pipeline) RebuildCloudSessions(horizon time.Time) error {
 // when an engine is configured, since upserts may revise prior facts.
 func (p *Pipeline) IngestStorageSnapshots(snaps []storage.Snapshot) (Stats, error) {
 	var st Stats
+	_, sp := obs.StartSpan(context.Background(), "ingest.IngestStorageSnapshots")
+	defer sp.End()
+	defer mBatchSeconds.With("Storage").ObserveSince(time.Now())
+	defer func() { countStats("Storage", st) }()
 	if _, err := p.DB.TableIn(storage.SchemaName, storage.FactTable); err != nil {
 		return st, fmt.Errorf("ingest: storage realm not set up: %w", err)
 	}

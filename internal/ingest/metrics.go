@@ -1,0 +1,29 @@
+package ingest
+
+import (
+	"xdmodfed/internal/obs"
+)
+
+// Ingestion instrumentation: per-realm record outcomes and batch
+// latency. Outcome labels mirror Stats fields: "ingested", "skipped",
+// "rejected".
+var (
+	mRecords = obs.Default.CounterVec("xdmodfed_ingest_records_total",
+		"Staging records processed by the ingestion pipeline, by realm and outcome.",
+		"realm", "outcome")
+	mBatchSeconds = obs.Default.HistogramVec("xdmodfed_ingest_batch_seconds",
+		"Duration of one ingestion batch, by realm.", nil, "realm")
+)
+
+// countStats publishes one batch's Stats under the realm label.
+func countStats(realm string, st Stats) {
+	if n := st.Ingested; n > 0 {
+		mRecords.With(realm, "ingested").Add(uint64(n))
+	}
+	if n := st.Skipped; n > 0 {
+		mRecords.With(realm, "skipped").Add(uint64(n))
+	}
+	if n := st.Rejected; n > 0 {
+		mRecords.With(realm, "rejected").Add(uint64(n))
+	}
+}

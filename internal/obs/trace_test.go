@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanLinks(t *testing.T) {
+	old := DefaultTracer
+	DefaultTracer = NewTracer(16)
+	defer func() { DefaultTracer = old }()
+
+	ctx, root := StartSpan(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	child.SetAttr("rows", "12")
+	child.End()
+	root.End()
+
+	recent := DefaultTracer.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(recent))
+	}
+	// Newest first: root ended last.
+	gotRoot, gotChild := recent[0], recent[1]
+	if gotRoot.Name != "root" || gotChild.Name != "child" {
+		t.Fatalf("order = %s, %s; want root, child", gotRoot.Name, gotChild.Name)
+	}
+	if gotChild.TraceID != gotRoot.TraceID {
+		t.Errorf("child trace %s != root trace %s", gotChild.TraceID, gotRoot.TraceID)
+	}
+	if gotChild.ParentID != gotRoot.SpanID {
+		t.Errorf("child parent %s != root span %s", gotChild.ParentID, gotRoot.SpanID)
+	}
+	if gotRoot.ParentID != "" {
+		t.Errorf("root has parent %s", gotRoot.ParentID)
+	}
+	if gotChild.Attrs["rows"] != "12" {
+		t.Errorf("child attrs = %v", gotChild.Attrs)
+	}
+	if gotChild.DurationMS < 0 {
+		t.Errorf("negative duration %g", gotChild.DurationMS)
+	}
+	// Spans must serialize to JSON for /debug/traces.
+	if _, err := json.Marshal(recent); err != nil {
+		t.Fatalf("marshal spans: %v", err)
+	}
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.record(Span{Name: strings.Repeat("x", i+1)})
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(recent))
+	}
+	// Newest first: lengths 10, 9, 8, 7.
+	for i, want := range []int{10, 9, 8, 7} {
+		if len(recent[i].Name) != want {
+			t.Errorf("recent[%d] length %d, want %d", i, len(recent[i].Name), want)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Errorf("Len = %d, want 10", tr.Len())
+	}
+}
+
+func TestSpanDisabledNil(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	ctx, s := StartSpan(context.Background(), "off")
+	if s != nil {
+		t.Fatal("disabled StartSpan returned a span")
+	}
+	// Nil span methods must be no-ops, not panics.
+	s.SetAttr("k", "v")
+	s.End()
+	if got := SpanFrom(ctx); got != nil {
+		t.Fatalf("disabled context carries span %v", got)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.record(Span{Name: "s"})
+				_ = tr.Recent()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 4000 {
+		t.Fatalf("recorded %d spans, want 4000", tr.Len())
+	}
+}
+
+func TestLoggerDynamicOutput(t *testing.T) {
+	log := Logger("testcomp")
+	var buf bytes.Buffer
+	SetLogOutput(&buf, false)
+	defer SetLogOutput(os.Stderr, false)
+	log.Info("hello", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "component=testcomp") || !strings.Contains(out, "hello") || !strings.Contains(out, "k=v") {
+		t.Fatalf("log output missing fields: %q", out)
+	}
+	// JSON mode.
+	buf.Reset()
+	SetLogOutput(&buf, true)
+	log.Warn("boom", "err", "nope")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log not parseable: %v (%q)", err, buf.String())
+	}
+	if rec["component"] != "testcomp" || rec["msg"] != "boom" || rec["err"] != "nope" {
+		t.Fatalf("json record = %v", rec)
+	}
+}

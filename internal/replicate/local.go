@@ -31,6 +31,7 @@ func Pump(src *warehouse.DB, dst *warehouse.DB, rw *Rewriter, fromLSN uint64) (u
 				return pos, fmt.Errorf("replicate: apply %s %s.%s: %w", ev.Kind, ev.Schema, ev.Table, err)
 			}
 		}
+		mPumpEvents.Add(uint64(len(out)))
 		pos = upTo
 	}
 }
@@ -55,6 +56,7 @@ func PumpUntil(ctx context.Context, src, dst *warehouse.DB, rw *Rewriter, fromLS
 				return fmt.Errorf("replicate: apply: %w", err)
 			}
 		}
+		mPumpEvents.Add(uint64(len(out)))
 		pos = upTo
 		if commit != nil {
 			if err := commit(pos); err != nil {

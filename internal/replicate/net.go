@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/warehouse"
 )
 
@@ -104,7 +105,7 @@ func (r *Receiver) acceptLoop() {
 }
 
 func (r *Receiver) serve(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(&countingReader{r: conn, c: mRecvBytes})
 	enc := gob.NewEncoder(conn)
 
 	var h hello
@@ -139,6 +140,7 @@ func (r *Receiver) serve(conn net.Conn) {
 		if err := r.Sink.ApplyBatch(h.Instance, b.UpTo, b.Events); err != nil {
 			return
 		}
+		mRecvBatches.With(h.Instance).Inc()
 		if err := enc.Encode(ack{UpTo: b.UpTo}); err != nil {
 			return
 		}
@@ -158,6 +160,7 @@ func (r *Receiver) Close() {
 
 // SenderStats reports a sender's progress.
 type SenderStats struct {
+	Hub         string // hub address of the active/most recent connection
 	SentBatches int
 	SentEvents  int
 	Position    uint64
@@ -203,7 +206,7 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	enc := gob.NewEncoder(conn)
+	enc := gob.NewEncoder(&countingWriter{w: conn, c: mSentBytes.With(s.Instance)})
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(hello{Instance: s.Instance, Version: s.Version}); err != nil {
 		return err
@@ -216,6 +219,16 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 		return fmt.Errorf("%w: %s", ErrHandshakeRejected, ha.Err)
 	}
 	pos := ha.Resume
+	s.mu.Lock()
+	s.stats.Hub = hubAddr
+	// The hub's resume position counts as acknowledged: a sender that
+	// reconnects with nothing new to send must not report stale lag.
+	if pos > s.stats.Position {
+		s.stats.Position = pos
+	}
+	s.mu.Unlock()
+	lag := mLag.With(s.Instance, hubAddr)
+	s.setLag(lag, pos)
 	batchSize := s.BatchSize
 	if batchSize <= 0 {
 		batchSize = 512
@@ -246,12 +259,26 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 			return fmt.Errorf("replicate: hub acked %d, expected %d", a.UpTo, upTo)
 		}
 		pos = upTo
+		mSentBatches.With(s.Instance).Inc()
+		mSentEvents.With(s.Instance).Add(uint64(len(out)))
+		s.setLag(lag, pos)
 		s.mu.Lock()
 		s.stats.SentBatches++
 		s.stats.SentEvents += len(out)
 		s.stats.Position = pos
 		s.mu.Unlock()
 	}
+}
+
+// setLag publishes the replication-lag gauge: how many binlog events
+// the satellite holds beyond the hub's last acknowledged position. A
+// caught-up route reads 0.
+func (s *Sender) setLag(lag *obs.Gauge, acked uint64) {
+	head := s.DB.Binlog().Last()
+	if head < acked {
+		head = acked // rewriter skipped past the retained head
+	}
+	lag.Set(float64(head - acked))
 }
 
 // RunWithRetry runs the sender, reconnecting with backoff on transient
@@ -269,6 +296,7 @@ func (s *Sender) RunWithRetry(ctx context.Context, hubAddr string, backoff time.
 		case errors.Is(err, ErrHandshakeRejected):
 			return err
 		}
+		mRetries.With(s.Instance).Inc()
 		select {
 		case <-ctx.Done():
 			return nil

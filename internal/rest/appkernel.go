@@ -14,9 +14,9 @@ import (
 
 // registerAppKernelHandlers adds the QoS routes.
 func (s *Server) registerAppKernelHandlers(mux *http.ServeMux) {
-	mux.HandleFunc("GET /api/appkernels", s.requireAuth(s.handleAppKernelReports))
-	mux.HandleFunc("GET /api/appkernels/alarms", s.requireAuth(s.handleAppKernelAlarms))
-	mux.HandleFunc("POST /api/appkernels/runs", s.requireRole(auth.RoleStaff, s.handleAppKernelRun))
+	s.handle(mux, "GET /api/appkernels", s.requireAuth(s.handleAppKernelReports))
+	s.handle(mux, "GET /api/appkernels/alarms", s.requireAuth(s.handleAppKernelAlarms))
+	s.handle(mux, "POST /api/appkernels/runs", s.requireRole(auth.RoleStaff, s.handleAppKernelRun))
 }
 
 type appKernelRunRequest struct {

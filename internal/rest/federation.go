@@ -27,12 +27,12 @@ func (s *Server) requireRole(role auth.Role, next func(http.ResponseWriter, *htt
 
 // registerFederationHandlers adds the hub-only routes.
 func (s *Server) registerFederationHandlers(mux *http.ServeMux) {
-	mux.HandleFunc("POST /api/federation/members", s.requireRole(auth.RoleManager, s.handleAddMember))
-	mux.HandleFunc("GET /api/federation/identity/{instance}/{username}", s.requireAuth(s.handleIdentityResolve))
-	mux.HandleFunc("POST /api/federation/identity/link", s.requireRole(auth.RoleManager, s.handleIdentityLink))
-	mux.HandleFunc("GET /api/federation/backup/{instance}", s.requireRole(auth.RoleManager, s.handleBackup))
-	mux.HandleFunc("POST /api/federation/aggregate", s.requireRole(auth.RoleManager, s.handleAggregate))
-	mux.HandleFunc("POST /api/federation/loose/{instance}", s.requireRole(auth.RoleManager, s.handleLooseUpload))
+	s.handle(mux, "POST /api/federation/members", s.requireRole(auth.RoleManager, s.handleAddMember))
+	s.handle(mux, "GET /api/federation/identity/{instance}/{username}", s.requireAuth(s.handleIdentityResolve))
+	s.handle(mux, "POST /api/federation/identity/link", s.requireRole(auth.RoleManager, s.handleIdentityLink))
+	s.handle(mux, "GET /api/federation/backup/{instance}", s.requireRole(auth.RoleManager, s.handleBackup))
+	s.handle(mux, "POST /api/federation/aggregate", s.requireRole(auth.RoleManager, s.handleAggregate))
+	s.handle(mux, "POST /api/federation/loose/{instance}", s.requireRole(auth.RoleManager, s.handleLooseUpload))
 }
 
 // handleLooseUpload batch-loads a shipped loose-federation dump for a

@@ -1,0 +1,197 @@
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := NewServer(testInstance(t)).Handler()
+
+	// Drive a couple of requests through the middleware first.
+	get(t, srv, "", "/api/version")
+	get(t, srv, "", "/api/version")
+
+	rec := get(t, srv, "", "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("content type %q, want %q", ct, obs.ContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE xdmodfed_http_requests_total counter",
+		`xdmodfed_http_requests_total{path="/api/version",method="GET",code="200"}`,
+		"# TYPE xdmodfed_http_request_seconds histogram",
+		`xdmodfed_http_request_seconds_bucket{path="/api/version",le="+Inf"}`,
+		"# TYPE xdmodfed_warehouse_txn_total counter",
+		"# TYPE xdmodfed_ingest_records_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestHealthzInstance(t *testing.T) {
+	srv := NewServer(testInstance(t)).Handler()
+	rec := get(t, srv, "", "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp healthzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Instance != "ccr" || resp.Role != "instance" {
+		t.Errorf("healthz = %+v", resp)
+	}
+	if resp.UptimeSeconds < 0 {
+		t.Errorf("uptime %v", resp.UptimeSeconds)
+	}
+}
+
+func TestHealthzHubFreshness(t *testing.T) {
+	hub, err := core.NewHub(config.InstanceConfig{
+		Name: "fedhub", Version: core.Version,
+		AggregationLevels: []config.AggregationLevels{
+			config.HubWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Register("siteA"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHubServer(hub).Handler()
+
+	// Never-heard-from member: degraded.
+	rec := get(t, srv, "", "/healthz")
+	var resp healthzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "degraded" || len(resp.Members) != 1 || resp.Members[0].Fresh {
+		t.Errorf("healthz before any batch = %+v", resp)
+	}
+	if resp.Members[0].AgeSeconds != -1 {
+		t.Errorf("age of never-seen member = %v, want -1", resp.Members[0].AgeSeconds)
+	}
+
+	// After a batch the member is fresh and the hub healthy.
+	if err := hub.ApplyBatch("siteA", 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, srv, "", "/healthz")
+	resp = healthzResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Role != "hub" {
+		t.Errorf("healthz after batch = %+v", resp)
+	}
+	m := resp.Members[0]
+	if m.Name != "siteA" || m.Position != 7 || !m.Fresh || m.AgeSeconds < 0 {
+		t.Errorf("member health = %+v", m)
+	}
+}
+
+func TestDebugTraces(t *testing.T) {
+	srv := NewServer(testInstance(t)).Handler()
+	get(t, srv, "", "/api/version") // generate at least one span
+
+	rec := get(t, srv, "", "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp struct {
+		Enabled bool       `json:"enabled"`
+		Count   int        `json:"count"`
+		Spans   []obs.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled || resp.Count == 0 || len(resp.Spans) != resp.Count {
+		t.Fatalf("traces = enabled=%v count=%d spans=%d", resp.Enabled, resp.Count, len(resp.Spans))
+	}
+	found := false
+	for _, sp := range resp.Spans {
+		if sp.Name == "http GET /api/version" {
+			found = true
+			if sp.TraceID == "" || sp.SpanID == "" {
+				t.Errorf("span missing ids: %+v", sp)
+			}
+		}
+	}
+	if !found {
+		t.Error("no span recorded for GET /api/version")
+	}
+
+	if rec := get(t, srv, "", "/debug/traces?limit=1"); rec.Code != http.StatusOK {
+		t.Errorf("limit=1 status %d", rec.Code)
+	} else {
+		var limited struct {
+			Count int `json:"count"`
+		}
+		json.Unmarshal(rec.Body.Bytes(), &limited)
+		if limited.Count != 1 {
+			t.Errorf("limit=1 returned count %d", limited.Count)
+		}
+	}
+	if rec := get(t, srv, "", "/debug/traces?limit=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit status %d", rec.Code)
+	}
+}
+
+// TestWriteErrLogs asserts writeErr surfaces the cause server-side via
+// the structured logger, not only in the response body.
+func TestWriteErrLogs(t *testing.T) {
+	var buf bytes.Buffer
+	obs.SetLogOutput(&buf, false)
+	defer obs.SetLogOutput(os.Stderr, false)
+
+	srv := NewServer(testInstance(t)).Handler()
+	rec := get(t, srv, "", "/api/realms") // no token -> 401
+	if rec.Code != http.StatusUnauthorized {
+		t.Fatalf("status %d", rec.Code)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "component=rest") {
+		t.Errorf("log missing component: %q", logged)
+	}
+	if !strings.Contains(logged, "status=401") {
+		t.Errorf("log missing status: %q", logged)
+	}
+	if !strings.Contains(logged, "bearer token") {
+		t.Errorf("log missing error cause: %q", logged)
+	}
+}
+
+func TestPprofGatedByConfig(t *testing.T) {
+	in := testInstance(t)
+	srv := NewServer(in).Handler()
+	if rec := get(t, srv, "", "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without config flag: status %d, want 404", rec.Code)
+	}
+
+	in.Config.EnablePprof = true
+	srv = NewServer(in).Handler()
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof with config flag: status %d, want 200", rec.Code)
+	}
+}

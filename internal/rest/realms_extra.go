@@ -16,12 +16,12 @@ import (
 
 // registerRealmExtraHandlers adds the allocation + gateway routes.
 func (s *Server) registerRealmExtraHandlers(mux *http.ServeMux) {
-	mux.HandleFunc("POST /api/allocations", s.requireRole(auth.RoleManager, s.handleAddAllocation))
-	mux.HandleFunc("POST /api/allocations/charge", s.requireRole(auth.RoleManager, s.handleChargeAllocations))
-	mux.HandleFunc("GET /api/allocations/{project}", s.requireAuth(s.handleAllocationBalance))
-	mux.HandleFunc("GET /api/allocations/overspent", s.requireAuth(s.handleOverspent))
-	mux.HandleFunc("POST /api/gateways/submissions", s.requireRole(auth.RoleStaff, s.handleGatewaySubmissions))
-	mux.HandleFunc("GET /api/gateways/users", s.requireAuth(s.handleGatewayUsers))
+	s.handle(mux, "POST /api/allocations", s.requireRole(auth.RoleManager, s.handleAddAllocation))
+	s.handle(mux, "POST /api/allocations/charge", s.requireRole(auth.RoleManager, s.handleChargeAllocations))
+	s.handle(mux, "GET /api/allocations/{project}", s.requireAuth(s.handleAllocationBalance))
+	s.handle(mux, "GET /api/allocations/overspent", s.requireAuth(s.handleOverspent))
+	s.handle(mux, "POST /api/gateways/submissions", s.requireRole(auth.RoleStaff, s.handleGatewaySubmissions))
+	s.handle(mux, "GET /api/gateways/users", s.requireAuth(s.handleGatewayUsers))
 }
 
 type allocationRequest struct {

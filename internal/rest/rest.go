@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"xdmodfed/internal/aggregate"
 	"xdmodfed/internal/auth"
@@ -22,29 +23,41 @@ import (
 // Server wraps one instance (satellite or hub) with HTTP handlers.
 type Server struct {
 	Instance *core.Instance
-	Hub      *core.Hub // nil on satellites
+	Hub      *core.Hub       // nil on satellites
+	Sat      *core.Satellite // nil unless built with NewSatelliteServer
+
+	started time.Time
 }
 
-// NewServer creates a server for a satellite instance.
-func NewServer(in *core.Instance) *Server { return &Server{Instance: in} }
+// NewServer creates a server for a plain instance.
+func NewServer(in *core.Instance) *Server { return &Server{Instance: in, started: time.Now()} }
 
 // NewHubServer creates a server for a federation hub.
-func NewHubServer(h *core.Hub) *Server { return &Server{Instance: h.Instance, Hub: h} }
+func NewHubServer(h *core.Hub) *Server {
+	return &Server{Instance: h.Instance, Hub: h, started: time.Now()}
+}
+
+// NewSatelliteServer creates a server for a satellite; /healthz then
+// reports the satellite's replication senders and their lag.
+func NewSatelliteServer(sat *core.Satellite) *Server {
+	return &Server{Instance: sat.Instance, Sat: sat, started: time.Now()}
+}
 
 // Handler returns the HTTP mux for the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/auth/login", s.handleLogin)
-	mux.HandleFunc("POST /api/auth/sso", s.handleSSO)
-	mux.HandleFunc("POST /api/auth/logout", s.handleLogout)
-	mux.HandleFunc("GET /api/version", s.handleVersion)
-	mux.HandleFunc("GET /api/realms", s.requireAuth(s.handleRealms))
-	mux.HandleFunc("GET /api/chart", s.requireAuth(s.handleChart))
-	mux.HandleFunc("GET /api/jobs/{resource}/{id}", s.requireAuth(s.handleJobViewer))
-	mux.HandleFunc("GET /api/federation/status", s.requireAuth(s.handleFederationStatus))
+	s.handle(mux, "POST /api/auth/login", s.handleLogin)
+	s.handle(mux, "POST /api/auth/sso", s.handleSSO)
+	s.handle(mux, "POST /api/auth/logout", s.handleLogout)
+	s.handle(mux, "GET /api/version", s.handleVersion)
+	s.handle(mux, "GET /api/realms", s.requireAuth(s.handleRealms))
+	s.handle(mux, "GET /api/chart", s.requireAuth(s.handleChart))
+	s.handle(mux, "GET /api/jobs/{resource}/{id}", s.requireAuth(s.handleJobViewer))
+	s.handle(mux, "GET /api/federation/status", s.requireAuth(s.handleFederationStatus))
 	s.registerFederationHandlers(mux)
 	s.registerAppKernelHandlers(mux)
 	s.registerRealmExtraHandlers(mux)
+	s.registerObsHandlers(mux)
 	return mux
 }
 
@@ -58,7 +71,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeErr sends the error response and logs it server-side, so the
+// cause of every 4xx/5xx is visible in the instance's logs and not
+// only in the client's body.
 func writeErr(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		restLog.Error("request failed", "status", status, "err", err)
+	} else {
+		restLog.Warn("request rejected", "status", status, "err", err)
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 

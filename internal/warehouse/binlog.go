@@ -99,6 +99,7 @@ func NewBinlog() *Binlog {
 
 // Append adds an event, assigns its LSN, and wakes blocked readers.
 func (b *Binlog) Append(ev Event) uint64 {
+	mBinlogEvents.Inc()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	ev.LSN = b.first + uint64(len(b.events))
@@ -191,6 +192,7 @@ func (b *Binlog) Trim(upTo uint64) {
 	}
 	b.events = append([]Event(nil), b.events[n:]...)
 	b.first += uint64(n)
+	mBinlogTrims.Add(uint64(n))
 }
 
 // Close wakes all blocked readers with ErrLogClosed.

@@ -177,6 +177,7 @@ func (s *Schema) Tables() []string {
 // Do runs fn while holding the DB write lock; Table mutation methods
 // must be called inside Do (the convenience wrappers below do so).
 func (db *DB) Do(fn func() error) error {
+	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return fn()
@@ -191,6 +192,7 @@ func (db *DB) View(fn func() error) error {
 
 // Insert inserts one map-form row into schema.table.
 func (db *DB) Insert(schema, table string, row map[string]any) error {
+	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.lookupLocked(schema, table)
@@ -202,6 +204,7 @@ func (db *DB) Insert(schema, table string, row map[string]any) error {
 
 // InsertRow inserts one positional row into schema.table.
 func (db *DB) InsertRow(schema, table string, row []any) error {
+	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.lookupLocked(schema, table)
@@ -213,6 +216,7 @@ func (db *DB) InsertRow(schema, table string, row []any) error {
 
 // Upsert upserts one map-form row into schema.table.
 func (db *DB) Upsert(schema, table string, row map[string]any) error {
+	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, err := db.lookupLocked(schema, table)
@@ -262,6 +266,7 @@ func (db *DB) lookupLocked(schema, table string) (*Table, error) {
 // applied to the hub, optionally after schema renaming. Row events are
 // applied positionally, trusting the upstream definition.
 func (db *DB) Apply(ev Event) error {
+	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	switch ev.Kind {

@@ -1,0 +1,25 @@
+package warehouse
+
+import "xdmodfed/internal/obs"
+
+// Warehouse instrumentation. Handles are resolved once at package init
+// so the hot paths (row mutation, binlog append) pay one atomic add
+// per operation, no map lookups.
+var (
+	mTxns = obs.Default.Counter("xdmodfed_warehouse_txn_total",
+		"Write transactions committed against the warehouse (Do, Insert, Upsert and binlog-event applies).")
+	mBinlogEvents = obs.Default.Counter("xdmodfed_warehouse_binlog_events_total",
+		"Events appended to the in-memory binlog.")
+	mBinlogTrims = obs.Default.Counter("xdmodfed_warehouse_binlog_trimmed_events_total",
+		"Binlog events discarded by Trim after all replicas acknowledged them.")
+	mSnapshotSeconds = obs.Default.Histogram("xdmodfed_warehouse_snapshot_seconds",
+		"Time to write a warehouse snapshot (full or per-schema dump).", nil)
+	mRestoreSeconds = obs.Default.Histogram("xdmodfed_warehouse_restore_seconds",
+		"Time to restore a warehouse snapshot.", nil)
+	mWALFsyncs = obs.Default.Counter("xdmodfed_warehouse_wal_fsync_total",
+		"Durable-binlog fsync calls.")
+	mWALFsyncSeconds = obs.Default.Histogram("xdmodfed_warehouse_wal_fsync_seconds",
+		"Durable-binlog fsync latency.", nil)
+	mWALBytes = obs.Default.Counter("xdmodfed_warehouse_wal_bytes_total",
+		"Bytes appended to the durable binlog file, framing included.")
+)

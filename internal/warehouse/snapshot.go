@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // snapshot is the gob wire form of an entire DB (or a subset of its
@@ -35,6 +36,7 @@ func (db *DB) Snapshot(w io.Writer) error {
 
 // SnapshotSchemas writes the named schemas (all when names is nil).
 func (db *DB) SnapshotSchemas(w io.Writer, names []string) error {
+	defer mSnapshotSeconds.ObserveSince(time.Now())
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	want := map[string]bool{}
@@ -101,6 +103,7 @@ func (db *DB) Restore(r io.Reader) (uint64, error) {
 // loose-federation hub lands each satellite's dump in a uniquely named
 // schema, mirroring Tungsten's rename-on-transfer feature.
 func (db *DB) RestoreRenamed(r io.Reader, rename map[string]string) (uint64, error) {
+	defer mRestoreSeconds.ObserveSince(time.Now())
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return 0, fmt.Errorf("warehouse: restore: %w", err)

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // Durable binlog: production satellites must survive restarts without
@@ -74,6 +75,7 @@ func (w *LogWriter) writeEvents(evs []Event) error {
 	defer w.mu.Unlock()
 	var frame bytes.Buffer
 	var lenBuf [binary.MaxVarintLen64]byte
+	var written uint64
 	for _, ev := range evs {
 		frame.Reset()
 		if err := gob.NewEncoder(&frame).Encode(ev); err != nil {
@@ -86,9 +88,15 @@ func (w *LogWriter) writeEvents(evs []Event) error {
 		if _, err := w.f.Write(frame.Bytes()); err != nil {
 			return err
 		}
+		written += uint64(n + frame.Len())
 		w.pos = ev.LSN
 	}
-	return w.f.Sync()
+	mWALBytes.Add(written)
+	syncStart := time.Now()
+	err := w.f.Sync()
+	mWALFsyncs.Inc()
+	mWALFsyncSeconds.ObserveSince(syncStart)
+	return err
 }
 
 // Position returns the LSN durably written so far.

@@ -1,0 +1,22 @@
+package xdmodfed
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestGoVet keeps `go vet ./...` in the default test flow, so static
+// findings fail CI the same way a broken test does.
+func TestGoVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	out, err := exec.Command(goBin, "vet", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet: %v\n%s", err, out)
+	}
+}
