@@ -47,6 +47,9 @@ func main() {
 		adminUser   = flag.String("admin-user", "", "bootstrap a local admin account")
 		adminPass   = flag.String("admin-pass", "", "password for -admin-user")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		qcEnable    = flag.Bool("query-cache", true, "enable the chart query-result cache")
+		qcBytes     = flag.Int64("query-cache-bytes", 0, "query-cache capacity in bytes (0 = config/default)")
+		qcTTL       = flag.String("query-cache-ttl", "", "optional query-cache entry TTL, e.g. 30s (default none)")
 		loose       looseFlags
 	)
 	flag.Var(&loose, "loose", "load a loose dump: instance=path (repeatable)")
@@ -59,6 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
 	hub, err := core.NewHub(cfg)
 	if err != nil {
 		fatal(err)
@@ -111,6 +115,24 @@ func main() {
 	fmt.Printf("xdmod-hub %q: REST on %s, replication on %s, %d members\n",
 		cfg.Name, *listen, repAddr, len(hub.Members()))
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+// applyCacheFlags layers the query-cache command-line knobs over the
+// config file: only flags the operator actually set override it.
+func applyCacheFlags(cfg *config.InstanceConfig, enable bool, maxBytes int64, ttl string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "query-cache":
+			cfg.QueryCache.Disabled = !enable
+		case "query-cache-bytes":
+			cfg.QueryCache.MaxBytes = maxBytes
+		case "query-cache-ttl":
+			cfg.QueryCache.TTL = ttl
+		}
+	})
+	if err := cfg.QueryCache.Validate(); err != nil {
 		fatal(err)
 	}
 }

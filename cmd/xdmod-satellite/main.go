@@ -37,6 +37,9 @@ func main() {
 		adminPass  = flag.String("admin-pass", "", "password for -admin-user")
 		walPath    = flag.String("wal", "", "durable binlog path: replayed on startup, appended while running")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		qcEnable   = flag.Bool("query-cache", true, "enable the chart query-result cache")
+		qcBytes    = flag.Int64("query-cache-bytes", 0, "query-cache capacity in bytes (0 = config/default)")
+		qcTTL      = flag.String("query-cache-ttl", "", "optional query-cache entry TTL, e.g. 30s (default none)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -47,6 +50,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
 	sat, err := core.NewSatellite(cfg)
 	if err != nil {
 		fatal(err)
@@ -113,6 +117,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("warehouse saved to %s\n", *dbPath)
+	}
+}
+
+// applyCacheFlags layers the query-cache command-line knobs over the
+// config file: only flags the operator actually set override it.
+func applyCacheFlags(cfg *config.InstanceConfig, enable bool, maxBytes int64, ttl string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "query-cache":
+			cfg.QueryCache.Disabled = !enable
+		case "query-cache-bytes":
+			cfg.QueryCache.MaxBytes = maxBytes
+		case "query-cache-ttl":
+			cfg.QueryCache.TTL = ttl
+		}
+	})
+	if err := cfg.QueryCache.Validate(); err != nil {
+		fatal(err)
 	}
 }
 

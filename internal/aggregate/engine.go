@@ -347,6 +347,12 @@ func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, erro
 	if err := e.Truncate(info); err != nil {
 		return 0, err
 	}
+	// The epoch bump happens after the rebuild completes (deferred so
+	// error paths bump too — a failed rebuild also changed the tables):
+	// any chart query that scanned a partially rebuilt table read the
+	// epoch before this bump, so its cached result can never be served
+	// once the rebuild is done.
+	defer e.db.BumpEpoch()
 	total := 0
 	for _, s := range sourceSchemas {
 		n, err := e.AggregateSchema(info, s)

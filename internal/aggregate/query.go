@@ -1,6 +1,7 @@
 package aggregate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,24 @@ import (
 	"xdmodfed/internal/realm"
 	"xdmodfed/internal/warehouse"
 )
+
+// ErrBadRequest classifies query failures caused by the request itself
+// — an unknown realm, metric or dimension — as opposed to internal
+// engine failures. The REST layer maps request errors to HTTP 400 and
+// everything else to 500.
+var ErrBadRequest = errors.New("aggregate: bad request")
+
+// badRequest tags an error as errors.Is-matching ErrBadRequest without
+// altering its message.
+type badRequest struct{ error }
+
+func (b badRequest) Is(target error) bool { return target == ErrBadRequest }
+func (b badRequest) Unwrap() error        { return b.error }
+
+// BadRequestf formats an error that errors.Is-matches ErrBadRequest.
+func BadRequestf(format string, args ...any) error {
+	return badRequest{fmt.Errorf(format, args...)}
+}
 
 // Request describes one chart-style query against the aggregation
 // tables: a metric, an optional group-by dimension, a period
@@ -21,6 +40,27 @@ type Request struct {
 	StartKey int64             // inclusive; 0 = unbounded
 	EndKey   int64             // inclusive; 0 = unbounded
 	Filters  map[string]string // dimension id -> required dim value/bucket label
+}
+
+// CanonicalKey renders the request as a deterministic string: filters
+// are emitted in sorted order, so two requests with equal contents
+// always produce identical keys. The query-result cache
+// (internal/qcache) keys on this.
+func (r Request) CanonicalKey() string {
+	var b strings.Builder
+	b.Grow(64)
+	fmt.Fprintf(&b, "m=%s|g=%s|p=%s|s=%d|e=%d", r.MetricID, r.GroupBy, r.Period, r.StartKey, r.EndKey)
+	if len(r.Filters) > 0 {
+		keys := make([]string, 0, len(r.Filters))
+		for k := range r.Filters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "|f.%s=%s", k, r.Filters[k])
+		}
+	}
+	return b.String()
 }
 
 // Point is one timeseries point of a query result.
@@ -109,19 +149,19 @@ func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 	defer mQuerySeconds.With(info.Name).ObserveSince(time.Now())
 	metric, ok := info.Metric(req.MetricID)
 	if !ok {
-		return nil, fmt.Errorf("aggregate: realm %s has no metric %q", info.Name, req.MetricID)
+		return nil, BadRequestf("aggregate: realm %s has no metric %q", info.Name, req.MetricID)
 	}
 	groupCol := ""
 	if req.GroupBy != "" {
 		d, ok := info.Dimension(req.GroupBy)
 		if !ok {
-			return nil, fmt.Errorf("aggregate: realm %s has no dimension %q", info.Name, req.GroupBy)
+			return nil, BadRequestf("aggregate: realm %s has no dimension %q", info.Name, req.GroupBy)
 		}
 		groupCol = "dim_" + d.ID
 	}
 	for f := range req.Filters {
 		if _, ok := info.Dimension(f); !ok {
-			return nil, fmt.Errorf("aggregate: realm %s has no dimension %q (filter)", info.Name, f)
+			return nil, BadRequestf("aggregate: realm %s has no dimension %q (filter)", info.Name, f)
 		}
 	}
 	if req.Period == 0 {

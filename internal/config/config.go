@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Bucket is one aggregation level for a numeric dimension: values in
@@ -111,6 +112,45 @@ func (h HubRoute) Validate() error {
 	return nil
 }
 
+// QueryCacheConfig tunes the instance's chart query-result cache
+// (internal/qcache). The zero value means "enabled with defaults":
+// correctness never depends on these knobs, because cached results are
+// invalidated by warehouse epoch, not by age.
+type QueryCacheConfig struct {
+	// Disabled turns the cache off entirely; every chart query then
+	// hits the aggregation engine.
+	Disabled bool `json:"disabled,omitempty"`
+	// MaxBytes caps the cache's (approximate) memory footprint.
+	// 0 uses the built-in default (64 MiB).
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// TTL is an optional belt-and-braces age bound on entries, in Go
+	// duration syntax ("30s", "5m"). Empty disables the age bound.
+	TTL string `json:"ttl,omitempty"`
+}
+
+// TTLDuration parses the TTL knob; empty means no TTL.
+func (q QueryCacheConfig) TTLDuration() (time.Duration, error) {
+	if q.TTL == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(q.TTL)
+	if err != nil {
+		return 0, fmt.Errorf("config: invalid query_cache ttl %q: %w", q.TTL, err)
+	}
+	return d, nil
+}
+
+// Validate checks the query-cache knobs.
+func (q QueryCacheConfig) Validate() error {
+	if q.MaxBytes < 0 {
+		return fmt.Errorf("config: query_cache max_bytes must not be negative")
+	}
+	if _, err := q.TTLDuration(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // SSOSource names one single-sign-on provider an instance trusts.
 type SSOSource struct {
 	Name     string `json:"name"`     // e.g. "shibboleth", "globus", "keycloak", "ldap"
@@ -135,6 +175,9 @@ type InstanceConfig struct {
 	// EnablePprof mounts net/http/pprof profiling handlers under
 	// /debug/pprof/ on the instance's REST server.
 	EnablePprof bool `json:"enable_pprof,omitempty"`
+	// QueryCache tunes the chart query-result cache; the zero value
+	// enables it with defaults.
+	QueryCache QueryCacheConfig `json:"query_cache,omitempty"`
 }
 
 // Validate checks the whole instance configuration.
@@ -174,6 +217,9 @@ func (c InstanceConfig) Validate() error {
 		if err := h.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.QueryCache.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

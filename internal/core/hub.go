@@ -40,9 +40,17 @@ type Hub struct {
 	receiver *replicate.Receiver
 	now      func() time.Time
 
-	mu      sync.Mutex
-	members map[string]*Member
-	dirty   bool // replicated data not yet folded into hub aggregates
+	mu       sync.Mutex
+	members  map[string]*Member
+	dirty    bool   // replicated data not yet folded into hub aggregates
+	applyGen uint64 // bumped on every ApplyBatch/LoadLooseDump commit
+
+	// aggMu serializes AggregateFederation runs: concurrent truncate+
+	// rebuild passes over the same aggregation tables would double-count
+	// facts. ensureMu additionally collapses a queue of EnsureAggregated
+	// callers into one rebuild.
+	aggMu    sync.Mutex
+	ensureMu sync.Mutex
 }
 
 // NewHub builds a federation hub from its configuration.
@@ -147,6 +155,10 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 	}
 	if len(events) > 0 {
 		h.dirty = true
+		h.applyGen++
+		// Bump before returning: once ApplyBatch returns, no chart
+		// query may serve a result computed against the pre-batch view.
+		h.DB.BumpEpoch()
 	}
 	h.mu.Unlock()
 	return nil
@@ -196,6 +208,8 @@ func (h *Hub) LoadLooseDump(instance string, r io.Reader) error {
 	}
 	h.mu.Lock()
 	h.dirty = true
+	h.applyGen++
+	h.DB.BumpEpoch()
 	if m, ok := h.members[instance]; ok {
 		m.LastBatch = h.now()
 		m.LastEvent = h.now()
@@ -225,10 +239,18 @@ func (h *Hub) memberSchemas(factTable string) []string {
 // the federation hub's aggregation levels, so no data are lost or
 // changed", §II-C3). Returns fact rows aggregated per realm.
 func (h *Hub) AggregateFederation() (map[string]int, error) {
+	h.aggMu.Lock()
+	defer h.aggMu.Unlock()
 	_, sp := obs.StartSpan(context.Background(), "hub.AggregateFederation")
 	defer sp.End()
 	defer mAggSeconds.ObserveSince(time.Now())
 	defer mAggRuns.Inc()
+	// Snapshot the apply generation before scanning: if another batch
+	// lands while this run is in flight, its rows may be missed, so the
+	// hub must stay dirty and re-aggregate again on the next query.
+	h.mu.Lock()
+	gen := h.applyGen
+	h.mu.Unlock()
 	counts := map[string]int{}
 	for _, name := range h.Registry.Names() {
 		info, _ := h.Registry.Get(name)
@@ -241,9 +263,34 @@ func (h *Hub) AggregateFederation() (map[string]int, error) {
 		counts[name] = n
 	}
 	h.mu.Lock()
-	h.dirty = false
+	if h.applyGen == gen {
+		h.dirty = false
+	}
 	h.mu.Unlock()
 	return counts, nil
+}
+
+// EnsureAggregated folds any pending replicated data into the hub's
+// aggregates before a read. A queue of concurrent callers collapses
+// into a single rebuild: the first one re-aggregates, the rest observe
+// a clean hub and return immediately.
+func (h *Hub) EnsureAggregated() error {
+	if !h.isDirty() {
+		return nil
+	}
+	h.ensureMu.Lock()
+	defer h.ensureMu.Unlock()
+	if !h.isDirty() {
+		return nil
+	}
+	_, err := h.AggregateFederation()
+	return err
+}
+
+func (h *Hub) isDirty() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dirty
 }
 
 // Query answers a chart query over the federation's unified view,
@@ -252,13 +299,8 @@ func (h *Hub) AggregateFederation() (map[string]int, error) {
 // of job and performance data collected from entirely independent
 // XDMoD instances", §II-A).
 func (h *Hub) Query(realmName string, req aggregate.Request) ([]aggregate.Series, error) {
-	h.mu.Lock()
-	dirty := h.dirty
-	h.mu.Unlock()
-	if dirty {
-		if _, err := h.AggregateFederation(); err != nil {
-			return nil, err
-		}
+	if err := h.EnsureAggregated(); err != nil {
+		return nil, err
 	}
 	return h.Instance.Query(realmName, req)
 }

@@ -176,7 +176,7 @@ func NewInstance(cfg config.InstanceConfig) (*Instance, error) {
 func (in *Instance) Query(realmName string, req aggregate.Request) ([]aggregate.Series, error) {
 	info, ok := in.Registry.Get(realmName)
 	if !ok {
-		return nil, fmt.Errorf("core: instance %s has no realm %q", in.Config.Name, realmName)
+		return nil, aggregate.BadRequestf("core: instance %s has no realm %q", in.Config.Name, realmName)
 	}
 	return in.Engine.Query(info, req)
 }

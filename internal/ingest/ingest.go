@@ -93,6 +93,9 @@ func (p *Pipeline) IngestJobRecords(recs []shredder.JobRecord) (Stats, error) {
 			}
 		}
 	}
+	if st.Ingested > 0 {
+		p.DB.BumpEpoch() // invalidate cached chart results
+	}
 	return st, nil
 }
 
@@ -206,6 +209,7 @@ func (p *Pipeline) RebuildCloudSessions(horizon time.Time) error {
 			return err
 		}
 	}
+	p.DB.BumpEpoch() // session table changed even when no engine re-aggregates
 	return nil
 }
 
@@ -239,6 +243,9 @@ func (p *Pipeline) IngestStorageSnapshots(snaps []storage.Snapshot) (Stats, erro
 		if _, err := p.Engine.Reaggregate(storage.RealmInfo(), []string{storage.SchemaName}); err != nil {
 			return st, err
 		}
+	}
+	if st.Ingested > 0 {
+		p.DB.BumpEpoch()
 	}
 	return st, nil
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xdmodfed/internal/obs"
@@ -178,6 +180,12 @@ type Sender struct {
 
 	mu    sync.Mutex
 	stats SenderStats
+
+	// handshook records whether the most recent Run got past the hub's
+	// handshake; RunWithRetry uses it to reset the backoff after a
+	// successful (re)connect instead of punishing a healthy hub that
+	// dropped one connection with an already-grown delay.
+	handshook atomic.Bool
 }
 
 // Stats returns a snapshot of the sender's progress.
@@ -219,6 +227,7 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 		return fmt.Errorf("%w: %s", ErrHandshakeRejected, ha.Err)
 	}
 	pos := ha.Resume
+	s.handshook.Store(true)
 	s.mu.Lock()
 	s.stats.Hub = hubAddr
 	// The hub's resume position counts as acknowledged: a sender that
@@ -281,14 +290,49 @@ func (s *Sender) setLag(lag *obs.Gauge, acked uint64) {
 	lag.Set(float64(head - acked))
 }
 
-// RunWithRetry runs the sender, reconnecting with backoff on transient
-// failures, until the context is cancelled or the handshake is
-// permanently rejected.
+// Retry backoff bounds for RunWithRetry.
+const (
+	// DefaultRetryBackoff is the initial reconnect delay when the
+	// caller passes backoff <= 0.
+	DefaultRetryBackoff = 100 * time.Millisecond
+	// MaxRetryBackoff caps the exponential growth so a hub that is down
+	// for hours is still rediscovered within seconds of coming back.
+	MaxRetryBackoff = 30 * time.Second
+)
+
+// nextRetryDelay doubles the delay up to MaxRetryBackoff.
+func nextRetryDelay(d time.Duration) time.Duration {
+	d *= 2
+	if d > MaxRetryBackoff {
+		d = MaxRetryBackoff
+	}
+	return d
+}
+
+// jitteredDelay spreads a delay uniformly over [d/2, d] so a fleet of
+// satellites that lost the same hub does not reconnect in lockstep.
+func jitteredDelay(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
+}
+
+// RunWithRetry runs the sender, reconnecting on transient failures
+// until the context is cancelled or the handshake is permanently
+// rejected. The reconnect delay starts at backoff (DefaultRetryBackoff
+// when <= 0), doubles per consecutive failure up to MaxRetryBackoff,
+// is jittered over [d/2, d], and resets to the initial value whenever
+// a connection gets past the hub's handshake — so a flapping network
+// backs off hard while a single dropped connection retries fast.
 func (s *Sender) RunWithRetry(ctx context.Context, hubAddr string, backoff time.Duration) error {
 	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
+		backoff = DefaultRetryBackoff
 	}
+	delay := backoff
 	for {
+		s.handshook.Store(false)
 		err := s.Run(ctx, hubAddr)
 		switch {
 		case err == nil:
@@ -296,11 +340,15 @@ func (s *Sender) RunWithRetry(ctx context.Context, hubAddr string, backoff time.
 		case errors.Is(err, ErrHandshakeRejected):
 			return err
 		}
+		if s.handshook.Load() {
+			delay = backoff
+		}
 		mRetries.With(s.Instance).Inc()
 		select {
 		case <-ctx.Done():
 			return nil
-		case <-time.After(backoff):
+		case <-time.After(jitteredDelay(delay)):
 		}
+		delay = nextRetryDelay(delay)
 	}
 }

@@ -1,0 +1,224 @@
+package rest
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/replicate"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/warehouse"
+)
+
+// chartTotal GETs a chart and returns the aggregate of its only series
+// (0 when the result is empty).
+func chartTotal(t *testing.T, srv http.Handler, token, path string) float64 {
+	t.Helper()
+	rec := get(t, srv, token, path)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, rec.Code, rec.Body)
+	}
+	var resp chartResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	if len(resp.Series) == 0 {
+		return 0
+	}
+	if len(resp.Series) != 1 {
+		t.Fatalf("GET %s: %d series, want 1", path, len(resp.Series))
+	}
+	return resp.Series[0].Aggregate
+}
+
+// TestChartNeverStaleAfterApply is the cache's core guarantee under
+// fire: readers hammer /api/chart while replication batches land, and
+// once ApplyBatch for job #i has returned, a fresh GET must see all i
+// jobs — a cached pre-apply result may never be served. Run under
+// -race this also exercises the epoch/coalescing paths concurrently.
+func TestChartNeverStaleAfterApply(t *testing.T) {
+	cfg := config.InstanceConfig{
+		Name: "hub", Version: core.Version,
+		AggregationLevels: []config.AggregationLevels{
+			config.HubWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+		},
+	}
+	hub, err := core.NewHub(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Register("sat"); err != nil {
+		t.Fatal(err)
+	}
+	hub.Auth.Vault().Create(auth.User{Username: "admin", Role: auth.RoleManager}, "hunter2hunter2")
+
+	// The feeder warehouse stands in for a satellite: inserts go to its
+	// binlog, and applyNext ships them to the hub like a tight sender.
+	sat := warehouse.Open("qsat")
+	if _, err := jobs.Setup(sat); err != nil {
+		t.Fatal(err)
+	}
+	rw := replicate.NewRewriter("sat", replicate.Filter{})
+	var pos uint64
+	base := time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	insertJob := func(i int) {
+		// Cores=1, one hour of wall time: exactly 1 CPU hour per job.
+		rec := shredder.JobRecord{
+			LocalJobID: int64(i), User: "u", Account: "a",
+			Resource: "sat-cluster", Queue: "batch", Nodes: 1, Cores: 1,
+			Submit: base.Add(time.Duration(i) * time.Minute),
+			Start:  base.Add(time.Duration(i) * time.Minute),
+			End:    base.Add(time.Duration(i)*time.Minute + time.Hour),
+		}
+		row, err := jobs.FactFromRecord(rec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sat.Insert(jobs.SchemaName, jobs.FactTable, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	applyNext := func() {
+		evs, err := sat.Binlog().ReadFrom(pos, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, upTo := rw.ProcessBatch(evs)
+		if err := hub.ApplyBatch("sat", upTo, out); err != nil {
+			t.Fatal(err)
+		}
+		pos = upTo
+	}
+
+	srv := NewHubServer(hub).Handler()
+	token := login(t, srv)
+	const path = "/api/chart?realm=Jobs&metric=total_cpu_hours&period=year"
+	const steps = 15
+
+	// Background readers race the apply loop. They may observe any
+	// committed prefix, so totals must be whole job counts in range —
+	// a fractional or out-of-range total means a torn or stale read.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := get(t, srv, token, path)
+				if rec.Code != http.StatusOK {
+					t.Errorf("background GET: status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				var resp chartResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Errorf("background GET: %v", err)
+					return
+				}
+				if len(resp.Series) == 0 {
+					continue
+				}
+				total := resp.Series[0].Aggregate
+				if total != math.Trunc(total) || total < 0 || total > steps {
+					t.Errorf("background GET: total %v, want an integer in [0, %d]", total, steps)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 1; i <= steps; i++ {
+		insertJob(i)
+		applyNext()
+		// ApplyBatch returned: the very next read must see all i jobs.
+		if total := chartTotal(t, srv, token, path); total != float64(i) {
+			t.Fatalf("after applying job %d: chart total %v, want %d (stale cached result served)", i, total, i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestChartCacheHitsAndEpochInvalidation proves repeated identical
+// chart queries are served from the cache, and that a local ingest
+// invalidates them without any explicit flush.
+func TestChartCacheHitsAndEpochInvalidation(t *testing.T) {
+	in := testInstance(t)
+	s := NewServer(in)
+	srv := s.Handler()
+	token := login(t, srv)
+	const path = "/api/chart?realm=Jobs&metric=job_count&period=year"
+
+	if total := chartTotal(t, srv, token, path); total != 20 {
+		t.Fatalf("cold total %v, want 20", total)
+	}
+	if total := chartTotal(t, srv, token, path); total != 20 {
+		t.Fatalf("warm total %v, want 20", total)
+	}
+	st, ok := s.CacheStats()
+	if !ok {
+		t.Fatal("cache disabled; default config must enable it")
+	}
+	if st.Hits < 1 {
+		t.Fatalf("stats %+v, want at least one hit", st)
+	}
+
+	// One more ingested job bumps the warehouse epoch; the cached 20
+	// must not survive it.
+	end := time.Date(2017, 6, 15, 12, 0, 0, 0, time.UTC)
+	_, err := in.Pipeline.IngestJobRecords([]shredder.JobRecord{{
+		LocalJobID: 21, User: "u0", Account: "a",
+		Resource: "rush", Queue: "batch", Nodes: 1, Cores: 8,
+		Submit: end.Add(-2 * time.Hour), Start: end.Add(-time.Hour), End: end,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := st.Misses
+	if total := chartTotal(t, srv, token, path); total != 21 {
+		t.Fatalf("post-ingest total %v, want 21 (epoch invalidation failed)", total)
+	}
+	if st, _ := s.CacheStats(); st.Misses <= missesBefore {
+		t.Fatalf("misses %d -> %d: post-ingest read did not recompute", missesBefore, st.Misses)
+	}
+}
+
+// TestChartErrorClassification: malformed requests are the client's
+// fault (400), a broken warehouse is ours (500).
+func TestChartErrorClassification(t *testing.T) {
+	in := testInstance(t)
+	srv := NewServer(in).Handler()
+	token := login(t, srv)
+
+	if rec := get(t, srv, token, "/api/chart?realm=Nope&metric=job_count"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown realm: status %d, want 400", rec.Code)
+	}
+	if rec := get(t, srv, token, "/api/chart?realm=Jobs&metric=nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown metric: status %d, want 400", rec.Code)
+	}
+	if rec := get(t, srv, token, "/api/chart?realm=Jobs&metric=job_count&group_by=nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown dimension: status %d, want 400", rec.Code)
+	}
+
+	// Dropping the aggregation schema simulates internal corruption: the
+	// request is well-formed, so this must surface as a 500.
+	if err := in.DB.DropSchema(aggregate.AggSchema(jobs.RealmInfo())); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, srv, token, "/api/chart?realm=Jobs&metric=job_count"); rec.Code != http.StatusInternalServerError {
+		t.Errorf("missing aggregation tables: status %d, want 500", rec.Code)
+	}
+}

@@ -8,6 +8,7 @@ package rest
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/chart"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/qcache"
 )
 
 // Server wraps one instance (satellite or hub) with HTTP handlers.
@@ -26,21 +28,52 @@ type Server struct {
 	Hub      *core.Hub       // nil on satellites
 	Sat      *core.Satellite // nil unless built with NewSatelliteServer
 
+	// cache holds fully post-processed chart results (after rollup and
+	// top-N), keyed by the canonical request and invalidated by the
+	// warehouse epoch. nil when disabled in the instance config.
+	cache *qcache.Cache[[]aggregate.Series]
+
 	started time.Time
 }
 
+// newServer wires the shared parts of every server flavour, including
+// the query-result cache when the instance config enables it.
+func newServer(in *core.Instance) *Server {
+	s := &Server{Instance: in, started: time.Now()}
+	qc := in.Config.QueryCache
+	if !qc.Disabled {
+		ttl, err := qc.TTLDuration()
+		if err != nil {
+			// Config was validated at load time; a bad TTL here can only
+			// come from a hand-built InstanceConfig. Fail safe: no TTL.
+			restLog.Warn("ignoring invalid query_cache ttl", "ttl", qc.TTL, "err", err)
+			ttl = 0
+		}
+		s.cache = qcache.New[[]aggregate.Series](qcache.Config{
+			Name:     in.Config.Name,
+			MaxBytes: qc.MaxBytes,
+			TTL:      ttl,
+		}, seriesBytes)
+	}
+	return s
+}
+
 // NewServer creates a server for a plain instance.
-func NewServer(in *core.Instance) *Server { return &Server{Instance: in, started: time.Now()} }
+func NewServer(in *core.Instance) *Server { return newServer(in) }
 
 // NewHubServer creates a server for a federation hub.
 func NewHubServer(h *core.Hub) *Server {
-	return &Server{Instance: h.Instance, Hub: h, started: time.Now()}
+	s := newServer(h.Instance)
+	s.Hub = h
+	return s
 }
 
 // NewSatelliteServer creates a server for a satellite; /healthz then
 // reports the satellite's replication senders and their lag.
 func NewSatelliteServer(sat *core.Satellite) *Server {
-	return &Server{Instance: sat.Instance, Sat: sat, started: time.Now()}
+	s := newServer(sat.Instance)
+	s.Sat = sat
+	return s
 }
 
 // Handler returns the HTTP mux for the server.
@@ -255,14 +288,12 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request, _ auth.Sess
 		}
 	}
 
-	series, err := s.query(realmName, req)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
 	// rollup=<level> regroups a by-PI result through the instance's
 	// institutional hierarchy (decanal unit / department / PI group).
-	if level := q.Get("rollup"); level != "" {
+	// Parsed before querying so the cache key covers the full
+	// post-processed result.
+	rollup := q.Get("rollup")
+	if rollup != "" {
 		if s.Instance.Hierarchy == nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("this instance has no hierarchy configured"))
 			return
@@ -271,15 +302,28 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request, _ auth.Sess
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("rollup requires group_by=pi"))
 			return
 		}
-		series = s.Instance.Hierarchy.Rollup(series, level)
 	}
+	top := 0
 	if topStr := q.Get("top"); topStr != "" {
-		top, err := strconv.Atoi(topStr)
+		top, err = strconv.Atoi(topStr)
 		if err != nil || top < 1 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid top parameter %q", topStr))
 			return
 		}
-		series = aggregate.TopN(series, top)
+	}
+
+	series, err := s.QuerySeries(realmName, req, rollup, top)
+	if err != nil {
+		// A malformed request (unknown realm, metric, dimension…) is the
+		// client's fault; anything else — aggregation-table corruption,
+		// warehouse failure — is ours and must surface as a 500, logged
+		// at error level, not masquerade as a client error.
+		status := http.StatusInternalServerError
+		if errors.Is(err, aggregate.ErrBadRequest) {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
 	}
 
 	title := q.Get("title")
@@ -323,13 +367,72 @@ func parseKey(s string) (int64, error) {
 	return v, nil
 }
 
-// query routes through the hub (triggering federation re-aggregation
-// when needed) or the plain instance.
-func (s *Server) query(realmName string, req aggregate.Request) ([]aggregate.Series, error) {
+// QuerySeries answers one chart query — aggregation, optional
+// hierarchy rollup and top-N — through the query-result cache when one
+// is configured.
+//
+// Ordering is what makes cached results safe on a hub: any pending
+// replicated data is folded into the hub's aggregates FIRST, and only
+// then is the warehouse epoch read. EnsureAggregated does not bump the
+// epoch itself (Engine.Reaggregate does, before it returns), so an
+// epoch observed here proves the aggregates already reflect every
+// write that preceded it, and the entry stored under it can be served
+// until the next write bumps the epoch.
+func (s *Server) QuerySeries(realmName string, req aggregate.Request, rollup string, top int) ([]aggregate.Series, error) {
 	if s.Hub != nil {
-		return s.Hub.Query(realmName, req)
+		if err := s.Hub.EnsureAggregated(); err != nil {
+			return nil, err
+		}
 	}
-	return s.Instance.Query(realmName, req)
+	if s.cache == nil {
+		return s.computeSeries(realmName, req, rollup, top)
+	}
+	epoch := s.Instance.DB.Epoch()
+	series, _, err := s.cache.GetOrCompute(chartKey(realmName, req, rollup, top), epoch, func() ([]aggregate.Series, error) {
+		return s.computeSeries(realmName, req, rollup, top)
+	})
+	return series, err
+}
+
+// computeSeries is the uncached query path. Its result is stored in
+// (and shared through) the cache, so callers must not mutate it.
+func (s *Server) computeSeries(realmName string, req aggregate.Request, rollup string, top int) ([]aggregate.Series, error) {
+	series, err := s.Instance.Query(realmName, req)
+	if err != nil {
+		return nil, err
+	}
+	if rollup != "" && s.Instance.Hierarchy != nil {
+		series = s.Instance.Hierarchy.Rollup(series, rollup)
+	}
+	if top > 0 {
+		series = aggregate.TopN(series, top)
+	}
+	return series, nil
+}
+
+// chartKey builds the cache key for one fully specified chart query.
+func chartKey(realmName string, req aggregate.Request, rollup string, top int) string {
+	return realmName + "|" + req.CanonicalKey() + "|r=" + rollup + "|t=" + strconv.Itoa(top)
+}
+
+// CacheStats exposes the query cache's counters (for tests and
+// diagnostics); ok is false when the cache is disabled.
+func (s *Server) CacheStats() (qcache.Stats, bool) {
+	if s.cache == nil {
+		return qcache.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// seriesBytes estimates the retained size of a cached chart result for
+// the cache's byte accounting: slice headers, group strings, and 16
+// bytes per point (period key + value).
+func seriesBytes(series []aggregate.Series) int {
+	n := 24
+	for _, ser := range series {
+		n += 56 + len(ser.Group) + 16*len(ser.Points)
+	}
+	return n
 }
 
 // handleJobViewer serves the Job Viewer document for one job:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is an embedded warehouse instance: a set of named schemas, each a
@@ -17,6 +18,13 @@ type DB struct {
 	schemas map[string]*Schema
 	binlog  *Binlog
 	logging bool
+
+	// epoch counts warehouse generations for the query-result cache
+	// (internal/qcache): it is bumped whenever data a chart query could
+	// observe changes — a replication batch lands, an ingest commits, or
+	// a re-aggregation completes. A cached result is valid iff the epoch
+	// it was computed under still equals the current one.
+	epoch atomic.Uint64
 }
 
 // Schema is a named group of tables (the paper replicates each
@@ -51,6 +59,16 @@ func (db *DB) Name() string { return db.name }
 
 // Binlog returns the DB's binary log.
 func (db *DB) Binlog() *Binlog { return db.binlog }
+
+// Epoch returns the current warehouse generation.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
+
+// BumpEpoch advances the warehouse generation, invalidating every
+// query-cache entry computed against earlier generations. Writers call
+// it after their data is visible, so a reader that observed a partial
+// state necessarily read the epoch before the bump and its cached
+// result can never be served afterwards.
+func (db *DB) BumpEpoch() uint64 { return db.epoch.Add(1) }
 
 func (db *DB) logEvent(ev Event) {
 	if db.logging {
