@@ -13,15 +13,16 @@ test:
 
 # Race-check the packages with the most lock-free/concurrent code: the
 # metrics registry, the replication senders/receivers, the query-result
-# cache, the federation core (hub apply vs. aggregate vs. query), and
-# the REST layer that drives them all concurrently.
+# cache, the aggregation engine (parallel rebuild vs. incremental fold),
+# the federation core (hub apply vs. aggregate vs. query), and the REST
+# layer that drives them all concurrently.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/replicate/... ./internal/qcache/... ./internal/core/... ./internal/rest/...
+	$(GO) test -race ./internal/obs/... ./internal/replicate/... ./internal/qcache/... ./internal/aggregate/... ./internal/core/... ./internal/rest/...
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 20000x .
 	$(GO) test -run '^$$' -bench 'BenchmarkChartQuery' -cpu 4 .
-	$(GO) test -run '^TestEmitBenchJSON$$' -emit-bench .
+	$(GO) test -run '^TestEmit.*BenchJSON$$' -emit-bench -timeout 30m .
 
 # Tier-1 gate: everything CI runs.
 check: build vet test race

@@ -225,7 +225,7 @@ func BenchmarkReplicationLoose(b *testing.B) {
 		b.Fatal(err)
 	}
 	hub := warehouse.Open("bench-hub")
-	if err := replicate.Load(hub, "bench-sat", &dump); err != nil {
+	if _, err := replicate.Load(hub, "bench-sat", &dump); err != nil {
 		b.Fatal(err)
 	}
 	b.StopTimer()

@@ -50,6 +50,8 @@ func main() {
 		qcEnable    = flag.Bool("query-cache", true, "enable the chart query-result cache")
 		qcBytes     = flag.Int64("query-cache-bytes", 0, "query-cache capacity in bytes (0 = config/default)")
 		qcTTL       = flag.String("query-cache-ttl", "", "optional query-cache entry TTL, e.g. 30s (default none)")
+		aggInc      = flag.Bool("agg-incremental", true, "fold replicated inserts into hub aggregates at apply time")
+		aggWorkers  = flag.Int("agg-rebuild-workers", 0, "parallel scan workers for full re-aggregation (0 = one per CPU)")
 		loose       looseFlags
 	)
 	flag.Var(&loose, "loose", "load a loose dump: instance=path (repeatable)")
@@ -63,6 +65,7 @@ func main() {
 		fatal(err)
 	}
 	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
+	applyAggFlags(&cfg, *aggInc, *aggWorkers)
 	hub, err := core.NewHub(cfg)
 	if err != nil {
 		fatal(err)
@@ -133,6 +136,22 @@ func applyCacheFlags(cfg *config.InstanceConfig, enable bool, maxBytes int64, tt
 		}
 	})
 	if err := cfg.QueryCache.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyAggFlags layers the aggregation command-line knobs over the
+// config file: only flags the operator actually set override it.
+func applyAggFlags(cfg *config.InstanceConfig, incremental bool, workers int) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "agg-incremental":
+			cfg.Aggregation.DisableIncremental = !incremental
+		case "agg-rebuild-workers":
+			cfg.Aggregation.RebuildWorkers = workers
+		}
+	})
+	if err := cfg.Aggregation.Validate(); err != nil {
 		fatal(err)
 	}
 }

@@ -20,6 +20,10 @@ const AggSchemaSuffix = "_agg"
 type Engine struct {
 	db     *warehouse.DB
 	levels map[string]config.AggregationLevels // dimension id -> levels
+
+	// rebuildWorkers caps the number of source schemas Reaggregate
+	// scans concurrently; <= 0 means GOMAXPROCS (see rebuild.go).
+	rebuildWorkers int
 }
 
 // New creates an engine over db with the given aggregation levels.
@@ -59,6 +63,10 @@ func (e *Engine) SetLevels(l config.AggregationLevels) error {
 	e.levels[l.Dimension] = l
 	return nil
 }
+
+// SetRebuildWorkers sets how many source schemas a full Reaggregate
+// scans concurrently; n <= 0 restores the default (GOMAXPROCS).
+func (e *Engine) SetRebuildWorkers(n int) { e.rebuildWorkers = n }
 
 // AggTableName names the aggregation table for a fact table + period.
 func AggTableName(fact string, p Period) string {
@@ -198,17 +206,26 @@ func (e *Engine) ApplyFactRow(info realm.Info, r warehouse.Row) error {
 	})
 }
 
+// factTime extracts a fact row's time-bucketing column.
+func factTime(info realm.Info, r warehouse.Row) (time.Time, error) {
+	ts, ok := r.Lookup(info.TimeColumn)
+	if !ok {
+		return time.Time{}, fmt.Errorf("aggregate: fact row missing time column %q", info.TimeColumn)
+	}
+	t, ok := ts.(time.Time)
+	if !ok {
+		return time.Time{}, fmt.Errorf("aggregate: time column %q is %T, want time.Time", info.TimeColumn, ts)
+	}
+	return t, nil
+}
+
 // applyLocked folds one fact row into the resolved targets. Must run
 // while holding the DB write lock.
 func (e *Engine) applyLocked(info realm.Info, targets []target, cols, weights []string, r warehouse.Row) error {
 	mFactsApplied.Inc()
-	ts, ok := r.Lookup(info.TimeColumn)
-	if !ok {
-		return fmt.Errorf("aggregate: fact row missing time column %q", info.TimeColumn)
-	}
-	t, ok := ts.(time.Time)
-	if !ok {
-		return fmt.Errorf("aggregate: time column %q is %T, want time.Time", info.TimeColumn, ts)
+	t, err := factTime(info, r)
+	if err != nil {
+		return err
 	}
 	dims := make([]string, len(info.Dimensions))
 	for i, d := range info.Dimensions {
@@ -324,42 +341,19 @@ func (e *Engine) AggregateSchema(info realm.Info, sourceSchema string) (int, err
 	return n, err
 }
 
-// Truncate clears a realm's aggregation tables.
+// Truncate clears a realm's aggregation tables and bumps the warehouse
+// epoch: the aggregates changed, so query-result cache entries computed
+// against the old contents must never be served again.
 func (e *Engine) Truncate(info realm.Info) error {
 	targets, err := e.targets(info)
 	if err != nil {
 		return err
 	}
+	defer e.db.BumpEpoch()
 	return e.db.Do(func() error {
 		for _, tg := range targets {
 			tg.tab.Truncate()
 		}
 		return nil
 	})
-}
-
-// Reaggregate truncates the realm's aggregation tables and rebuilds
-// them from the given source schemas. This is the paper's
-// config-change path: "update the appropriate configuration file on
-// the federation hub, then re-aggregate all raw federation data"
-// (§II-C3) — raw data is untouched, so nothing is lost.
-func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, error) {
-	if err := e.Truncate(info); err != nil {
-		return 0, err
-	}
-	// The epoch bump happens after the rebuild completes (deferred so
-	// error paths bump too — a failed rebuild also changed the tables):
-	// any chart query that scanned a partially rebuilt table read the
-	// epoch before this bump, so its cached result can never be served
-	// once the rebuild is done.
-	defer e.db.BumpEpoch()
-	total := 0
-	for _, s := range sourceSchemas {
-		n, err := e.AggregateSchema(info, s)
-		if err != nil {
-			return total, err
-		}
-		total += n
-	}
-	return total, nil
 }

@@ -1,0 +1,53 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"xdmodfed/internal/realm"
+)
+
+// Incremental maintenance of the aggregation tables: replicated insert
+// events fold straight into the per-period aggregates as they land, so
+// the first chart query after a batch pays O(batch) instead of
+// O(all federation facts). Aggregation is additive (counts and sums
+// add, min/max compare, last_* follow the newest timestamp), so the
+// fold commutes with a full rebuild — non-additive mutations (update,
+// delete, truncate) must fall back to Reaggregate instead.
+
+// ApplyFactRows folds positional fact rows (binlog event payloads for
+// sourceSchema's fact table) into all period aggregation tables, in one
+// write transaction. Rows are validated against the fact table's
+// definition; on error the fold may be partial and the caller must
+// schedule a full rebuild to restore consistency.
+func (e *Engine) ApplyFactRows(info realm.Info, sourceSchema string, rows [][]any) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	fact, err := e.db.TableIn(sourceSchema, info.FactTable)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := e.targets(info)
+	if err != nil {
+		return 0, err
+	}
+	cols, weights := measureColumns(info)
+	n := 0
+	err = e.db.Do(func() error {
+		for _, row := range rows {
+			r, err := fact.BindRow(row)
+			if err != nil {
+				return fmt.Errorf("aggregate: incremental fold into %s: %w", info.Name, err)
+			}
+			if err := e.applyLocked(info, targets, cols, weights, r); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	})
+	if n > 0 {
+		mIncrementalFacts.Add(uint64(n))
+	}
+	return n, err
+}

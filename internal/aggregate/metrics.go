@@ -15,4 +15,11 @@ var (
 		"Aggregation-table rows scanned while answering chart queries.")
 	mFactsApplied = obs.Default.Counter("xdmodfed_aggregate_facts_total",
 		"Fact rows folded into aggregation tables.")
+	mIncrementalFacts = obs.Default.Counter("xdmodfed_agg_incremental_facts_total",
+		"Fact rows folded incrementally (at replication-apply time) instead of by a full rebuild.")
+	mRebuilds = obs.Default.Counter("xdmodfed_agg_rebuilds_total",
+		"Full aggregation-table rebuilds (Reaggregate runs), per realm invocation.")
+	mRealmAggSeconds = obs.Default.HistogramVec("xdmodfed_agg_realm_seconds",
+		"Duration of one full aggregation rebuild of a single realm.",
+		nil, "realm")
 )

@@ -1,0 +1,292 @@
+package aggregate
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/warehouse"
+)
+
+// Full rebuild of a realm's aggregation tables. The scan phase runs
+// outside the DB write lock: one read transaction spans every source
+// schema, inside which a bounded pool of workers folds each schema's
+// fact table into a private partial-aggregation map. Partials are then
+// merged deterministically (in source-schema order) and installed —
+// truncate plus refill — in a single write transaction, so readers
+// never observe a half-built table and writers are only blocked for
+// the install, not the scans.
+
+// accRow is one partially aggregated group: the same running state
+// mergeAggRow keeps in the aggregation table, held in memory while a
+// rebuild scans. Measure slices are indexed by the realm's
+// measureColumns order (sums/mins/maxs/lasts by cols, wsums by
+// weights).
+type accRow struct {
+	periodKey int64
+	dims      []string
+	n         int64
+	lastTS    float64
+	sums      []float64
+	mins      []float64
+	maxs      []float64
+	lasts     []float64
+	wsums     []float64
+}
+
+// partial accumulates one source schema's facts, per period.
+type partial map[Period]map[string]*accRow
+
+// accKey identifies one aggregation row within a period table.
+func accKey(periodKey int64, dims []string) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatInt(periodKey, 10))
+	for _, d := range dims {
+		b.WriteByte(0)
+		b.WriteString(d)
+	}
+	return b.String()
+}
+
+// foldFact folds one fact row into the accumulator with exactly the
+// semantics of mergeAggRow: counts and sums add, min/max compare, and
+// last_* follow the newest timestamp with ties won by the later fold.
+func (p partial) foldFact(period Period, periodKey int64, dims []string,
+	ts float64, vals, wvals []float64) {
+
+	groups := p[period]
+	if groups == nil {
+		groups = make(map[string]*accRow)
+		p[period] = groups
+	}
+	key := accKey(periodKey, dims)
+	acc, ok := groups[key]
+	if !ok {
+		acc = &accRow{
+			periodKey: periodKey,
+			dims:      append([]string(nil), dims...),
+			n:         1,
+			lastTS:    ts,
+			sums:      append([]float64(nil), vals...),
+			mins:      append([]float64(nil), vals...),
+			maxs:      append([]float64(nil), vals...),
+			lasts:     append([]float64(nil), vals...),
+			wsums:     append([]float64(nil), wvals...),
+		}
+		groups[key] = acc
+		return
+	}
+	newer := ts >= acc.lastTS
+	acc.n++
+	if newer {
+		acc.lastTS = ts
+	}
+	for i, v := range vals {
+		acc.sums[i] += v
+		if v < acc.mins[i] {
+			acc.mins[i] = v
+		}
+		if v > acc.maxs[i] {
+			acc.maxs[i] = v
+		}
+		if newer {
+			acc.lasts[i] = v
+		}
+	}
+	for i, w := range wvals {
+		acc.wsums[i] += w
+	}
+}
+
+// merge folds another partial into p. Call in source-schema order:
+// last_* timestamp ties are won by the later-merged schema, matching a
+// sequential scan over the schemas.
+func (p partial) merge(other partial) {
+	for period, groups := range other {
+		dst := p[period]
+		if dst == nil {
+			p[period] = groups
+			continue
+		}
+		for key, b := range groups {
+			a, ok := dst[key]
+			if !ok {
+				dst[key] = b
+				continue
+			}
+			a.n += b.n
+			newer := b.lastTS >= a.lastTS
+			if newer {
+				a.lastTS = b.lastTS
+			}
+			for i := range a.sums {
+				a.sums[i] += b.sums[i]
+				if b.mins[i] < a.mins[i] {
+					a.mins[i] = b.mins[i]
+				}
+				if b.maxs[i] > a.maxs[i] {
+					a.maxs[i] = b.maxs[i]
+				}
+				if newer {
+					a.lasts[i] = b.lasts[i]
+				}
+			}
+			for i := range a.wsums {
+				a.wsums[i] += b.wsums[i]
+			}
+		}
+	}
+}
+
+// toSet renders the accumulated group as an aggregation-table row.
+func (acc *accRow) toSet(info realm.Info, cols, weights []string) map[string]any {
+	set := map[string]any{
+		"period_key": acc.periodKey,
+		"n":          acc.n,
+		"last_ts":    acc.lastTS,
+	}
+	for i, d := range info.Dimensions {
+		set["dim_"+d.ID] = acc.dims[i]
+	}
+	for i, c := range cols {
+		set["sum_"+c] = acc.sums[i]
+		set["min_"+c] = acc.mins[i]
+		set["max_"+c] = acc.maxs[i]
+		set["last_"+c] = acc.lasts[i]
+	}
+	for i, w := range weights {
+		set[wsumColName(w)] = acc.wsums[i]
+	}
+	return set
+}
+
+// scanPartial folds every fact row of one source table into a fresh
+// partial. The caller must hold the DB read lock for the whole call.
+func (e *Engine) scanPartial(info realm.Info, fact *warehouse.Table, cols, weights []string) (partial, int, error) {
+	p := make(partial, len(Periods()))
+	n := 0
+	var scanErr error
+	dims := make([]string, len(info.Dimensions))
+	vals := make([]float64, len(cols))
+	wvals := make([]float64, len(weights))
+	fact.Scan(func(r warehouse.Row) bool {
+		t, err := factTime(info, r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		for i, d := range info.Dimensions {
+			dims[i] = e.dimValue(d, r)
+		}
+		for i, c := range cols {
+			vals[i] = r.Float(c)
+		}
+		for i, w := range weights {
+			wvals[i] = wProduct(r, w)
+		}
+		ts := float64(t.UnixNano()) / 1e9
+		for _, period := range Periods() {
+			p.foldFact(period, period.Key(t), dims, ts, vals, wvals)
+		}
+		n++
+		return true
+	})
+	return p, n, scanErr
+}
+
+// Reaggregate truncates the realm's aggregation tables and rebuilds
+// them from the given source schemas, scanning the schemas in
+// parallel. This is the paper's config-change path: "update the
+// appropriate configuration file on the federation hub, then
+// re-aggregate all raw federation data" (§II-C3) — raw data is
+// untouched, so nothing is lost. It is also the fallback whenever the
+// incremental path cannot keep the aggregates current (updates,
+// deletes, truncates, loose reloads).
+func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, error) {
+	targets, err := e.targets(info)
+	if err != nil {
+		return 0, err
+	}
+	facts := make([]*warehouse.Table, len(sourceSchemas))
+	for i, s := range sourceSchemas {
+		tab, err := e.db.TableIn(s, info.FactTable)
+		if err != nil {
+			return 0, err
+		}
+		facts[i] = tab
+	}
+	// The epoch bump happens after the rebuild completes (deferred so
+	// error paths bump too — a failed rebuild may have changed the
+	// tables): any chart query that raced the install read the epoch
+	// before this bump, so its cached result can never be served once
+	// the rebuild is done.
+	defer e.db.BumpEpoch()
+	mRebuilds.Inc()
+	defer mRealmAggSeconds.With(info.Name).ObserveSince(time.Now())
+
+	workers := e.rebuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(facts) {
+		workers = len(facts)
+	}
+	cols, weights := measureColumns(info)
+	partials := make([]partial, len(facts))
+	counts := make([]int, len(facts))
+	errs := make([]error, len(facts))
+
+	// One read transaction spans every scan: all workers observe the
+	// same consistent snapshot, writers wait until scanning finishes,
+	// and other readers (chart queries) proceed concurrently.
+	e.db.View(func() error {
+		sem := make(chan struct{}, max(workers, 1))
+		var wg sync.WaitGroup
+		for i := range facts {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				partials[i], counts[i], errs[i] = e.scanPartial(info, facts[i], cols, weights)
+			}(i)
+		}
+		wg.Wait()
+		return nil
+	})
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+		total += counts[i]
+	}
+	merged := make(partial, len(Periods()))
+	for _, p := range partials {
+		merged.merge(p)
+	}
+
+	// Install atomically: truncate + refill in one write transaction,
+	// so no reader ever sees a half-built aggregation table.
+	err = e.db.Do(func() error {
+		for _, tg := range targets {
+			tg.tab.Truncate()
+		}
+		for _, tg := range targets {
+			for _, acc := range merged[tg.period] {
+				if err := tg.tab.Upsert(acc.toSet(info, cols, weights)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	mFactsApplied.Add(uint64(total))
+	return total, nil
+}

@@ -151,6 +151,29 @@ func (q QueryCacheConfig) Validate() error {
 	return nil
 }
 
+// AggregationConfig tunes how the instance keeps its aggregation
+// tables current. The zero value means "incremental folding on, full
+// rebuilds use one scan worker per CPU" — correctness never depends on
+// these knobs, because the incremental fold and a full rebuild produce
+// identical aggregation tables.
+type AggregationConfig struct {
+	// RebuildWorkers caps the number of source schemas a full rebuild
+	// scans in parallel. 0 uses one worker per CPU.
+	RebuildWorkers int `json:"rebuild_workers,omitempty"`
+	// DisableIncremental turns off folding replicated insert events
+	// into the hub's aggregates at apply time; every batch then marks
+	// its realm dirty and the next read pays a full rebuild.
+	DisableIncremental bool `json:"disable_incremental,omitempty"`
+}
+
+// Validate checks the aggregation knobs.
+func (a AggregationConfig) Validate() error {
+	if a.RebuildWorkers < 0 {
+		return fmt.Errorf("config: aggregation rebuild_workers must not be negative")
+	}
+	return nil
+}
+
 // SSOSource names one single-sign-on provider an instance trusts.
 type SSOSource struct {
 	Name     string `json:"name"`     // e.g. "shibboleth", "globus", "keycloak", "ldap"
@@ -178,6 +201,9 @@ type InstanceConfig struct {
 	// QueryCache tunes the chart query-result cache; the zero value
 	// enables it with defaults.
 	QueryCache QueryCacheConfig `json:"query_cache,omitempty"`
+	// Aggregation tunes incremental folding and full-rebuild
+	// parallelism; the zero value enables incremental with defaults.
+	Aggregation AggregationConfig `json:"aggregation,omitempty"`
 }
 
 // Validate checks the whole instance configuration.
@@ -219,6 +245,9 @@ func (c InstanceConfig) Validate() error {
 		}
 	}
 	if err := c.QueryCache.Validate(); err != nil {
+		return err
+	}
+	if err := c.Aggregation.Validate(); err != nil {
 		return err
 	}
 	return nil

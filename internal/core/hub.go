@@ -12,6 +12,7 @@ import (
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/obs"
+	"xdmodfed/internal/realm"
 	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/replicate"
 	"xdmodfed/internal/warehouse"
@@ -28,6 +29,26 @@ type Member struct {
 	Events    int
 }
 
+// realmAggState tracks how one realm's hub aggregation tables relate
+// to the replicated raw data. All fields are guarded by Hub.mu.
+//
+// The incremental fold and the full rebuild coordinate through it:
+//
+//   - gen counts data arrivals for the realm. A rebuild snapshots it
+//     before scanning; if it moved by the time the rebuild finishes,
+//     rows may have been missed, so the realm stays dirty.
+//   - folding counts in-flight incremental folds. A rebuild waits for
+//     it to drain so a fold can never re-add facts the rebuild's scan
+//     already counted (or vice versa).
+//   - rebuilding blocks new folds (they mark dirty instead), so a fold
+//     can never land between a rebuild's truncate and its install.
+type realmAggState struct {
+	dirty      bool   // aggregates may not reflect raw data; rebuild needed
+	gen        uint64 // bumped whenever replicated data for this realm lands
+	rebuilding bool   // a full rebuild is in flight
+	folding    int    // in-flight incremental folds
+}
+
 // Hub is a federation hub: an XDMoD instance of its own (it has a
 // warehouse, aggregation engine and authenticator like any other) plus
 // the federation machinery — a replication receiver, the per-instance
@@ -40,15 +61,22 @@ type Hub struct {
 	receiver *replicate.Receiver
 	now      func() time.Time
 
-	mu       sync.Mutex
-	members  map[string]*Member
-	dirty    bool   // replicated data not yet folded into hub aggregates
-	applyGen uint64 // bumped on every ApplyBatch/LoadLooseDump commit
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on fold/rebuild transitions
+	members map[string]*Member
+	realms  map[string]*realmAggState // realm name -> aggregation state
 
-	// aggMu serializes AggregateFederation runs: concurrent truncate+
-	// rebuild passes over the same aggregation tables would double-count
-	// facts. ensureMu additionally collapses a queue of EnsureAggregated
-	// callers into one rebuild.
+	// factRealms maps a realm fact table name to its realm, so the
+	// apply path can classify replicated events per realm.
+	factRealms map[string]realm.Info
+
+	// noIncremental (config aggregation.disable_incremental) forces
+	// every batch onto the mark-dirty / full-rebuild path.
+	noIncremental bool
+
+	// aggMu serializes full AggregateFederation passes (the admin /
+	// config-change path). ensureMu additionally collapses a queue of
+	// EnsureAggregated callers into one rebuild of the dirty realms.
 	aggMu    sync.Mutex
 	ensureMu sync.Mutex
 }
@@ -64,13 +92,34 @@ func NewHub(cfg config.InstanceConfig) (*Hub, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hub{
-		Instance:  in,
-		Positions: ps,
-		Identity:  auth.NewIdentityMap(),
-		now:       time.Now,
-		members:   make(map[string]*Member),
-	}, nil
+	h := &Hub{
+		Instance:      in,
+		Positions:     ps,
+		Identity:      auth.NewIdentityMap(),
+		now:           time.Now,
+		members:       make(map[string]*Member),
+		realms:        make(map[string]*realmAggState),
+		factRealms:    make(map[string]realm.Info),
+		noIncremental: in.Config.Aggregation.DisableIncremental,
+	}
+	h.cond = sync.NewCond(&h.mu)
+	for _, name := range in.Registry.Names() {
+		info, _ := in.Registry.Get(name)
+		h.realms[name] = &realmAggState{}
+		h.factRealms[info.FactTable] = info
+	}
+	return h, nil
+}
+
+// realmStateLocked returns the aggregation state for a realm, creating
+// it if needed. Caller must hold h.mu.
+func (h *Hub) realmStateLocked(name string) *realmAggState {
+	st, ok := h.realms[name]
+	if !ok {
+		st = &realmAggState{}
+		h.realms[name] = st
+	}
+	return st
 }
 
 // Register adds a satellite to the federation's membership. Only
@@ -117,28 +166,42 @@ func (h *Hub) Resume(instance string) (uint64, error) {
 	return h.Positions.Get(instance), nil
 }
 
+// realmDelta classifies one batch's effect on a single realm.
+type realmDelta struct {
+	info   realm.Info
+	schema string  // hub schema the realm's insert events landed in
+	rows   [][]any // insert rows, foldable incrementally
+	dirty  bool    // non-additive mutation seen; realm needs a rebuild
+}
+
 // ApplyBatch implements replicate.Sink: events land verbatim in the
 // instance's fed_<name> schema ("the federation hub does not alter the
 // raw, replicated data from the individual instances", §II-B), the
-// commit position advances durably, usernames feed the identity map,
-// and the hub marks its aggregates stale.
+// commit position advances durably, and usernames feed the identity
+// map. Insert events on realm fact tables are folded straight into the
+// hub's aggregation tables (aggregation is additive), so the first
+// chart query after a batch pays O(batch) instead of O(all facts);
+// non-additive mutations mark just their realm dirty for rebuild.
 func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event) error {
 	_, sp := obs.StartSpan(context.Background(), "hub.ApplyBatch")
 	sp.SetAttr("instance", instance)
 	defer sp.End()
 	defer mHubBatchSeconds.ObserveSince(time.Now())
+	deltas := map[string]*realmDelta{}
 	for _, ev := range events {
 		if err := h.DB.Apply(ev); err != nil {
 			coreLog.Error("apply batch failed", "instance", instance, "lsn", ev.LSN, "err", err)
 			return err
 		}
 		h.observeIdentity(instance, ev)
+		h.classifyEvent(deltas, ev)
 	}
 	if err := h.Positions.Set(instance, upTo); err != nil {
 		return err
 	}
 	mHubApplied.With(instance).Add(uint64(len(events)))
 	mMemberPosition.With(instance).Set(float64(upTo))
+
 	h.mu.Lock()
 	if m, ok := h.members[instance]; ok {
 		m.Position = upTo
@@ -153,28 +216,98 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 		m.Batches++
 		m.Events += len(events)
 	}
-	if len(events) > 0 {
-		h.dirty = true
-		h.applyGen++
-		// Bump before returning: once ApplyBatch returns, no chart
-		// query may serve a result computed against the pre-batch view.
-		h.DB.BumpEpoch()
+	var folds []*realmDelta
+	for name, d := range deltas {
+		st := h.realmStateLocked(name)
+		st.gen++
+		if d.dirty || h.noIncremental || st.dirty || st.rebuilding {
+			// Either the batch itself is non-additive, or the realm
+			// already needs (or is getting) a rebuild that will cover
+			// these rows from the raw tables.
+			st.dirty = true
+			continue
+		}
+		st.folding++
+		folds = append(folds, d)
 	}
 	h.mu.Unlock()
+
+	for _, d := range folds {
+		_, err := h.Engine.ApplyFactRows(d.info, d.schema, d.rows)
+		h.mu.Lock()
+		st := h.realmStateLocked(d.info.Name)
+		st.folding--
+		if err != nil {
+			// The fold may be partial; the raw rows are safely applied,
+			// so a full rebuild restores consistency.
+			st.dirty = true
+			coreLog.Error("incremental fold failed; realm queued for rebuild",
+				"instance", instance, "realm", d.info.Name, "err", err)
+		}
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	}
+	if len(events) > 0 {
+		// Bump after the folds so that, once ApplyBatch returns, no
+		// chart query may serve a result computed against the pre-batch
+		// view (raw or aggregated).
+		h.DB.BumpEpoch()
+	}
 	return nil
 }
 
+// classifyEvent sorts one applied event into its realm's delta: fact
+// inserts are foldable, any other fact-table mutation forces a rebuild,
+// and events off the fact tables (DDL, detail tables, bookkeeping)
+// never touch the aggregates at all.
+func (h *Hub) classifyEvent(deltas map[string]*realmDelta, ev warehouse.Event) {
+	info, ok := h.factRealms[ev.Table]
+	if !ok {
+		return
+	}
+	switch ev.Kind {
+	case warehouse.EvCreateSchema, warehouse.EvCreateTable:
+		return // DDL creates empty tables; nothing to aggregate
+	}
+	d := deltas[info.Name]
+	if d == nil {
+		d = &realmDelta{info: info, schema: ev.Schema}
+		deltas[info.Name] = d
+	}
+	if d.dirty {
+		return
+	}
+	if ev.Kind != warehouse.EvInsert || ev.Schema != d.schema {
+		// Updates/deletes/truncates are not additive; inserts split
+		// across schemas within one batch (not produced by the
+		// rewriter, but possible through the Sink interface) would
+		// need per-schema folds — both fall back to a rebuild.
+		d.dirty = true
+		d.rows = nil
+		return
+	}
+	d.rows = append(d.rows, ev.Row)
+}
+
 // observeIdentity feeds job-fact usernames into the identity map so
-// the same human on different instances can be linked (§II-D4).
+// the same human on different instances can be linked (§II-D4). The
+// username offset is resolved from the replicated table's definition —
+// never hardcoded — so a fact-table column reorder cannot silently
+// poison the identity map.
 func (h *Hub) observeIdentity(instance string, ev warehouse.Event) {
 	if ev.Kind != warehouse.EvInsert || ev.Table != jobs.FactTable {
 		return
 	}
-	// jobfact column order: job_id, resource, username, pi, ...
-	if len(ev.Row) > 2 {
-		if username, ok := ev.Row[2].(string); ok && username != "" {
-			h.Identity.Observe(auth.InstanceUser{Instance: instance, Username: username}, "", "")
-		}
+	tab, err := h.DB.TableIn(ev.Schema, ev.Table)
+	if err != nil {
+		return
+	}
+	i, ok := tab.ColumnIndex(jobs.ColUser)
+	if !ok || i >= len(ev.Row) {
+		return
+	}
+	if username, ok := ev.Row[i].(string); ok && username != "" {
+		h.Identity.Observe(auth.InstanceUser{Instance: instance, Username: username}, "", "")
 	}
 }
 
@@ -198,25 +331,73 @@ func (h *Hub) Close() {
 
 // LoadLooseDump batch-loads a loose-federation dump from a registered
 // member ("loose federation", §II-C2). A heterogeneous federation can
-// mix tight and loose members freely.
+// mix tight and loose members freely. A loose load replaces whole
+// tables (periodic re-ships supersede earlier ones), which the
+// additive fold cannot express, so each realm whose fact table was
+// (re)loaded is marked dirty for rebuild.
 func (h *Hub) LoadLooseDump(instance string, r io.Reader) error {
 	if err := h.authorize(instance); err != nil {
 		return err
 	}
-	if err := replicate.Load(h.DB, instance, r); err != nil {
+	loaded, err := replicate.Load(h.DB, instance, r)
+	if err != nil {
 		return err
 	}
+	loadedSet := make(map[string]bool, len(loaded))
+	for _, t := range loaded {
+		loadedSet[t] = true
+	}
+	schema := replicate.HubSchema(instance)
+	var touched []string
+	var newest time.Time
+	for _, name := range h.Registry.Names() {
+		info, _ := h.Registry.Get(name)
+		if !loadedSet[info.FactTable] {
+			continue
+		}
+		touched = append(touched, name)
+		if t := h.newestFactTime(schema, info); t.After(newest) {
+			newest = t
+		}
+	}
 	h.mu.Lock()
-	h.dirty = true
-	h.applyGen++
+	for _, name := range touched {
+		st := h.realmStateLocked(name)
+		st.gen++
+		st.dirty = true
+	}
 	h.DB.BumpEpoch()
 	if m, ok := h.members[instance]; ok {
 		m.LastBatch = h.now()
-		m.LastEvent = h.now()
+		// LastEvent reflects data age, not load time: /healthz member
+		// freshness must expose a member shipping week-old dumps.
+		if !newest.IsZero() {
+			m.LastEvent = newest
+		}
 		m.Batches++
 	}
 	h.mu.Unlock()
 	return nil
+}
+
+// newestFactTime returns the newest fact timestamp in one replicated
+// realm fact table (zero when the table is absent or empty).
+func (h *Hub) newestFactTime(schema string, info realm.Info) time.Time {
+	tab, err := h.DB.TableIn(schema, info.FactTable)
+	if err != nil {
+		return time.Time{}
+	}
+	var newest time.Time
+	h.DB.View(func() error {
+		tab.Scan(func(r warehouse.Row) bool {
+			if t, ok := r.Get(info.TimeColumn).(time.Time); ok && t.After(newest) {
+				newest = t
+			}
+			return true
+		})
+		return nil
+	})
+	return newest
 }
 
 // memberSchemas returns the fed_<instance> schemas that exist and hold
@@ -232,12 +413,52 @@ func (h *Hub) memberSchemas(factTable string) []string {
 	return out
 }
 
-// AggregateFederation rebuilds the hub's aggregation tables from all
-// replicated member data plus any data the hub monitors directly,
-// using the hub's own aggregation levels ("all raw instance data are
-// fully replicated to the master, then aggregated there, according to
-// the federation hub's aggregation levels, so no data are lost or
-// changed", §II-C3). Returns fact rows aggregated per realm.
+// rebuildRealm runs a full rebuild of one realm's aggregation tables
+// from all member schemas plus the hub's own, coordinating with the
+// incremental fold path: it waits for in-flight folds to drain, blocks
+// new folds while running (they mark the realm dirty instead), and
+// only clears the dirty flag when no new data landed mid-rebuild.
+func (h *Hub) rebuildRealm(name string) (int, error) {
+	info, ok := h.Registry.Get(name)
+	if !ok {
+		return 0, fmt.Errorf("core: hub has no realm %q", name)
+	}
+	sources := []string{info.Schema} // hub's own monitored resources, if any
+	sources = append(sources, h.memberSchemas(info.FactTable)...)
+
+	h.mu.Lock()
+	st := h.realmStateLocked(name)
+	for st.rebuilding || st.folding > 0 {
+		h.cond.Wait()
+	}
+	st.rebuilding = true
+	gen0 := st.gen
+	h.mu.Unlock()
+
+	n, err := h.Engine.Reaggregate(info, sources)
+
+	h.mu.Lock()
+	st.rebuilding = false
+	if err != nil {
+		st.dirty = true
+	} else if st.gen == gen0 {
+		// No data landed while scanning: the aggregates are current.
+		// Otherwise the realm stays dirty and the next read rebuilds.
+		st.dirty = false
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	return n, err
+}
+
+// AggregateFederation rebuilds the hub's aggregation tables for every
+// realm from all replicated member data plus any data the hub monitors
+// directly, using the hub's own aggregation levels ("all raw instance
+// data are fully replicated to the master, then aggregated there,
+// according to the federation hub's aggregation levels, so no data are
+// lost or changed", §II-C3). This is the config-change / admin path;
+// routine reads use EnsureAggregated, which rebuilds only dirty
+// realms. Returns fact rows aggregated per realm.
 func (h *Hub) AggregateFederation() (map[string]int, error) {
 	h.aggMu.Lock()
 	defer h.aggMu.Unlock()
@@ -245,59 +466,55 @@ func (h *Hub) AggregateFederation() (map[string]int, error) {
 	defer sp.End()
 	defer mAggSeconds.ObserveSince(time.Now())
 	defer mAggRuns.Inc()
-	// Snapshot the apply generation before scanning: if another batch
-	// lands while this run is in flight, its rows may be missed, so the
-	// hub must stay dirty and re-aggregate again on the next query.
-	h.mu.Lock()
-	gen := h.applyGen
-	h.mu.Unlock()
 	counts := map[string]int{}
 	for _, name := range h.Registry.Names() {
-		info, _ := h.Registry.Get(name)
-		sources := []string{info.Schema} // hub's own monitored resources, if any
-		sources = append(sources, h.memberSchemas(info.FactTable)...)
-		n, err := h.Engine.Reaggregate(info, sources)
+		n, err := h.rebuildRealm(name)
 		if err != nil {
 			return counts, err
 		}
 		counts[name] = n
 	}
-	h.mu.Lock()
-	if h.applyGen == gen {
-		h.dirty = false
-	}
-	h.mu.Unlock()
 	return counts, nil
 }
 
-// EnsureAggregated folds any pending replicated data into the hub's
-// aggregates before a read. A queue of concurrent callers collapses
-// into a single rebuild: the first one re-aggregates, the rest observe
-// a clean hub and return immediately.
+// EnsureAggregated brings every dirty realm's aggregates current before
+// a read. Realms kept current by the incremental fold cost nothing
+// here. A queue of concurrent callers collapses into a single rebuild:
+// the first one rebuilds the dirty realms, the rest observe a clean
+// hub and return immediately.
 func (h *Hub) EnsureAggregated() error {
-	if !h.isDirty() {
+	if len(h.dirtyRealms()) == 0 {
 		return nil
 	}
 	h.ensureMu.Lock()
 	defer h.ensureMu.Unlock()
-	if !h.isDirty() {
-		return nil
+	for _, name := range h.dirtyRealms() {
+		if _, err := h.rebuildRealm(name); err != nil {
+			return err
+		}
 	}
-	_, err := h.AggregateFederation()
-	return err
+	return nil
 }
 
-func (h *Hub) isDirty() bool {
+// dirtyRealms returns the realms whose aggregates need a rebuild,
+// sorted by name.
+func (h *Hub) dirtyRealms() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.dirty
+	var out []string
+	for name, st := range h.realms {
+		if st.dirty {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Query answers a chart query over the federation's unified view,
-// re-aggregating first when replicated data arrived since the last
-// aggregation ("the federation hub can then provide an integrated view
-// of job and performance data collected from entirely independent
-// XDMoD instances", §II-A).
+// re-aggregating any dirty realm first ("the federation hub can then
+// provide an integrated view of job and performance data collected
+// from entirely independent XDMoD instances", §II-A).
 func (h *Hub) Query(realmName string, req aggregate.Request) ([]aggregate.Series, error) {
 	if err := h.EnsureAggregated(); err != nil {
 		return nil, err
@@ -318,21 +535,21 @@ func (h *Hub) RegenerateSatellite(instance string, w io.Writer) error {
 
 // Status summarizes the federation for monitoring and the REST API.
 type Status struct {
-	Hub     string
-	Version string
-	Members []Member
-	Dirty   bool
+	Hub         string
+	Version     string
+	Members     []Member
+	Dirty       bool     // any realm pending rebuild
+	DirtyRealms []string // realms pending rebuild, sorted
 }
 
 // Status returns the hub's federation status.
 func (h *Hub) Status() Status {
-	h.mu.Lock()
-	dirty := h.dirty
-	h.mu.Unlock()
+	dr := h.dirtyRealms()
 	return Status{
-		Hub:     h.Config.Name,
-		Version: h.Config.Version,
-		Members: h.Members(),
-		Dirty:   dirty,
+		Hub:         h.Config.Name,
+		Version:     h.Config.Version,
+		Members:     h.Members(),
+		Dirty:       len(dr) > 0,
+		DirtyRealms: dr,
 	}
 }

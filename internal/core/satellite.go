@@ -104,6 +104,7 @@ func NewInstance(cfg config.InstanceConfig) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.SetRebuildWorkers(cfg.Aggregation.RebuildWorkers)
 
 	reg := realm.NewRegistry()
 	if _, err := jobs.Setup(db); err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/warehouse"
 )
 
@@ -72,8 +73,27 @@ func TestStatusMemberFreshness(t *testing.T) {
 	if b.Position != 0 || !b.LastEvent.IsZero() {
 		t.Errorf("siteB untouched member changed: Position=%d LastEvent=%v", b.Position, b.LastEvent)
 	}
+	// Dirtiness is per-realm: a DDL-only batch touches no realm fact
+	// table, so no aggregates went stale and the hub stays clean.
+	if st.Dirty {
+		t.Errorf("hub dirty after DDL-only batch; dirty realms = %v", st.DirtyRealms)
+	}
+
+	// A non-additive mutation (truncate) on a realm fact table marks
+	// exactly that realm for rebuild.
+	jobsDef := jobs.Def()
+	if err := hub.ApplyBatch("siteA", 45, []warehouse.Event{
+		{Kind: warehouse.EvCreateTable, Schema: "fed_siteA", Table: jobs.FactTable, Def: &jobsDef, Time: evTime},
+		{Kind: warehouse.EvTruncate, Schema: "fed_siteA", Table: jobs.FactTable, Time: evTime},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = hub.Status()
 	if !st.Dirty {
-		t.Error("hub not marked dirty after applying events")
+		t.Error("hub not marked dirty after fact-table truncate")
+	}
+	if len(st.DirtyRealms) != 1 || st.DirtyRealms[0] != "Jobs" {
+		t.Errorf("dirty realms = %v, want [Jobs]", st.DirtyRealms)
 	}
 
 	// An empty keep-alive batch advances the position but not LastEvent.

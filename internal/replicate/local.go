@@ -76,8 +76,10 @@ func Dump(src *warehouse.DB, schemas []string, w io.Writer) error {
 
 // Load batch-loads a loose-federation dump into the hub, landing every
 // dumped schema in the instance's hub schema. Tables already present
-// are replaced (periodic re-ships supersede earlier ones).
-func Load(hub *warehouse.DB, instance string, r io.Reader) error {
+// are replaced (periodic re-ships supersede earlier ones). It returns
+// the names of the tables that were loaded, so the hub can mark the
+// affected realms for re-aggregation.
+func Load(hub *warehouse.DB, instance string, r io.Reader) ([]string, error) {
 	// A dump may contain several satellite schemas; they all collapse
 	// into fed_<instance>. RestoreRenamed needs the rename per source
 	// schema name, which we cannot know up front — so restore into a
@@ -85,9 +87,10 @@ func Load(hub *warehouse.DB, instance string, r io.Reader) error {
 	// malformed dump from corrupting the hub.
 	scratch := warehouse.OpenWithoutBinlog("loose-load")
 	if _, err := scratch.Restore(r); err != nil {
-		return err
+		return nil, err
 	}
 	target := hub.EnsureSchema(HubSchema(instance))
+	var loaded []string
 	for _, sn := range scratch.Schemas() {
 		ss := scratch.Schema(sn)
 		for _, tn := range ss.Tables() {
@@ -103,7 +106,7 @@ func Load(hub *warehouse.DB, instance string, r io.Reader) error {
 			})
 			tab, err := target.EnsureTable(def)
 			if err != nil {
-				return fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
+				return loaded, fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
 			}
 			if err := hub.Do(func() error {
 				tab.Truncate()
@@ -114,9 +117,10 @@ func Load(hub *warehouse.DB, instance string, r io.Reader) error {
 				}
 				return nil
 			}); err != nil {
-				return fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
+				return loaded, fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
 			}
+			loaded = append(loaded, tn)
 		}
 	}
-	return nil
+	return loaded, nil
 }

@@ -105,7 +105,7 @@ func TestPropertyPumpEquivalentToSnapshot(t *testing.T) {
 		if err := Dump(sat, []string{jobs.SchemaName}, &dump); err != nil {
 			return false
 		}
-		if err := Load(loose, "sat", &dump); err != nil {
+		if _, err := Load(loose, "sat", &dump); err != nil {
 			return false
 		}
 

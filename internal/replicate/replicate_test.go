@@ -183,11 +183,21 @@ func TestLooseDumpLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	hub := warehouse.Open("hub")
-	if err := Load(hub, "remote", &buf); err != nil {
+	loaded, err := Load(hub, "remote", &buf)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got := hub.Count(HubSchema("remote"), jobs.FactTable); got != 30 {
 		t.Errorf("hub rows = %d, want 30", got)
+	}
+	found := false
+	for _, tn := range loaded {
+		if tn == jobs.FactTable {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Load reported tables %v, want %s included", loaded, jobs.FactTable)
 	}
 	// Re-shipping a newer dump supersedes the old contents.
 	rec := shredder.JobRecord{
@@ -201,7 +211,7 @@ func TestLooseDumpLoad(t *testing.T) {
 	sat.Insert(jobs.SchemaName, jobs.FactTable, row)
 	var buf2 bytes.Buffer
 	Dump(sat, []string{jobs.SchemaName}, &buf2)
-	if err := Load(hub, "remote", &buf2); err != nil {
+	if _, err := Load(hub, "remote", &buf2); err != nil {
 		t.Fatal(err)
 	}
 	if got := hub.Count(HubSchema("remote"), jobs.FactTable); got != 31 {

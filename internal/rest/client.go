@@ -81,7 +81,7 @@ func (c *Client) FederationStatus() (core.Status, error) {
 	if err := c.do("GET", "/api/federation/status", nil, &resp); err != nil {
 		return core.Status{}, err
 	}
-	st := core.Status{Hub: resp.Hub, Version: resp.Version, Dirty: resp.Dirty}
+	st := core.Status{Hub: resp.Hub, Version: resp.Version, Dirty: resp.Dirty, DirtyRealms: resp.DirtyRealms}
 	for _, m := range resp.Members {
 		st.Members = append(st.Members, core.Member{
 			Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events,

@@ -453,10 +453,11 @@ func (s *Server) handleJobViewer(w http.ResponseWriter, r *http.Request, _ auth.
 }
 
 type federationStatusResponse struct {
-	Hub     string           `json:"hub"`
-	Version string           `json:"version"`
-	Dirty   bool             `json:"pending_aggregation"`
-	Members []memberResponse `json:"members"`
+	Hub         string           `json:"hub"`
+	Version     string           `json:"version"`
+	Dirty       bool             `json:"pending_aggregation"`
+	DirtyRealms []string         `json:"pending_realms,omitempty"`
+	Members     []memberResponse `json:"members"`
 }
 
 type memberResponse struct {
@@ -472,7 +473,7 @@ func (s *Server) handleFederationStatus(w http.ResponseWriter, r *http.Request, 
 		return
 	}
 	st := s.Hub.Status()
-	resp := federationStatusResponse{Hub: st.Hub, Version: st.Version, Dirty: st.Dirty}
+	resp := federationStatusResponse{Hub: st.Hub, Version: st.Version, Dirty: st.Dirty, DirtyRealms: st.DirtyRealms}
 	for _, m := range st.Members {
 		resp.Members = append(resp.Members, memberResponse{Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events})
 	}

@@ -425,6 +425,26 @@ func equalIntSlices(a, b []int) bool {
 	return true
 }
 
+// ColumnIndex returns the position of the named column in the table's
+// row layout, or false when the column does not exist. Consumers of
+// positional binlog event rows use this instead of hardcoding offsets.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.colIndex[name]
+	return i, ok
+}
+
+// BindRow coerces a positional value slice (e.g. a binlog event's Row)
+// against the table definition and wraps it for by-name column access.
+// The returned Row is a detached view: it is not inserted and does not
+// alias table storage.
+func (t *Table) BindRow(row []any) (Row, error) {
+	vals, err := t.normalizeSlice(row)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{table: t, vals: vals}, nil
+}
+
 // Columns returns the ordered column names.
 func (t *Table) Columns() []string {
 	names := make([]string, len(t.def.Columns))

@@ -18,7 +18,7 @@ import (
 	"xdmodfed/internal/rest"
 )
 
-var emitBench = flag.Bool("emit-bench", false, "write query-cache benchmark results to BENCH_2.json")
+var emitBench = flag.Bool("emit-bench", false, "run the emitter tests and write benchmark results to BENCH_*.json")
 
 // chartServer builds a REST server over an instance holding queryFacts
 // aggregated job facts, with the query cache at its defaults.
