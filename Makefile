@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race chaos bench check
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,18 @@ test:
 # Race-check the packages with the most lock-free/concurrent code: the
 # metrics registry, the replication senders/receivers, the query-result
 # cache, the aggregation engine (parallel rebuild vs. incremental fold),
-# the federation core (hub apply vs. aggregate vs. query), and the REST
-# layer that drives them all concurrently.
+# the federation core (hub apply vs. aggregate vs. query), the REST
+# layer that drives them all concurrently, the warehouse (WAL follower
+# and fsync timer goroutines), and the fault-injection layer.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/replicate/... ./internal/qcache/... ./internal/aggregate/... ./internal/core/... ./internal/rest/...
+	$(GO) test -race ./internal/obs/... ./internal/replicate/... ./internal/qcache/... ./internal/aggregate/... ./internal/core/... ./internal/rest/... ./internal/warehouse/... ./internal/faults/...
+
+# Chaos end-to-end: a multi-satellite federation under seeded fault
+# injection (dropped connections, killed senders, torn WAL tails) must
+# converge bit-identical to a fault-free control run. Always raced.
+# See docs/robustness.md for the failure model and failpoint catalog.
+chaos:
+	$(GO) test -race -run TestChaosFederationConvergence -count 1 -v .
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 20000x .

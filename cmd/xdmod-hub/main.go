@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
@@ -113,7 +114,9 @@ func main() {
 	srv := &http.Server{Addr: *listen, Handler: rest.NewHubServer(hub).Handler()}
 	go func() {
 		<-ctx.Done()
-		srv.Shutdown(context.Background())
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
 	}()
 	fmt.Printf("xdmod-hub %q: REST on %s, replication on %s, %d members\n",
 		cfg.Name, *listen, repAddr, len(hub.Members()))

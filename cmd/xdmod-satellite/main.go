@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
@@ -40,6 +41,8 @@ func main() {
 		qcEnable   = flag.Bool("query-cache", true, "enable the chart query-result cache")
 		qcBytes    = flag.Int64("query-cache-bytes", 0, "query-cache capacity in bytes (0 = config/default)")
 		qcTTL      = flag.String("query-cache-ttl", "", "optional query-cache entry TTL, e.g. 30s (default none)")
+		walFsync   = flag.String("wal-fsync", "", "WAL fsync policy: always, interval or none (default config/always)")
+		walFsyncIv = flag.String("wal-fsync-interval", "", "fsync timer for -wal-fsync=interval, e.g. 100ms")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -51,6 +54,7 @@ func main() {
 		fatal(err)
 	}
 	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
+	applyDurabilityFlags(&cfg, *walFsync, *walFsyncIv)
 	sat, err := core.NewSatellite(cfg)
 	if err != nil {
 		fatal(err)
@@ -66,7 +70,14 @@ func main() {
 				fatal(err)
 			}
 		}
-		wal, err := warehouse.OpenLogWriter(sat.DB, *walPath, sat.DB.Binlog().Last())
+		interval, err := cfg.Durability.FsyncIntervalDuration()
+		if err != nil {
+			fatal(err)
+		}
+		wal, err := warehouse.OpenLogWriterOpts(sat.DB, *walPath, sat.DB.Binlog().Last(), warehouse.WALOptions{
+			Fsync:         warehouse.FsyncPolicy(cfg.Durability.WALFsync),
+			FsyncInterval: interval,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -104,7 +115,9 @@ func main() {
 	srv := &http.Server{Addr: *listen, Handler: rest.NewSatelliteServer(sat).Handler()}
 	go func() {
 		<-ctx.Done()
-		srv.Shutdown(context.Background())
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
 	}()
 	fmt.Printf("xdmod-satellite %q serving on %s (version %s, %d hub routes)\n",
 		cfg.Name, *listen, cfg.Version, len(cfg.Hubs))
@@ -117,6 +130,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("warehouse saved to %s\n", *dbPath)
+	}
+}
+
+// applyDurabilityFlags layers the WAL durability knobs over the config
+// file: only flags the operator actually set override it.
+func applyDurabilityFlags(cfg *config.InstanceConfig, fsync, interval string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "wal-fsync":
+			cfg.Durability.WALFsync = fsync
+		case "wal-fsync-interval":
+			cfg.Durability.WALFsyncInterval = interval
+		}
+	})
+	if err := cfg.Durability.Validate(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -174,6 +174,130 @@ func (a AggregationConfig) Validate() error {
 	return nil
 }
 
+// ReplicationConfig tunes the liveness and fault handling of tight
+// replication. The zero value means "defaults": 5s heartbeats, 64 MiB
+// frame cap, quarantine after 3 consecutive apply failures with a 30s
+// backoff doubling up to 10m. Correctness never depends on these
+// knobs; they bound how fast failures are detected and isolated.
+type ReplicationConfig struct {
+	// HeartbeatInterval paces keep-alive frames on replication
+	// connections; a peer silent for 2× this is considered dead. Go
+	// duration syntax ("5s"). Empty uses the default (5s).
+	HeartbeatInterval string `json:"heartbeat_interval,omitempty"`
+	// MaxFrameBytes bounds a single replication frame on the hub so a
+	// corrupt length prefix cannot buffer without bound. 0 uses the
+	// default (64 MiB).
+	MaxFrameBytes int64 `json:"max_frame_bytes,omitempty"`
+	// QuarantineThreshold is how many consecutive batch-apply failures
+	// quarantine a member. 0 uses the default (3); negative disables
+	// quarantine entirely.
+	QuarantineThreshold int `json:"quarantine_threshold,omitempty"`
+	// QuarantineBackoff is the first quarantine duration; it doubles
+	// per consecutive quarantine. Empty uses the default (30s).
+	QuarantineBackoff string `json:"quarantine_backoff,omitempty"`
+	// QuarantineMaxBackoff caps the doubling. Empty uses the default
+	// (10m).
+	QuarantineMaxBackoff string `json:"quarantine_max_backoff,omitempty"`
+}
+
+// Replication knob defaults.
+const (
+	DefaultHeartbeatInterval    = 5 * time.Second
+	DefaultQuarantineThreshold  = 3
+	DefaultQuarantineBackoff    = 30 * time.Second
+	DefaultQuarantineMaxBackoff = 10 * time.Minute
+)
+
+// parseDuration parses an optional duration knob.
+func parseDuration(field, s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("config: invalid %s %q: %w", field, s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("config: %s must be positive, got %q", field, s)
+	}
+	return d, nil
+}
+
+// HeartbeatDuration parses the heartbeat knob.
+func (r ReplicationConfig) HeartbeatDuration() (time.Duration, error) {
+	return parseDuration("replication heartbeat_interval", r.HeartbeatInterval, DefaultHeartbeatInterval)
+}
+
+// QuarantineBackoffDuration parses the initial quarantine backoff.
+func (r ReplicationConfig) QuarantineBackoffDuration() (time.Duration, error) {
+	return parseDuration("replication quarantine_backoff", r.QuarantineBackoff, DefaultQuarantineBackoff)
+}
+
+// QuarantineMaxBackoffDuration parses the quarantine backoff cap.
+func (r ReplicationConfig) QuarantineMaxBackoffDuration() (time.Duration, error) {
+	return parseDuration("replication quarantine_max_backoff", r.QuarantineMaxBackoff, DefaultQuarantineMaxBackoff)
+}
+
+// Threshold resolves the quarantine threshold: default when 0,
+// disabled (0) when negative.
+func (r ReplicationConfig) Threshold() int {
+	if r.QuarantineThreshold == 0 {
+		return DefaultQuarantineThreshold
+	}
+	if r.QuarantineThreshold < 0 {
+		return 0
+	}
+	return r.QuarantineThreshold
+}
+
+// Validate checks the replication knobs.
+func (r ReplicationConfig) Validate() error {
+	if r.MaxFrameBytes < 0 {
+		return fmt.Errorf("config: replication max_frame_bytes must not be negative")
+	}
+	if _, err := r.HeartbeatDuration(); err != nil {
+		return err
+	}
+	if _, err := r.QuarantineBackoffDuration(); err != nil {
+		return err
+	}
+	if _, err := r.QuarantineMaxBackoffDuration(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DurabilityConfig tunes the satellite's write-ahead log. The zero
+// value means "fsync after every batch" — the safest setting.
+type DurabilityConfig struct {
+	// WALFsync selects when the WAL fsyncs: "always" (every appended
+	// batch; default), "interval" (on a timer; a crash loses at most
+	// one interval), or "none" (the OS decides; clean shutdown still
+	// flushes).
+	WALFsync string `json:"wal_fsync,omitempty"`
+	// WALFsyncInterval is the timer for the "interval" policy, in Go
+	// duration syntax. Empty uses the default (100ms).
+	WALFsyncInterval string `json:"wal_fsync_interval,omitempty"`
+}
+
+// FsyncIntervalDuration parses the interval knob.
+func (d DurabilityConfig) FsyncIntervalDuration() (time.Duration, error) {
+	return parseDuration("durability wal_fsync_interval", d.WALFsyncInterval, 100*time.Millisecond)
+}
+
+// Validate checks the durability knobs.
+func (d DurabilityConfig) Validate() error {
+	switch d.WALFsync {
+	case "", "always", "interval", "none":
+	default:
+		return fmt.Errorf("config: durability wal_fsync must be always, interval or none, got %q", d.WALFsync)
+	}
+	if _, err := d.FsyncIntervalDuration(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // SSOSource names one single-sign-on provider an instance trusts.
 type SSOSource struct {
 	Name     string `json:"name"`     // e.g. "shibboleth", "globus", "keycloak", "ldap"
@@ -204,6 +328,12 @@ type InstanceConfig struct {
 	// Aggregation tunes incremental folding and full-rebuild
 	// parallelism; the zero value enables incremental with defaults.
 	Aggregation AggregationConfig `json:"aggregation,omitempty"`
+	// Replication tunes heartbeat/deadline liveness and the hub's
+	// member quarantine; the zero value uses safe defaults.
+	Replication ReplicationConfig `json:"replication,omitempty"`
+	// Durability tunes the satellite write-ahead log's fsync policy;
+	// the zero value fsyncs on every batch.
+	Durability DurabilityConfig `json:"durability,omitempty"`
 }
 
 // Validate checks the whole instance configuration.
@@ -248,6 +378,12 @@ func (c InstanceConfig) Validate() error {
 		return err
 	}
 	if err := c.Aggregation.Validate(); err != nil {
+		return err
+	}
+	if err := c.Replication.Validate(); err != nil {
+		return err
+	}
+	if err := c.Durability.Validate(); err != nil {
 		return err
 	}
 	return nil

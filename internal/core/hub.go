@@ -11,6 +11,7 @@ import (
 	"xdmodfed/internal/aggregate"
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
+	"xdmodfed/internal/faults"
 	"xdmodfed/internal/obs"
 	"xdmodfed/internal/realm"
 	"xdmodfed/internal/realm/jobs"
@@ -27,6 +28,19 @@ type Member struct {
 	LastEvent time.Time // origin timestamp of the newest applied event
 	Batches   int
 	Events    int
+
+	// Circuit-breaker state: a member whose batches repeatedly fail to
+	// apply is quarantined (connections bounced with a retry-after)
+	// instead of poisoning the apply loop for everyone.
+	Failures         int       // consecutive apply failures
+	Quarantines      int       // quarantine trips since the last success
+	QuarantinedUntil time.Time // zero when not quarantined
+	LastError        string    // most recent apply failure, for operators
+}
+
+// Quarantined reports whether the member is quarantined at time t.
+func (m Member) Quarantined(t time.Time) bool {
+	return !m.QuarantinedUntil.IsZero() && t.Before(m.QuarantinedUntil)
 }
 
 // realmAggState tracks how one realm's hub aggregation tables relate
@@ -58,8 +72,20 @@ type Hub struct {
 	Positions *replicate.PositionStore
 	Identity  *auth.IdentityMap
 
+	// Faults, when set before Listen, injects connection faults on
+	// every replication conn the hub accepts (chaos tests only).
+	Faults *faults.Registry
+
 	receiver *replicate.Receiver
 	now      func() time.Time
+
+	// Quarantine circuit-breaker knobs (config replication section).
+	// quarThreshold 0 disables quarantine.
+	quarThreshold int
+	quarBackoff   time.Duration
+	quarMax       time.Duration
+	heartbeat     time.Duration
+	maxFrame      int64
 
 	mu      sync.Mutex
 	cond    *sync.Cond // broadcast on fold/rebuild transitions
@@ -92,6 +118,18 @@ func NewHub(cfg config.InstanceConfig) (*Hub, error) {
 	if err != nil {
 		return nil, err
 	}
+	hb, err := cfg.Replication.HeartbeatDuration()
+	if err != nil {
+		return nil, err
+	}
+	quarBackoff, err := cfg.Replication.QuarantineBackoffDuration()
+	if err != nil {
+		return nil, err
+	}
+	quarMax, err := cfg.Replication.QuarantineMaxBackoffDuration()
+	if err != nil {
+		return nil, err
+	}
 	h := &Hub{
 		Instance:      in,
 		Positions:     ps,
@@ -101,6 +139,11 @@ func NewHub(cfg config.InstanceConfig) (*Hub, error) {
 		realms:        make(map[string]*realmAggState),
 		factRealms:    make(map[string]realm.Info),
 		noIncremental: in.Config.Aggregation.DisableIncremental,
+		quarThreshold: cfg.Replication.Threshold(),
+		quarBackoff:   quarBackoff,
+		quarMax:       quarMax,
+		heartbeat:     hb,
+		maxFrame:      cfg.Replication.MaxFrameBytes,
 	}
 	h.cond = sync.NewCond(&h.mu)
 	for _, name := range in.Registry.Names() {
@@ -151,12 +194,21 @@ func (h *Hub) Members() []Member {
 	return out
 }
 
-// authorize vets a connecting instance.
+// authorize vets a connecting instance. A quarantined member is
+// bounced with a RetryAfter matching the remaining quarantine, so its
+// sender sleeps instead of hammering the hub with doomed batches.
 func (h *Hub) authorize(instance string) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if _, ok := h.members[instance]; !ok {
+	m, ok := h.members[instance]
+	if !ok {
 		return fmt.Errorf("core: instance %q is not a registered member of federation %q", instance, h.Config.Name)
+	}
+	if now := h.now(); m.Quarantined(now) {
+		return &replicate.RetryAfterError{
+			After:  m.QuarantinedUntil.Sub(now),
+			Reason: fmt.Sprintf("core: member %q is quarantined after %d apply failures: %s", instance, m.Failures, m.LastError),
+		}
 	}
 	return nil
 }
@@ -187,10 +239,14 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 	sp.SetAttr("instance", instance)
 	defer sp.End()
 	defer mHubBatchSeconds.ObserveSince(time.Now())
+	if err := h.quarantineGate(instance); err != nil {
+		return err
+	}
 	deltas := map[string]*realmDelta{}
 	for _, ev := range events {
 		if err := h.DB.Apply(ev); err != nil {
 			coreLog.Error("apply batch failed", "instance", instance, "lsn", ev.LSN, "err", err)
+			h.noteApplyFailure(instance, err)
 			return err
 		}
 		h.observeIdentity(instance, ev)
@@ -215,6 +271,14 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 		}
 		m.Batches++
 		m.Events += len(events)
+		// A successfully applied batch closes the circuit breaker.
+		if m.Failures > 0 || m.Quarantines > 0 || !m.QuarantinedUntil.IsZero() {
+			m.Failures = 0
+			m.Quarantines = 0
+			m.QuarantinedUntil = time.Time{}
+			m.LastError = ""
+			mMemberQuarantined.With(instance).Set(0)
+		}
 	}
 	var folds []*realmDelta
 	for name, d := range deltas {
@@ -254,6 +318,56 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 		h.DB.BumpEpoch()
 	}
 	return nil
+}
+
+// quarantineGate rejects batches from a quarantined member with the
+// remaining backoff. Authorization already bounces quarantined members
+// at handshake; this covers connections that were already streaming
+// when the breaker tripped.
+func (h *Hub) quarantineGate(instance string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.members[instance]
+	if !ok {
+		return nil
+	}
+	if now := h.now(); m.Quarantined(now) {
+		return &replicate.RetryAfterError{
+			After:  m.QuarantinedUntil.Sub(now),
+			Reason: fmt.Sprintf("core: member %q is quarantined", instance),
+		}
+	}
+	return nil
+}
+
+// noteApplyFailure counts one failed batch apply against the member's
+// circuit breaker, tripping a quarantine at the configured threshold.
+// The failure count deliberately survives the quarantine window: once
+// it expires, the sender's next batch is a half-open probe, and a
+// single further failure re-trips the breaker with a doubled backoff
+// (capped), while one success resets everything.
+func (h *Hub) noteApplyFailure(instance string, cause error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.members[instance]
+	if !ok || h.quarThreshold <= 0 {
+		return
+	}
+	m.Failures++
+	m.LastError = cause.Error()
+	if m.Failures < h.quarThreshold {
+		return
+	}
+	backoff := h.quarBackoff << uint(m.Quarantines)
+	if backoff <= 0 || backoff > h.quarMax {
+		backoff = h.quarMax
+	}
+	m.QuarantinedUntil = h.now().Add(backoff)
+	m.Quarantines++
+	mMemberQuarantined.With(instance).Set(1)
+	mQuarantines.With(instance).Inc()
+	coreLog.Error("member quarantined",
+		"instance", instance, "failures", m.Failures, "backoff", backoff, "err", cause)
 }
 
 // classifyEvent sorts one applied event into its realm's delta: fact
@@ -315,9 +429,12 @@ func (h *Hub) observeIdentity(instance string, ev warehouse.Event) {
 // bound address.
 func (h *Hub) Listen(addr string) (string, error) {
 	h.receiver = &replicate.Receiver{
-		Version:   h.Config.Version,
-		Sink:      h,
-		Authorize: h.authorize,
+		Version:           h.Config.Version,
+		Sink:              h,
+		Authorize:         h.authorize,
+		HeartbeatInterval: h.heartbeat,
+		MaxFrameBytes:     h.maxFrame,
+		Faults:            h.Faults,
 	}
 	return h.receiver.Listen(addr)
 }

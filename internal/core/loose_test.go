@@ -118,10 +118,12 @@ func TestSenderStatsExposed(t *testing.T) {
 	sat.StartFederation(ctx)
 	defer sat.StopFederation()
 	waitFor(t, func() bool { return hub.DB.Count("fed_s", jobs.FactTable) == 3 })
-	stats := sat.SenderStats()
-	if len(stats) != 1 || stats[0].SentEvents == 0 || stats[0].Position == 0 {
-		t.Errorf("stats = %+v", stats)
-	}
+	// The hub commits the batch before its ack reaches the sender, so
+	// the stats lag the hub's row count by one network round trip.
+	waitFor(t, func() bool {
+		stats := sat.SenderStats()
+		return len(stats) == 1 && stats[0].SentEvents > 0 && stats[0].Position > 0
+	})
 	sat.StopFederation()
 	if len(sat.SenderStats()) != 0 {
 		t.Error("stats should clear after stop")

@@ -16,6 +16,10 @@ var (
 		"Latency of applying one replication batch on the hub.", nil)
 	mMemberPosition = obs.Default.GaugeVec("xdmodfed_hub_member_position",
 		"Last durably committed binlog LSN per member, as seen by the hub.", "member")
+	mMemberQuarantined = obs.Default.GaugeVec("xdmodfed_hub_member_quarantined",
+		"1 while the member is quarantined by the hub's circuit breaker, else 0.", "member")
+	mQuarantines = obs.Default.CounterVec("xdmodfed_hub_member_quarantines_total",
+		"Quarantine trips after repeated batch-apply failures, per member.", "member")
 	mAggRuns = obs.Default.Counter("xdmodfed_aggregation_runs_total",
 		"Completed aggregation runs (instance-local and federation-wide).")
 	mAggSeconds = obs.Default.Histogram("xdmodfed_aggregation_run_seconds",

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsNoop: production code threads a nil registry; it
+// must never inject and the wrappers must pass through unchanged.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	if r.Hit(ConnReadDrop) {
+		t.Fatal("nil registry injected")
+	}
+	if n := r.Injected(); n != 0 {
+		t.Fatalf("nil registry Injected() = %d", n)
+	}
+	if calls, inj := r.Stats(ConnReadDrop); calls != 0 || inj != 0 {
+		t.Fatalf("nil registry Stats = %d, %d", calls, inj)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if got := WrapConn(c1, nil); got != c1 {
+		t.Fatal("WrapConn(nil) should return the conn unchanged")
+	}
+	f := &memFile{}
+	if got := WrapFile(f, nil); got != File(f) {
+		t.Fatal("WrapFile(nil) should return the file unchanged")
+	}
+}
+
+// TestDeterminism: same seed and call sequence → same injections.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		r := New(seed)
+		r.Enable(ConnReadDrop, 0.3)
+		r.Enable(ConnWriteDrop, 0.1)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, r.Hit(ConnReadDrop), r.Hit(ConnWriteDrop))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at call %d", i)
+		}
+	}
+	// And a different seed should (overwhelmingly likely) differ.
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical injection sequences")
+	}
+}
+
+func TestEnableEvery(t *testing.T) {
+	r := New(1)
+	r.EnableEvery(WALSyncError, 3)
+	var got []bool
+	for i := 0; i < 9; i++ {
+		got = append(got, r.Hit(WALSyncError))
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: got %v want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	calls, inj := r.Stats(WALSyncError)
+	if calls != 9 || inj != 3 {
+		t.Fatalf("Stats = %d calls, %d injected; want 9, 3", calls, inj)
+	}
+	if r.Injected() != 3 {
+		t.Fatalf("Injected() = %d, want 3", r.Injected())
+	}
+}
+
+func TestIsInjected(t *testing.T) {
+	err := &InjectedError{Point: ConnReadDrop}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected(direct) = false")
+	}
+	if !IsInjected(fmt.Errorf("wrap: %w", err)) {
+		t.Fatal("IsInjected(wrapped) = false")
+	}
+	if IsInjected(errors.New("plain")) {
+		t.Fatal("IsInjected(plain) = true")
+	}
+	if IsInjected(nil) {
+		t.Fatal("IsInjected(nil) = true")
+	}
+}
+
+// TestWrapConnReadDrop: an armed read-drop closes the conn so the
+// peer sees EOF/reset, and the local error is marked injected.
+func TestWrapConnReadDrop(t *testing.T) {
+	r := New(1)
+	r.EnableEvery(ConnReadDrop, 1)
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	fc := WrapConn(c1, r)
+	_, err := fc.Read(make([]byte, 8))
+	if !IsInjected(err) {
+		t.Fatalf("Read error = %v, want injected", err)
+	}
+	// The underlying conn must actually be closed.
+	c1.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c1.Read(make([]byte, 1)); err == nil {
+		t.Fatal("underlying conn still open after injected drop")
+	}
+}
+
+// TestWrapConnWriteDrop: a write-drop leaves a torn (partial) frame
+// on the wire and closes the conn.
+func TestWrapConnWriteDrop(t *testing.T) {
+	r := New(1)
+	r.EnableEvery(ConnWriteDrop, 1)
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	fc := WrapConn(c1, r)
+
+	read := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := c2.Read(buf)
+		read <- buf[:n]
+	}()
+
+	payload := []byte("0123456789abcdef")
+	n, err := fc.Write(payload)
+	if !IsInjected(err) {
+		t.Fatalf("Write error = %v, want injected", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("Write wrote %d bytes, want a strict prefix of %d", n, len(payload))
+	}
+	select {
+	case got := <-read:
+		if !bytes.Equal(got, payload[:len(payload)/2]) {
+			t.Fatalf("peer read %q, want torn prefix %q", got, payload[:len(payload)/2])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never saw the torn prefix")
+	}
+}
+
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Close() error                { m.closed = true; return nil }
+
+func TestWrapFileShortWrite(t *testing.T) {
+	r := New(1)
+	r.EnableEvery(WALShortWrite, 2)
+	m := &memFile{}
+	f := WrapFile(m, r)
+
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("bbbbbbbb"))
+	if !IsInjected(err) {
+		t.Fatalf("second write error = %v, want injected", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write persisted %d bytes, want 4", n)
+	}
+	if got := m.buf.String(); got != "aaaabbbb" {
+		t.Fatalf("file contents %q, want %q", got, "aaaabbbb")
+	}
+}
+
+func TestWrapFileSyncError(t *testing.T) {
+	r := New(1)
+	r.EnableEvery(WALSyncError, 1)
+	m := &memFile{}
+	f := WrapFile(m, r)
+	if err := f.Sync(); !IsInjected(err) {
+		t.Fatalf("Sync error = %v, want injected", err)
+	}
+	if m.syncs != 0 {
+		t.Fatal("injected sync error must not sync the underlying file")
+	}
+	if err := f.Close(); err != nil || !m.closed {
+		t.Fatalf("Close passthrough failed: err=%v closed=%v", err, m.closed)
+	}
+}

@@ -1,0 +1,202 @@
+package replicate
+
+import (
+	"context"
+	"encoding/gob"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/warehouse"
+)
+
+// TestReceiverDetectsStalledPeer: a satellite that handshakes and then
+// goes silent (stall, partition, power loss) must be disconnected
+// within 2× the heartbeat interval instead of pinning a hub goroutine
+// forever.
+func TestReceiverDetectsStalledPeer(t *testing.T) {
+	const hb = 50 * time.Millisecond
+	sink, _ := newTestSink(t)
+	recv := &Receiver{Version: "v", Sink: sink, HeartbeatInterval: hb}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(hello{Instance: "ccr", Version: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(conn)
+	var ha helloAck
+	if err := dec.Decode(&ha); err != nil || !ha.OK {
+		t.Fatalf("handshake: %v %+v", err, ha)
+	}
+	if ha.Heartbeat != hb {
+		t.Fatalf("hub advertised heartbeat %v, want %v", ha.Heartbeat, hb)
+	}
+
+	// Never send a batch or heartbeat; drain hub keep-alives until the
+	// hub gives up on us. It must do so within 2× the interval (plus
+	// scheduling slack), not hang.
+	start := time.Now()
+	for {
+		var a ack
+		if err := dec.Decode(&a); err != nil {
+			break // hub closed the connection
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > 4*hb {
+		t.Fatalf("hub took %v to drop a stalled peer, want ≈%v", elapsed, 2*hb)
+	}
+}
+
+// TestSenderDetectsDeadHub: a hub that handshakes and then never acks
+// or heartbeats again must not hang the sender forever — the read
+// deadline (2× heartbeat) fires and Run returns.
+func TestSenderDetectsDeadHub(t *testing.T) {
+	const hb = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var h hello
+		if err := gob.NewDecoder(conn).Decode(&h); err != nil {
+			return
+		}
+		if err := gob.NewEncoder(conn).Encode(helloAck{OK: true, Resume: 0, Heartbeat: hb}); err != nil {
+			return
+		}
+		// Play dead: swallow frames, never respond.
+		io.Copy(io.Discard, conn)
+	}()
+
+	sat := satelliteWithJobs(t, "ccr", 10)
+	sender := &Sender{Instance: "ccr", Version: "v", DB: sat, Rewriter: NewRewriter("ccr", Filter{})}
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() { errc <- sender.Run(context.Background(), ln.Addr().String()) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Run returned nil against a dead hub")
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("sender took %v to notice the dead hub, want ≈%v", elapsed, 2*hb)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender hung on a dead hub")
+	}
+}
+
+// TestIdleConnectionSurvivesOnHeartbeats: with nothing to replicate
+// for many intervals, both sides' keep-alives must hold the
+// connection open, and a late write still flows through it.
+func TestIdleConnectionSurvivesOnHeartbeats(t *testing.T) {
+	const hb = 50 * time.Millisecond
+	sat := satelliteWithJobs(t, "ccr", 5)
+	sink, hub := newTestSink(t)
+	recv := &Receiver{Version: "v", Sink: sink, HeartbeatInterval: hb}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sender := &Sender{Instance: "ccr", Version: "v", DB: sat, Rewriter: NewRewriter("ccr", Filter{})}
+	errc := make(chan error, 1)
+	go func() { errc <- sender.Run(ctx, addr) }()
+
+	waitFor(t, func() bool { return hub.Count(HubSchema("ccr"), jobs.FactTable) == 5 })
+	// Idle for 10 heartbeat intervals — far past the 2× deadline; only
+	// keep-alives prevent either side from declaring the other dead.
+	time.Sleep(10 * hb)
+	select {
+	case err := <-errc:
+		t.Fatalf("sender dropped an idle-but-healthy connection: %v", err)
+	default:
+	}
+	rec := shredder.JobRecord{
+		LocalJobID: 9999, User: "u", Account: "a", Resource: "ccr-cluster", Queue: "q",
+		Nodes: 1, Cores: 2,
+		Submit: time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		Start:  time.Date(2017, 1, 1, 1, 0, 0, 0, time.UTC),
+		End:    time.Date(2017, 1, 1, 2, 0, 0, 0, time.UTC),
+	}
+	row, err := jobs.FactFromRecord(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sat.Insert(jobs.SchemaName, jobs.FactTable, row); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return hub.Count(HubSchema("ccr"), jobs.FactTable) == 6 })
+}
+
+// TestReceiverRejectsOversizeFrame: a frame larger than MaxFrameBytes
+// (corrupt length prefix, runaway batch) must close the connection
+// without being applied, instead of buffering without bound.
+func TestReceiverRejectsOversizeFrame(t *testing.T) {
+	sink, hub := newTestSink(t)
+	recv := &Receiver{Version: "v", Sink: sink, HeartbeatInterval: 50 * time.Millisecond, MaxFrameBytes: 8192}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{Instance: "ccr", Version: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(conn)
+	var ha helloAck
+	if err := dec.Decode(&ha); err != nil || !ha.OK {
+		t.Fatalf("handshake: %v %+v", err, ha)
+	}
+	huge := batch{UpTo: 1, Events: []warehouse.Event{{
+		LSN: 1, Kind: warehouse.EvInsert, Schema: "s", Table: "t",
+		Row: []any{strings.Repeat("x", 1 << 20)}, // ~1 MiB >> 8 KiB cap
+	}}}
+	// The hub must hang up mid-frame; with a ~1MiB frame against an
+	// 8KiB budget either the write fails or the follow-up read does.
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := enc.Encode(huge); err == nil {
+		var a ack
+		for {
+			if err := dec.Decode(&a); err != nil {
+				break
+			}
+			if !a.HB {
+				t.Fatalf("hub acked an oversize frame: %+v", a)
+			}
+		}
+	}
+	if got := hub.Count(HubSchema("ccr"), jobs.FactTable); got != 0 {
+		t.Fatalf("oversize frame was applied: %d rows", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"xdmodfed/internal/faults"
 	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/shredder"
 )
@@ -137,6 +138,54 @@ func TestReplicationSurvivesConnectionDrops(t *testing.T) {
 		t.Errorf("rows = %d, want %d", got, rows)
 	}
 	t.Logf("stream survived %d connection drops", proxy.Drops())
+}
+
+// TestReplicationExactlyOnceUnderInjectedFaults drives the seeded
+// fault-injection layer instead of ad-hoc byte-limited proxying: every
+// hub-side read and write can drop the connection mid-frame, and the
+// stream must still deliver every row exactly once by resuming from
+// the hub's durable commit position.
+func TestReplicationExactlyOnceUnderInjectedFaults(t *testing.T) {
+	const rows = 300
+	reg := faults.New(7)
+	reg.Enable(faults.ConnReadDrop, 0.05)
+	reg.Enable(faults.ConnWriteDrop, 0.05)
+
+	sat := satelliteWithJobs(t, "ccr", rows)
+	sink, hub := newTestSink(t)
+	recv := &Receiver{Version: "v", Sink: sink, Faults: reg}
+	hubAddr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sender := &Sender{
+		Instance: "ccr", Version: "v", DB: sat,
+		Rewriter:  NewRewriter("ccr", Filter{}),
+		BatchSize: 8, // small batches so injected drops land mid-stream
+	}
+	go sender.RunWithRetry(ctx, hubAddr, time.Millisecond)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for hub.Count(HubSchema("ccr"), jobs.FactTable) != rows {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never converged: %d of %d rows after %d injected faults",
+				hub.Count(HubSchema("ccr"), jobs.FactTable), rows, reg.Injected())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Injected() == 0 {
+		t.Error("no faults injected; test exercised nothing")
+	}
+	// Exactly-once: resumption from the commit position never replays a
+	// row into the fact table twice.
+	if got := hub.Count(HubSchema("ccr"), jobs.FactTable); got != rows {
+		t.Errorf("rows = %d, want %d", got, rows)
+	}
+	t.Logf("stream converged across %d injected connection faults", reg.Injected())
 }
 
 // TestConcurrentIngestReplicateQuery: writers, a replication stream,

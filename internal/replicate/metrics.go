@@ -28,6 +28,12 @@ var (
 		"Replication batches received and applied, per member instance.", "instance")
 	mPumpEvents = obs.Default.Counter("xdmodfed_replicate_pump_events_total",
 		"Events copied by in-process Pump/PumpUntil replication.")
+	mHeartbeats = obs.Default.CounterVec("xdmodfed_replicate_heartbeats_total",
+		"Keep-alive frames sent, by role (hub acks, satellite idle batches).", "role")
+	mPeerTimeouts = obs.Default.CounterVec("xdmodfed_replicate_peer_timeouts_total",
+		"Connections closed because the peer was silent past the heartbeat deadline, by role.", "role")
+	mOversizeFrames = obs.Default.Counter("xdmodfed_replicate_oversize_frames_total",
+		"Connections closed because a replication frame exceeded the maximum size.")
 )
 
 // countingWriter counts bytes flowing to the wire.

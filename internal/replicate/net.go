@@ -5,12 +5,15 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"xdmodfed/internal/faults"
 	"xdmodfed/internal/obs"
 	"xdmodfed/internal/warehouse"
 )
@@ -20,14 +23,55 @@ import (
 // Protocol (gob-framed):
 //
 //	satellite -> hub:  hello{instance, version}
-//	hub -> satellite:  helloAck{ok, err, resumeLSN}
-//	satellite -> hub:  batch{upTo, events}   (repeated)
-//	hub -> satellite:  ack{upTo}             (one per batch)
+//	hub -> satellite:  helloAck{ok, err, resumeLSN, heartbeat}
+//	satellite -> hub:  batch{upTo, events}   (repeated; hb=true when idle)
+//	hub -> satellite:  ack{upTo}             (one per batch; hb=true on a timer)
 //
 // The hub enforces the paper's same-version requirement ("each
 // individual XDMoD instance must run the same version of XDMoD",
 // §II-A) at handshake time and tells the satellite where to resume
 // from, using its durable per-instance commit position.
+//
+// Liveness: every read and write carries a deadline. The hub sends a
+// heartbeat ack every HeartbeatInterval and the satellite sends a
+// heartbeat batch whenever it has been idle for one interval, so each
+// side reads *something* at least once per interval from a live peer
+// and closes the connection after 2× the interval of silence — a
+// silently-dead peer (power loss, network partition, injected stall)
+// can no longer hang a sender or receiver goroutine forever. The hub
+// picks the interval and propagates it in the handshake ack so both
+// sides always agree.
+
+var repLog = obs.Logger("replicate")
+
+const (
+	// DefaultHeartbeatInterval paces hub heartbeat acks and idle
+	// satellite heartbeat batches; a peer silent for 2× this is dead.
+	DefaultHeartbeatInterval = 5 * time.Second
+	// DefaultMaxFrameBytes bounds how many bytes the hub will read for
+	// a single replication frame before giving up on the connection.
+	DefaultMaxFrameBytes = 64 << 20
+	// handshakeTimeout bounds dial + hello/helloAck exchange.
+	handshakeTimeout = 30 * time.Second
+)
+
+// writeTimeout is the deadline for writing one protocol frame.
+func writeTimeout(hb time.Duration) time.Duration {
+	if d := 2 * hb; d > time.Second {
+		return d
+	}
+	return time.Second
+}
+
+// isTimeout reports whether err is a deadline expiry rather than a
+// peer close or protocol error.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 type hello struct {
 	Instance string
@@ -38,16 +82,68 @@ type helloAck struct {
 	OK     bool
 	Err    string
 	Resume uint64
+	// RetryAfter, when nonzero on a rejection, tells the satellite the
+	// refusal is temporary (e.g. the member is quarantined) and when to
+	// try again, rather than a permanent stop.
+	RetryAfter time.Duration
+	// Heartbeat is the hub's heartbeat interval; the satellite adopts
+	// it (zero from an old hub means DefaultHeartbeatInterval).
+	Heartbeat time.Duration
 }
 
 type batch struct {
 	UpTo   uint64
 	Events []warehouse.Event
+	// HB marks an empty keep-alive frame sent while the satellite has
+	// nothing to replicate; the hub ignores it (no ack, no apply).
+	HB bool
 }
 
 type ack struct {
 	UpTo uint64
+	// HB marks a hub keep-alive; it acknowledges nothing.
+	HB bool
 }
+
+// RetryAfterError reports a temporary refusal: the peer asked us to
+// come back after a delay (member quarantine, hub overload). Senders
+// treat it as transient and sleep exactly the requested delay.
+type RetryAfterError struct {
+	After  time.Duration
+	Reason string
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("replicate: refused, retry after %s: %s", e.After, e.Reason)
+}
+
+// errFrameTooBig reports a replication frame exceeding MaxFrameBytes.
+var errFrameTooBig = errors.New("replicate: frame exceeds maximum size")
+
+// frameLimitReader caps how many bytes a single gob Decode may pull
+// off the wire, so a corrupt or hostile length prefix cannot make the
+// hub read (and buffer) without bound. The budget is reset before
+// each Decode; it is approximate — gob's internal buffering may carry
+// a few KB across frames — but bounds any single frame to roughly max.
+type frameLimitReader struct {
+	r   io.Reader
+	max int64
+	n   int64
+}
+
+func (f *frameLimitReader) Read(p []byte) (int, error) {
+	if f.n >= f.max {
+		return 0, errFrameTooBig
+	}
+	if int64(len(p)) > f.max-f.n {
+		p = p[:f.max-f.n]
+	}
+	n, err := f.r.Read(p)
+	f.n += int64(n)
+	return n, err
+}
+
+func (f *frameLimitReader) reset() { f.n = 0 }
 
 // Sink is the hub-side handler for replicated event streams; the
 // federation core provides one.
@@ -65,8 +161,17 @@ type Receiver struct {
 	Sink    Sink
 	// Authorize, when set, vets an instance at handshake (the
 	// federation core uses it to restrict membership to registered
-	// instances).
+	// instances and to bounce quarantined members with a RetryAfter).
 	Authorize func(instance string) error
+	// HeartbeatInterval paces keep-alive acks and the peer-silence
+	// deadline (2× this). Zero means DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// MaxFrameBytes bounds a single replication frame. Zero means
+	// DefaultMaxFrameBytes.
+	MaxFrameBytes int64
+	// Faults, when set, injects connection faults on every accepted
+	// conn (tests only).
+	Faults *faults.Registry
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -101,52 +206,124 @@ func (r *Receiver) acceptLoop() {
 		go func() {
 			defer r.wg.Done()
 			defer conn.Close()
-			r.serve(conn)
+			r.serve(faults.WrapConn(conn, r.Faults))
 		}()
 	}
 }
 
 func (r *Receiver) serve(conn net.Conn) {
-	dec := gob.NewDecoder(&countingReader{r: conn, c: mRecvBytes})
+	hb := r.HeartbeatInterval
+	if hb <= 0 {
+		hb = DefaultHeartbeatInterval
+	}
+	maxFrame := r.MaxFrameBytes
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	flr := &frameLimitReader{r: &countingReader{r: conn, c: mRecvBytes}, max: maxFrame}
+	dec := gob.NewDecoder(flr)
 	enc := gob.NewEncoder(conn)
+	// The heartbeat goroutine and the apply loop share the encoder.
+	var encMu sync.Mutex
+	send := func(v any) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout(hb)))
+		return enc.Encode(v)
+	}
 
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	flr.reset()
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		return
 	}
 	if h.Version != r.Version {
-		enc.Encode(helloAck{OK: false, Err: fmt.Sprintf(
+		send(helloAck{OK: false, Err: fmt.Sprintf(
 			"version mismatch: hub runs %q, instance %q runs %q (each instance must run the same version)",
 			r.Version, h.Instance, h.Version)})
 		return
 	}
 	if r.Authorize != nil {
 		if err := r.Authorize(h.Instance); err != nil {
-			enc.Encode(helloAck{OK: false, Err: err.Error()})
+			send(rejection(err))
 			return
 		}
 	}
 	resume, err := r.Sink.Resume(h.Instance)
 	if err != nil {
-		enc.Encode(helloAck{OK: false, Err: err.Error()})
+		send(rejection(err))
 		return
 	}
-	if err := enc.Encode(helloAck{OK: true, Resume: resume}); err != nil {
+	if err := send(helloAck{OK: true, Resume: resume, Heartbeat: hb}); err != nil {
 		return
 	}
+
+	// Keep-alive: a satellite with nothing to send still hears from us
+	// every interval, so it can tell a quiet hub from a dead one.
+	done := make(chan struct{})
+	defer close(done)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := send(ack{HB: true}); err != nil {
+					conn.Close() // wake the decode loop
+					return
+				}
+				mHeartbeats.With("hub").Inc()
+			}
+		}
+	}()
+
 	for {
+		conn.SetReadDeadline(time.Now().Add(2 * hb))
+		flr.reset()
 		var b batch
 		if err := dec.Decode(&b); err != nil {
-			return // connection closed
+			switch {
+			case isTimeout(err):
+				mPeerTimeouts.With("hub").Inc()
+				repLog.Warn("replication peer silent, closing",
+					"instance", h.Instance, "silence", 2*hb)
+			case errors.Is(err, errFrameTooBig):
+				mOversizeFrames.Inc()
+				repLog.Error("oversize replication frame, closing",
+					"instance", h.Instance, "max_bytes", maxFrame)
+			}
+			return
+		}
+		if b.HB {
+			continue // satellite keep-alive
 		}
 		if err := r.Sink.ApplyBatch(h.Instance, b.UpTo, b.Events); err != nil {
+			repLog.Warn("replication batch rejected",
+				"instance", h.Instance, "up_to", b.UpTo, "err", err)
 			return
 		}
 		mRecvBatches.With(h.Instance).Inc()
-		if err := enc.Encode(ack{UpTo: b.UpTo}); err != nil {
+		if err := send(ack{UpTo: b.UpTo}); err != nil {
 			return
 		}
 	}
+}
+
+// rejection maps an authorize/resume error to a handshake nack,
+// preserving a RetryAfterError's delay so the satellite knows the
+// refusal is temporary.
+func rejection(err error) helloAck {
+	ha := helloAck{OK: false, Err: err.Error()}
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		ha.RetryAfter = ra.After
+	}
+	return ha
 }
 
 // Close stops the receiver and waits for connection handlers.
@@ -196,7 +373,7 @@ func (s *Sender) Stats() SenderStats {
 }
 
 // ErrHandshakeRejected reports that the hub refused the connection
-// (version mismatch or unauthorized instance).
+// permanently (version mismatch or unauthorized instance).
 var ErrHandshakeRejected = errors.New("replicate: handshake rejected")
 
 // Run connects to the hub and streams until the context is cancelled,
@@ -204,7 +381,7 @@ var ErrHandshakeRejected = errors.New("replicate: handshake rejected")
 // shutdown. Callers wanting reconnection wrap Run in a retry loop
 // (see RunWithRetry).
 func (s *Sender) Run(ctx context.Context, hubAddr string) error {
-	d := net.Dialer{}
+	d := net.Dialer{Timeout: handshakeTimeout}
 	conn, err := d.DialContext(ctx, "tcp", hubAddr)
 	if err != nil {
 		return err
@@ -216,6 +393,7 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 
 	enc := gob.NewEncoder(&countingWriter{w: conn, c: mSentBytes.With(s.Instance)})
 	dec := gob.NewDecoder(conn)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	if err := enc.Encode(hello{Instance: s.Instance, Version: s.Version}); err != nil {
 		return err
 	}
@@ -224,7 +402,15 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 		return err
 	}
 	if !ha.OK {
+		if ha.RetryAfter > 0 {
+			return &RetryAfterError{After: ha.RetryAfter, Reason: ha.Err}
+		}
 		return fmt.Errorf("%w: %s", ErrHandshakeRejected, ha.Err)
+	}
+	conn.SetDeadline(time.Time{}) // handshake done; per-frame deadlines below
+	hb := ha.Heartbeat
+	if hb <= 0 {
+		hb = DefaultHeartbeatInterval
 	}
 	pos := ha.Resume
 	s.handshook.Store(true)
@@ -242,30 +428,85 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 	if batchSize <= 0 {
 		batchSize = 512
 	}
+
+	// Reader goroutine: the hub's frames are batch acks interleaved
+	// with keep-alives, so acks are consumed off the main loop. A hub
+	// silent for 2× the heartbeat interval is dead — the read deadline
+	// fires, the conn is closed, and the main loop unblocks.
+	acks := make(chan ack, 1) // stop-and-wait: at most one outstanding batch
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			conn.SetReadDeadline(time.Now().Add(2 * hb))
+			var a ack
+			if err := dec.Decode(&a); err != nil {
+				if isTimeout(err) {
+					mPeerTimeouts.With("satellite").Inc()
+					repLog.Warn("hub silent, closing",
+						"instance", s.Instance, "hub", hubAddr, "silence", 2*hb)
+				}
+				readErr <- err
+				conn.Close() // unblock a sender stuck writing
+				return
+			}
+			if a.HB {
+				continue
+			}
+			select {
+			case acks <- a:
+			default:
+			}
+		}
+	}()
+
 	for {
-		evs, err := s.DB.Binlog().Wait(ctx, pos, batchSize)
+		wctx, cancelWait := context.WithTimeout(ctx, hb)
+		evs, err := s.DB.Binlog().Wait(wctx, pos, batchSize)
+		cancelWait()
 		if err != nil {
 			if err == warehouse.ErrLogClosed || ctx.Err() != nil {
 				return nil
 			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				// Idle interval: tell the hub we are alive, and notice
+				// if the reader goroutine declared it dead.
+				select {
+				case err := <-readErr:
+					return err
+				default:
+				}
+				conn.SetWriteDeadline(time.Now().Add(writeTimeout(hb)))
+				if err := enc.Encode(batch{HB: true}); err != nil {
+					if ctx.Err() != nil {
+						return nil
+					}
+					return err
+				}
+				mHeartbeats.With("satellite").Inc()
+				continue
+			}
 			return err
 		}
 		out, upTo := s.Rewriter.ProcessBatch(evs)
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout(hb)))
 		if err := enc.Encode(batch{UpTo: upTo, Events: out}); err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}
 			return err
 		}
-		var a ack
-		if err := dec.Decode(&a); err != nil {
+		select {
+		case a := <-acks:
+			if a.UpTo != upTo {
+				return fmt.Errorf("replicate: hub acked %d, expected %d", a.UpTo, upTo)
+			}
+		case err := <-readErr:
 			if ctx.Err() != nil {
 				return nil
 			}
 			return err
-		}
-		if a.UpTo != upTo {
-			return fmt.Errorf("replicate: hub acked %d, expected %d", a.UpTo, upTo)
+		case <-ctx.Done():
+			return nil
 		}
 		pos = upTo
 		mSentBatches.With(s.Instance).Inc()
@@ -325,7 +566,9 @@ func jitteredDelay(d time.Duration) time.Duration {
 // when <= 0), doubles per consecutive failure up to MaxRetryBackoff,
 // is jittered over [d/2, d], and resets to the initial value whenever
 // a connection gets past the hub's handshake — so a flapping network
-// backs off hard while a single dropped connection retries fast.
+// backs off hard while a single dropped connection retries fast. A
+// RetryAfter refusal (member quarantine) sleeps exactly the delay the
+// hub asked for, then retries with a fresh backoff.
 func (s *Sender) RunWithRetry(ctx context.Context, hubAddr string, backoff time.Duration) error {
 	if backoff <= 0 {
 		backoff = DefaultRetryBackoff
@@ -334,11 +577,23 @@ func (s *Sender) RunWithRetry(ctx context.Context, hubAddr string, backoff time.
 	for {
 		s.handshook.Store(false)
 		err := s.Run(ctx, hubAddr)
+		var ra *RetryAfterError
 		switch {
 		case err == nil:
 			return nil
 		case errors.Is(err, ErrHandshakeRejected):
 			return err
+		case errors.As(err, &ra):
+			mRetries.With(s.Instance).Inc()
+			repLog.Info("hub asked to retry later",
+				"instance", s.Instance, "hub", hubAddr, "after", ra.After, "reason", ra.Reason)
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(ra.After):
+			}
+			delay = backoff
+			continue
 		}
 		if s.handshook.Load() {
 			delay = backoff

@@ -104,6 +104,11 @@ type memberHealth struct {
 	LastEvent  time.Time `json:"last_event"`
 	AgeSeconds float64   `json:"age_seconds"` // since last batch; -1 when never
 	Fresh      bool      `json:"fresh"`
+	// Circuit-breaker state: a quarantined member degrades the hub's
+	// health and carries its remaining backoff and last apply error.
+	Quarantined           bool    `json:"quarantined,omitempty"`
+	QuarantineSecondsLeft float64 `json:"quarantine_seconds_left,omitempty"`
+	LastError             string  `json:"last_error,omitempty"`
 }
 
 type senderHealth struct {
@@ -143,7 +148,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				mh.AgeSeconds = now.Sub(m.LastBatch).Seconds()
 				mh.Fresh = now.Sub(m.LastBatch) <= FreshnessWindow
 			}
-			if !mh.Fresh {
+			if m.Quarantined(now) {
+				mh.Quarantined = true
+				mh.QuarantineSecondsLeft = m.QuarantinedUntil.Sub(now).Seconds()
+				mh.LastError = m.LastError
+			}
+			if !mh.Fresh || mh.Quarantined {
 				resp.Status = "degraded"
 			}
 			resp.Members = append(resp.Members, mh)

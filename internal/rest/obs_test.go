@@ -9,9 +9,11 @@ import (
 	"strings"
 	"testing"
 
+	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
 	"xdmodfed/internal/obs"
+	"xdmodfed/internal/warehouse"
 )
 
 func TestMetricsEndpoint(t *testing.T) {
@@ -193,5 +195,90 @@ func TestPprofGatedByConfig(t *testing.T) {
 	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
 		t.Errorf("pprof with config flag: status %d, want 200", rec.Code)
+	}
+}
+
+// TestHealthzQuarantinedMember: a member tripped by the hub's circuit
+// breaker degrades /healthz and is flagged — with its remaining backoff
+// and last error — in both /healthz and /api/federation/status, while a
+// healthy member stays unflagged.
+func TestHealthzQuarantinedMember(t *testing.T) {
+	hub, err := core.NewHub(config.InstanceConfig{
+		Name: "fedhub", Version: core.Version,
+		AggregationLevels: []config.AggregationLevels{config.HubWallTime()},
+		Replication: config.ReplicationConfig{
+			QuarantineThreshold: 1,
+			QuarantineBackoff:   "30s",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Instance.Auth.Vault().Create(auth.User{Username: "admin", Role: auth.RoleManager}, "hunter2hunter2")
+	for _, m := range []string{"flaky", "steady"} {
+		if err := hub.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewHubServer(hub).Handler()
+
+	poison := warehouse.Event{
+		LSN: 1, Kind: warehouse.EvInsert,
+		Schema: "no_such_schema", Table: "no_such_table", Row: []any{int64(1)},
+	}
+	if err := hub.ApplyBatch("flaky", 1, []warehouse.Event{poison}); err == nil {
+		t.Fatal("poison batch applied cleanly")
+	}
+	if err := hub.ApplyBatch("steady", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := get(t, srv, "", "/healthz")
+	var resp healthzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "degraded" {
+		t.Errorf("healthz status = %q, want degraded", resp.Status)
+	}
+	for _, m := range resp.Members {
+		switch m.Name {
+		case "flaky":
+			if !m.Quarantined || m.QuarantineSecondsLeft <= 0 || m.LastError == "" {
+				t.Errorf("quarantined member health = %+v", m)
+			}
+		case "steady":
+			if m.Quarantined || m.LastError != "" {
+				t.Errorf("healthy member health = %+v", m)
+			}
+		}
+	}
+
+	admin := loginAs(t, srv, "admin", "hunter2hunter2")
+	rec = get(t, srv, admin, "/api/federation/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("federation status: %d %s", rec.Code, rec.Body)
+	}
+	var st federationStatusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range st.Members {
+		switch m.Name {
+		case "flaky":
+			if !m.Quarantined || m.QuarantineSecondsLeft <= 0 || m.Quarantines != 1 || m.LastError == "" {
+				t.Errorf("quarantined member status = %+v", m)
+			}
+		case "steady":
+			if m.Quarantined || m.Failures != 0 {
+				t.Errorf("healthy member status = %+v", m)
+			}
+		}
+	}
+
+	// The quarantine gauge is exported.
+	body := get(t, srv, "", "/metrics").Body.String()
+	if !strings.Contains(body, `xdmodfed_hub_member_quarantined{member="flaky"} 1`) {
+		t.Error("/metrics missing quarantine gauge for flaky member")
 	}
 }

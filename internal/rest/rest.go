@@ -465,6 +465,13 @@ type memberResponse struct {
 	Position uint64 `json:"position"`
 	Batches  int    `json:"batches"`
 	Events   int    `json:"events"`
+	// Circuit-breaker state, for operators watching a member that the
+	// hub has isolated after repeated apply failures.
+	Quarantined           bool    `json:"quarantined,omitempty"`
+	QuarantineSecondsLeft float64 `json:"quarantine_seconds_left,omitempty"`
+	Failures              int     `json:"failures,omitempty"`
+	Quarantines           int     `json:"quarantines,omitempty"`
+	LastError             string  `json:"last_error,omitempty"`
 }
 
 func (s *Server) handleFederationStatus(w http.ResponseWriter, r *http.Request, _ auth.Session) {
@@ -473,9 +480,18 @@ func (s *Server) handleFederationStatus(w http.ResponseWriter, r *http.Request, 
 		return
 	}
 	st := s.Hub.Status()
+	now := time.Now()
 	resp := federationStatusResponse{Hub: st.Hub, Version: st.Version, Dirty: st.Dirty, DirtyRealms: st.DirtyRealms}
 	for _, m := range st.Members {
-		resp.Members = append(resp.Members, memberResponse{Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events})
+		mr := memberResponse{Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events}
+		if m.Quarantined(now) {
+			mr.Quarantined = true
+			mr.QuarantineSecondsLeft = m.QuarantinedUntil.Sub(now).Seconds()
+			mr.Failures = m.Failures
+			mr.Quarantines = m.Quarantines
+			mr.LastError = m.LastError
+		}
+		resp.Members = append(resp.Members, mr)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -22,4 +22,6 @@ var (
 		"Durable-binlog fsync latency.", nil)
 	mWALBytes = obs.Default.Counter("xdmodfed_warehouse_wal_bytes_total",
 		"Bytes appended to the durable binlog file, framing included.")
+	mWALTruncated = obs.Default.Counter("xdmodfed_warehouse_wal_truncated_tails_total",
+		"WAL recoveries that found and truncated a torn or corrupt tail.")
 )

@@ -6,54 +6,127 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
 	"time"
+
+	"xdmodfed/internal/faults"
+	"xdmodfed/internal/obs"
 )
 
 // Durable binlog: production satellites must survive restarts without
 // losing replication state, so the binlog can be mirrored to an
 // append-only file (a write-ahead log of row events) and replayed on
-// startup. The on-disk format is a stream of length-prefixed
-// gob-encoded Event records (framing allows appending across process
-// restarts, which a bare gob stream does not);
-// recovery replays events into a fresh DB, which re-logs them in the
-// same order so replication positions remain meaningful across
-// restarts.
+// startup. Each on-disk record is
+//
+//	uvarint(payload length) | CRC32C of payload (4 bytes LE) | gob payload
+//
+// The length prefix allows appending across process restarts (a bare
+// gob stream does not), the checksum catches torn or bit-rotted tails,
+// and a length sanity cap stops a corrupt prefix from forcing a huge
+// allocation. Recovery replays events into a fresh DB, which re-logs
+// them in the same order so replication positions remain meaningful
+// across restarts; a torn or corrupt tail is truncated at the last
+// valid record so the writer can resume appending there.
+
+var walLog = obs.Logger("warehouse.wal")
+
+// castagnoli is the CRC32C polynomial table used for WAL records.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxWALRecord caps a single record's payload. A length prefix larger
+// than this is treated as corruption, not a request to allocate.
+const maxWALRecord = 64 << 20
+
+// walHeaderLen is the fixed part of a record after the varint: the
+// 4-byte CRC32C of the payload.
+const walHeaderLen = 4
+
+// FsyncPolicy selects when the WAL writer calls fsync.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every appended batch (default; an
+	// acknowledged event survives an OS crash).
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a timer; a crash loses at most one
+	// interval of events.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNone never syncs during operation (the OS flushes at its
+	// leisure); Close still flushes.
+	FsyncNone FsyncPolicy = "none"
+)
+
+// DefaultFsyncInterval is the FsyncInterval timer default.
+const DefaultFsyncInterval = 100 * time.Millisecond
+
+// WALOptions tunes durability and (in tests) fault injection for a
+// LogWriter. The zero value means fsync-always with no faults.
+type WALOptions struct {
+	Fsync         FsyncPolicy
+	FsyncInterval time.Duration    // for FsyncInterval; 0 = DefaultFsyncInterval
+	Faults        *faults.Registry // nil = no injection
+}
 
 // LogWriter tees binlog events to an append-only file as they are
 // committed. It follows the in-memory binlog from a starting position,
 // so it can also be attached to an already-populated DB.
 type LogWriter struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      faults.File
+	policy FsyncPolicy
 	pos    uint64
+	dirty  bool // bytes written since the last successful sync
+	err    error
 	db     *DB
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
 
 // OpenLogWriter opens (creating or appending) the binlog file for db
-// and starts mirroring events committed after fromLSN. Callers that
-// created the file fresh pass 0; callers resuming pass the LSN
-// returned by RecoverDB.
+// and starts mirroring events committed after fromLSN with the default
+// durability (fsync-always). Callers that created the file fresh pass
+// 0; callers resuming pass the LSN returned by RecoverDB or ReplayLog.
 func OpenLogWriter(db *DB, path string, fromLSN uint64) (*LogWriter, error) {
+	return OpenLogWriterOpts(db, path, fromLSN, WALOptions{})
+}
+
+// OpenLogWriterOpts is OpenLogWriter with explicit durability options.
+func OpenLogWriterOpts(db *DB, path string, fromLSN uint64, opts WALOptions) (*LogWriter, error) {
+	policy := opts.Fsync
+	if policy == "" {
+		policy = FsyncAlways
+	}
+	switch policy {
+	case FsyncAlways, FsyncInterval, FsyncNone:
+	default:
+		return nil, fmt.Errorf("warehouse: unknown fsync policy %q", policy)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	w := &LogWriter{
-		f:      f,
+		f:      faults.WrapFile(f, opts.Faults),
+		policy: policy,
 		pos:    fromLSN,
 		db:     db,
 		cancel: cancel,
 	}
 	w.wg.Add(1)
 	go w.follow(ctx)
+	if policy == FsyncInterval {
+		interval := opts.FsyncInterval
+		if interval <= 0 {
+			interval = DefaultFsyncInterval
+		}
+		w.wg.Add(1)
+		go w.syncLoop(ctx, interval)
+	}
 	return w, nil
 }
 
@@ -65,7 +138,28 @@ func (w *LogWriter) follow(ctx context.Context) {
 			return // cancelled, log closed, or trimmed past us
 		}
 		if err := w.writeEvents(evs); err != nil {
+			walLog.Error("wal append failed, writer stopped", "err", err)
 			return
+		}
+	}
+}
+
+// syncLoop flushes dirty bytes on a timer under the interval policy.
+func (w *LogWriter) syncLoop(ctx context.Context, interval time.Duration) {
+	defer w.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.mu.Lock()
+			err := w.syncLocked()
+			w.mu.Unlock()
+			if err != nil {
+				walLog.Error("wal interval fsync failed", "err", err)
+			}
 		}
 	}
 }
@@ -73,33 +167,61 @@ func (w *LogWriter) follow(ctx context.Context) {
 func (w *LogWriter) writeEvents(evs []Event) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	var frame bytes.Buffer
+	var payload, rec bytes.Buffer
 	var lenBuf [binary.MaxVarintLen64]byte
+	var crcBuf [walHeaderLen]byte
 	var written uint64
 	for _, ev := range evs {
-		frame.Reset()
-		if err := gob.NewEncoder(&frame).Encode(ev); err != nil {
+		payload.Reset()
+		if err := gob.NewEncoder(&payload).Encode(ev); err != nil {
+			w.err = err
 			return err
 		}
-		n := binary.PutUvarint(lenBuf[:], uint64(frame.Len()))
-		if _, err := w.f.Write(lenBuf[:n]); err != nil {
+		rec.Reset()
+		n := binary.PutUvarint(lenBuf[:], uint64(payload.Len()))
+		rec.Write(lenBuf[:n])
+		binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload.Bytes(), castagnoli))
+		rec.Write(crcBuf[:])
+		rec.Write(payload.Bytes())
+		// One Write per record: a crash (or injected short write)
+		// tears at most the record being appended, never an earlier
+		// one, and recovery truncates exactly there.
+		if _, err := w.f.Write(rec.Bytes()); err != nil {
+			w.dirty = true
+			w.err = err
 			return err
 		}
-		if _, err := w.f.Write(frame.Bytes()); err != nil {
-			return err
-		}
-		written += uint64(n + frame.Len())
+		written += uint64(rec.Len())
+		w.dirty = true
 		w.pos = ev.LSN
 	}
 	mWALBytes.Add(written)
+	if w.policy == FsyncAlways {
+		if err := w.syncLocked(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// syncLocked fsyncs if anything was written since the last successful
+// sync. Caller holds w.mu.
+func (w *LogWriter) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
 	syncStart := time.Now()
 	err := w.f.Sync()
 	mWALFsyncs.Inc()
 	mWALFsyncSeconds.ObserveSince(syncStart)
+	if err == nil {
+		w.dirty = false
+	}
 	return err
 }
 
-// Position returns the LSN durably written so far.
+// Position returns the LSN written to the file so far.
 func (w *LogWriter) Position() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -107,27 +229,43 @@ func (w *LogWriter) Position() uint64 {
 }
 
 // Close stops following, drains every already-committed event to disk,
-// and closes the file.
+// fsyncs whatever the policy (nothing buffered survives Close), and
+// closes the file. It returns the first error encountered, including
+// any earlier append failure that stopped the background writer.
 func (w *LogWriter) Close() error {
 	w.cancel()
 	w.wg.Wait()
+	w.mu.Lock()
+	firstErr := w.err
+	w.mu.Unlock()
 	for {
 		evs, err := w.db.binlog.ReadFrom(w.Position(), 1024)
 		if err != nil || len(evs) == 0 {
 			break
 		}
 		if err := w.writeEvents(evs); err != nil {
-			w.f.Close()
-			return err
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
 		}
 	}
-	return w.f.Close()
+	w.mu.Lock()
+	if err := w.syncLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	w.mu.Unlock()
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // RecoverDB rebuilds a DB by replaying the on-disk binlog file. It
 // returns the recovered DB and the last LSN applied. A missing file
-// yields an empty DB at position 0. Truncated tails (a crash mid-write)
-// stop recovery at the last complete event rather than failing.
+// yields an empty DB at position 0. Torn or corrupt tails (a crash
+// mid-write) are truncated at the last valid record so a subsequent
+// OpenLogWriter resumes appending cleanly.
 func RecoverDB(name, path string) (*DB, uint64, error) {
 	db := Open(name)
 	last, err := ReplayLog(db, path)
@@ -137,43 +275,112 @@ func RecoverDB(name, path string) (*DB, uint64, error) {
 	return db, last, nil
 }
 
+// countingByteReader tracks the file offset consumed through a
+// bufio.Reader so recovery knows exactly where the last valid record
+// ends.
+type countingByteReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingByteReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
 // ReplayLog replays the on-disk binlog file into an existing DB
 // (schemas/tables already present are filled idempotently). Returns
 // the last LSN applied. Used by daemons that construct their realm
 // schemas first and then recover prior state into them.
+//
+// Every record is validated (length sanity + CRC32C) before it is
+// applied. The first invalid record — torn length prefix, impossible
+// length, checksum mismatch, or undecodable payload — ends recovery:
+// the file is truncated at the end of the last valid record and the
+// writer resumes appending from there. An apply error on a *valid*
+// record is a real fault and is returned.
 func ReplayLog(db *DB, path string) (uint64, error) {
-	f, err := os.Open(path)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	canTruncate := true
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
 		}
-		return 0, err
+		// Read-only media or permissions: recover what we can, but
+		// leave the torn tail in place.
+		f, err = os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		canTruncate = false
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	cr := &countingByteReader{br: bufio.NewReader(f)}
 	var last uint64
+	var validOff int64
+	var torn string
 	for {
-		frameLen, err := binary.ReadUvarint(br)
+		frameLen, err := binary.ReadUvarint(cr)
 		if err != nil {
-			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				break // clean end or truncated length prefix
+			if err == io.EOF && cr.off == validOff {
+				break // clean end of log
 			}
-			return last, fmt.Errorf("warehouse: recover %s: %w", path, err)
+			torn = "torn length prefix"
+			break
+		}
+		if frameLen == 0 || frameLen > maxWALRecord {
+			torn = fmt.Sprintf("impossible record length %d", frameLen)
+			break
+		}
+		var crcBuf [walHeaderLen]byte
+		if _, err := io.ReadFull(cr, crcBuf[:]); err != nil {
+			torn = "torn checksum"
+			break
 		}
 		frame := make([]byte, frameLen)
-		if _, err := io.ReadFull(br, frame); err != nil {
-			break // truncated tail record: stop at the last full event
+		if _, err := io.ReadFull(cr, frame); err != nil {
+			torn = "torn payload"
+			break
+		}
+		if got, want := crc32.Checksum(frame, castagnoli), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+			torn = fmt.Sprintf("checksum mismatch (%08x != %08x)", got, want)
+			break
 		}
 		var ev Event
 		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&ev); err != nil {
-			// The frame was complete but undecodable: a partially
-			// synced tail; stop here.
+			torn = "undecodable payload"
 			break
 		}
 		if err := db.Apply(ev); err != nil {
 			return last, fmt.Errorf("warehouse: recover %s at LSN %d: %w", path, ev.LSN, err)
 		}
 		last = ev.LSN
+		validOff = cr.off
+	}
+	if torn != "" {
+		mWALTruncated.Inc()
+		if canTruncate {
+			if err := f.Truncate(validOff); err != nil {
+				return last, fmt.Errorf("warehouse: recover %s: truncate torn tail: %w", path, err)
+			}
+			if err := f.Sync(); err != nil {
+				return last, fmt.Errorf("warehouse: recover %s: sync after truncate: %w", path, err)
+			}
+			walLog.Warn("wal recovery truncated torn tail",
+				"path", path, "reason", torn, "valid_bytes", validOff, "last_lsn", last)
+		} else {
+			walLog.Warn("wal recovery found torn tail on read-only file; appending is unsafe",
+				"path", path, "reason", torn, "valid_bytes", validOff, "last_lsn", last)
+		}
 	}
 	return last, nil
 }

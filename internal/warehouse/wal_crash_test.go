@@ -1,0 +1,244 @@
+package warehouse
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"xdmodfed/internal/faults"
+)
+
+// writeWALRows opens a WAL on a fresh DB, inserts n rows into
+// schema "s" (job_id 0..n-1), and closes the writer so every record
+// is on disk. Returns the WAL file path.
+func writeWALRows(t *testing.T, path string, n int, opts WALOptions) {
+	t.Helper()
+	db := Open("sat")
+	w, err := OpenLogWriterOpts(db, path, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		for i := 0; i < n; i++ {
+			tab.Insert(map[string]any{"job_id": i, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+		}
+		return nil
+	})
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestWALCrashRecoveryProperty is the seeded torn-tail property test:
+// write N events, truncate the file at a random byte offset, recover.
+// Whatever the cut point, every record before it survives intact (the
+// recovered rows are exactly a prefix of the inserted ones), recovery
+// truncates the file to the last valid record (so a second recovery
+// is a no-op), and a writer resumed at the recovered LSN appends
+// events that later replays see.
+func TestWALCrashRecoveryProperty(t *testing.T) {
+	const rows = 40
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		path := walPath(t)
+		writeWALRows(t, path, rows, WALOptions{})
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := rng.Int63n(info.Size() + 1)
+		if err := os.Truncate(path, cut); err != nil {
+			t.Fatal(err)
+		}
+
+		rec, last, err := RecoverDB("sat", path)
+		if err != nil {
+			t.Fatalf("seed %d cut %d: recovery failed: %v", seed, cut, err)
+		}
+		count := rec.Count("s", "jobs")
+		if count > rows {
+			t.Fatalf("seed %d: recovered %d rows from %d inserted", seed, count, rows)
+		}
+		// Prefix property: rows 0..count-1 present, nothing after.
+		if tab, err := rec.TableIn("s", "jobs"); err == nil {
+			rec.View(func() error {
+				for i := 0; i < count; i++ {
+					if _, ok := tab.GetByKey(int64(i)); !ok {
+						t.Errorf("seed %d cut %d: row %d missing from recovered prefix of %d", seed, cut, i, count)
+					}
+				}
+				if _, ok := tab.GetByKey(int64(count)); ok {
+					t.Errorf("seed %d cut %d: row %d present beyond recovered prefix", seed, cut, count)
+				}
+				return nil
+			})
+		} else if count != 0 {
+			t.Fatalf("seed %d: count %d but table missing", seed, count)
+		}
+		if last != rec.Binlog().Last() {
+			t.Fatalf("seed %d: recovery reported LSN %d, binlog at %d", seed, last, rec.Binlog().Last())
+		}
+
+		// Truncate-idempotence: recovery shrank the file to exactly the
+		// valid prefix; recovering again changes nothing.
+		sizeAfter, _ := os.Stat(path)
+		rec2, last2, err := RecoverDB("sat", path)
+		if err != nil {
+			t.Fatalf("seed %d: second recovery failed: %v", seed, err)
+		}
+		if last2 != last || rec2.Count("s", "jobs") != count {
+			t.Fatalf("seed %d: second recovery diverged: LSN %d vs %d, rows %d vs %d",
+				seed, last2, last, rec2.Count("s", "jobs"), count)
+		}
+		sizeAgain, _ := os.Stat(path)
+		if sizeAfter.Size() != sizeAgain.Size() {
+			t.Fatalf("seed %d: recovery not idempotent: size %d then %d", seed, sizeAfter.Size(), sizeAgain.Size())
+		}
+
+		// Resume: the writer picks up at the recovered LSN and later
+		// replays see both the prefix and the new events.
+		if count == 0 {
+			continue // schema events were cut too; nothing to resume onto
+		}
+		w, err := OpenLogWriter(rec, path, last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, _ := rec.TableIn("s", "jobs")
+		rec.Do(func() error {
+			for i := 0; i < 5; i++ {
+				tab.Insert(map[string]any{"job_id": 1000 + i, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+			}
+			return nil
+		})
+		if err := w.Close(); err != nil {
+			t.Fatalf("seed %d: resume close: %v", seed, err)
+		}
+		rec3, _, err := RecoverDB("sat", path)
+		if err != nil {
+			t.Fatalf("seed %d: recovery after resume: %v", seed, err)
+		}
+		if got := rec3.Count("s", "jobs"); got != count+5 {
+			t.Fatalf("seed %d: after resume recovered %d rows, want %d", seed, got, count+5)
+		}
+	}
+}
+
+// TestWALCloseFlushesFinalEvents is the shutdown regression test:
+// events committed in the last instant before Close must be on disk
+// (flushed and fsynced) under every fsync policy.
+func TestWALCloseFlushesFinalEvents(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		t.Run(string(policy), func(t *testing.T) {
+			path := walPath(t)
+			// The disarmed registry still counts Sync calls, proving
+			// Close really fsyncs even under "none".
+			reg := faults.New(1)
+			db := Open("sat")
+			w, err := OpenLogWriterOpts(db, path, 0, WALOptions{
+				Fsync: policy, FsyncInterval: DefaultFsyncInterval, Faults: reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := mustTable(t, db, "s")
+			db.Do(func() error {
+				for i := 0; i < 30; i++ {
+					tab.Insert(map[string]any{"job_id": i, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+				}
+				return nil
+			})
+			// No sleep: Close itself must drain and flush.
+			if err := w.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if syncs, _ := reg.Stats(faults.WALSyncError); syncs == 0 {
+				t.Fatalf("policy %s: Close never fsynced", policy)
+			}
+			rec, _, err := RecoverDB("sat", path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rec.Count("s", "jobs"); got != 30 {
+				t.Fatalf("policy %s: recovered %d of 30 rows written just before Close", policy, got)
+			}
+		})
+	}
+}
+
+// TestWALFsyncErrorSurfaces: an injected fsync failure must not be
+// swallowed — Close reports it.
+func TestWALFsyncErrorSurfaces(t *testing.T) {
+	reg := faults.New(1)
+	reg.EnableEvery(faults.WALSyncError, 1) // every fsync fails
+	path := walPath(t)
+	db := Open("sat")
+	w, err := OpenLogWriterOpts(db, path, 0, WALOptions{Faults: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		return tab.Insert(map[string]any{"job_id": 1, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+	})
+	err = w.Close()
+	if !faults.IsInjected(err) {
+		t.Fatalf("Close = %v, want the injected fsync error", err)
+	}
+}
+
+// TestWALShortWriteTornTail: an injected short write mid-append leaves
+// a torn record; recovery truncates at the tear and resumes, and the
+// rows before the tear survive deterministically.
+func TestWALShortWriteTornTail(t *testing.T) {
+	reg := faults.New(1)
+	// Records: 1 EnsureSchema + 1 CreateTable + inserts. The 6th
+	// record write (insert #4) tears.
+	reg.EnableEvery(faults.WALShortWrite, 6)
+	path := walPath(t)
+	db := Open("sat")
+	w, err := OpenLogWriterOpts(db, path, 0, WALOptions{Faults: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := mustTable(t, db, "s")
+	db.Do(func() error {
+		for i := 0; i < 8; i++ {
+			tab.Insert(map[string]any{"job_id": i, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+		}
+		return nil
+	})
+	if err := w.Close(); !faults.IsInjected(err) {
+		t.Fatalf("Close = %v, want the injected short-write error surfaced", err)
+	}
+	if _, injected := reg.Stats(faults.WALShortWrite); injected == 0 {
+		t.Fatal("short write never injected")
+	}
+	rec, last, err := RecoverDB("sat", path)
+	if err != nil {
+		t.Fatalf("recovery after torn tail: %v", err)
+	}
+	if got := rec.Count("s", "jobs"); got != 3 {
+		t.Fatalf("recovered %d rows, want the 3 before the torn record", got)
+	}
+	// And the truncated file accepts resumed appends.
+	w2, err := OpenLogWriter(rec, path, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtab, _ := rec.TableIn("s", "jobs")
+	rec.Do(func() error {
+		return rtab.Insert(map[string]any{"job_id": 100, "user": "u", "resource": "r", "cores": 1, "wall": 1.0})
+	})
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, _, err := RecoverDB("sat", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.Count("s", "jobs"); got != 4 {
+		t.Fatalf("after resume recovered %d rows, want 4", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/rest"
 	"xdmodfed/internal/shredder"
 )
@@ -101,7 +102,11 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Ingest jobs, then start replication.
+	// Ingest jobs, then start replication. The ingest counter is a
+	// process-wide total, so assert the delta this test contributes.
+	ingestedBefore := obs.Default.CounterVec("xdmodfed_ingest_records_total",
+		"Staging records processed by the ingestion pipeline, by realm and outcome.",
+		"realm", "outcome").With("Jobs", "ingested").Value()
 	var recs []shredder.JobRecord
 	base := time.Date(2017, 5, 1, 0, 0, 0, 0, time.UTC)
 	for i := 0; i < 25; i++ {
@@ -150,7 +155,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		"# TYPE xdmodfed_replication_lag_events gauge",
 		`xdmodfed_replicate_sent_events_total{instance="siteA"}`,
 		"# TYPE xdmodfed_warehouse_txn_total counter",
-		`xdmodfed_ingest_records_total{realm="Jobs",outcome="ingested"} 25`,
+		fmt.Sprintf(`xdmodfed_ingest_records_total{realm="Jobs",outcome="ingested"} %d`, ingestedBefore+25),
 		"xdmodfed_ingest_batch_seconds_bucket",
 	} {
 		if !strings.Contains(metricsBody, want) {
