@@ -76,7 +76,7 @@ func benchRecords(n int) []shredder.JobRecord {
 	return recs
 }
 
-func benchInstance(b *testing.B) *core.Instance {
+func benchInstance(b testing.TB) *core.Instance {
 	b.Helper()
 	in, err := core.NewInstance(config.InstanceConfig{
 		Name: "bench", Version: core.Version,

@@ -1,0 +1,76 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/warehouse"
+)
+
+// TestColdChartQueryAllocationCeiling is the columnar engine's
+// allocation-regression guard: a cold chart query walks the
+// aggregation table through typed column vectors and must not
+// materialize rows. The ceiling is set ~4x above the measured columnar
+// cost (a few hundred allocations, dominated by series assembly) and
+// far below what any row-materializing scan costs — boxing every cell
+// of a few-thousand-row aggregation table alone blows through it.
+func TestColdChartQueryAllocationCeiling(t *testing.T) {
+	const nFacts = 4000
+	db := warehouse.Open("allocguard")
+	if _, err := jobs.Setup(db); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(db, []config.AggregationLevels{config.HubWallTime(), config.DefaultJobSize()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := jobs.RealmInfo()
+	if err := eng.Setup(info); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.TableIn(jobs.SchemaName, jobs.FactTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := db.Do(func() error {
+		for i := 0; i < nFacts; i++ {
+			end := base.Add(time.Duration(i%8760) * time.Hour)
+			row, err := jobs.FactRowFromRecord(shredder.JobRecord{
+				LocalJobID: int64(i + 1), User: fmt.Sprintf("u%d", i%16), Account: "a",
+				Resource: "r1", Queue: "batch", Nodes: 1, Cores: int64(1 + i%64),
+				Submit: end.Add(-2 * time.Hour), Start: end.Add(-time.Hour), End: end,
+			}, nil)
+			if err != nil {
+				return err
+			}
+			if err := tab.InsertRow(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Reaggregate(info, []string{jobs.SchemaName}); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{MetricID: jobs.MetricCPUHours, GroupBy: jobs.DimUser, Period: Month}
+	if _, err := eng.Query(info, req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := eng.Query(info, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 2500
+	t.Logf("cold chart query: %.0f allocs/op (ceiling %d)", allocs, ceiling)
+	if allocs > ceiling {
+		t.Errorf("cold chart query allocates %.0f objects/op, ceiling %d — the lock-free columnar read path has regressed", allocs, ceiling)
+	}
+}

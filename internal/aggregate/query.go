@@ -44,12 +44,16 @@ type Request struct {
 
 // CanonicalKey renders the request as a deterministic string: filters
 // are emitted in sorted order, so two requests with equal contents
-// always produce identical keys. The query-result cache
-// (internal/qcache) keys on this.
+// always produce identical keys. Every caller-controlled component is
+// length-prefixed, so a value containing the separator characters
+// ('|', '=', '.') cannot collide with a structurally different request
+// — e.g. one filter value "x|f.b=y" versus two filters "x" and "y".
+// The query-result cache (internal/qcache) keys on this.
 func (r Request) CanonicalKey() string {
 	var b strings.Builder
 	b.Grow(64)
-	fmt.Fprintf(&b, "m=%s|g=%s|p=%s|s=%d|e=%d", r.MetricID, r.GroupBy, r.Period, r.StartKey, r.EndKey)
+	fmt.Fprintf(&b, "m=%d:%s|g=%d:%s|p=%s|s=%d|e=%d",
+		len(r.MetricID), r.MetricID, len(r.GroupBy), r.GroupBy, r.Period, r.StartKey, r.EndKey)
 	if len(r.Filters) > 0 {
 		keys := make([]string, 0, len(r.Filters))
 		for k := range r.Filters {
@@ -57,7 +61,8 @@ func (r Request) CanonicalKey() string {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Fprintf(&b, "|f.%s=%s", k, r.Filters[k])
+			v := r.Filters[k]
+			fmt.Fprintf(&b, "|f.%d:%s=%d:%s", len(k), k, len(v), v)
 		}
 	}
 	return b.String()
@@ -91,13 +96,14 @@ type cell struct {
 	init    bool
 }
 
-func (c *cell) add(m realm.Metric, r warehouse.Row) {
-	n := r.Int("n")
+// addVals folds one aggregation-table row's pre-extracted values into
+// the cell; hasMeasure/hasWeight report whether the metric carries a
+// measure column / weighted pair at all.
+func (c *cell) addVals(n int64, sum, last, mn, mx, wsum, wden float64, hasMeasure, hasWeight bool) {
 	c.n += n
-	if m.Column != "" {
-		c.sum += r.Float("sum_" + m.Column)
-		c.sumLast += r.Float("last_" + m.Column)
-		mn, mx := r.Float("min_"+m.Column), r.Float("max_"+m.Column)
+	if hasMeasure {
+		c.sum += sum
+		c.sumLast += last
 		if !c.init {
 			c.min, c.max = mn, mx
 		} else {
@@ -109,9 +115,9 @@ func (c *cell) add(m realm.Metric, r warehouse.Row) {
 			}
 		}
 	}
-	if m.WeightColumn != "" {
-		c.wsum += r.Float(wsumColName(m.Column + "*" + m.WeightColumn))
-		c.wden += r.Float("sum_" + m.WeightColumn)
+	if hasWeight {
+		c.wsum += wsum
+		c.wden += wden
 	}
 	c.init = true
 }
@@ -144,7 +150,11 @@ func (c *cell) value(m realm.Metric) float64 {
 	}
 }
 
-// Query runs a request against the realm's aggregation tables.
+// Query runs a request against the realm's aggregation tables. The
+// scan iterates the table's published columnar snapshot and takes no
+// lock at all: a rebuild or replication batch committing concurrently
+// swaps in a new snapshot without ever blocking (or being blocked by)
+// chart queries.
 func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 	defer mQuerySeconds.With(info.Name).ObserveSince(time.Now())
 	metric, ok := info.Metric(req.MetricID)
@@ -167,9 +177,63 @@ func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 	if req.Period == 0 {
 		req.Period = Month
 	}
-	tab, err := e.db.TableIn(AggSchema(info), AggTableName(info.FactTable, req.Period))
+	td, err := e.db.DataFor(AggSchema(info), AggTableName(info.FactTable, req.Period))
 	if err != nil {
 		return nil, err
+	}
+
+	// Resolve every column the metric touches once, up front; the
+	// per-row loop below reads typed vectors only.
+	strCol := func(name string) []string {
+		if ci, ok := td.ColIndex(name); ok {
+			return td.StringCol(ci)
+		}
+		return nil
+	}
+	fltCol := func(name string) []float64 {
+		if ci, ok := td.ColIndex(name); ok {
+			return td.FloatCol(ci)
+		}
+		return nil
+	}
+	intCol := func(name string) []int64 {
+		if ci, ok := td.ColIndex(name); ok {
+			return td.IntCol(ci)
+		}
+		return nil
+	}
+	pkV, nV := intCol("period_key"), intCol("n")
+	hasMeasure := metric.Column != ""
+	var sumV, lastV, minV, maxV []float64
+	if hasMeasure {
+		sumV = fltCol("sum_" + metric.Column)
+		lastV = fltCol("last_" + metric.Column)
+		minV = fltCol("min_" + metric.Column)
+		maxV = fltCol("max_" + metric.Column)
+	}
+	hasWeight := metric.WeightColumn != ""
+	var wsumV, wdenV []float64
+	if hasWeight {
+		wsumV = fltCol(wsumColName(metric.Column + "*" + metric.WeightColumn))
+		wdenV = fltCol("sum_" + metric.WeightColumn)
+	}
+	var groupV []string
+	if groupCol != "" {
+		groupV = strCol(groupCol)
+	}
+	type dimFilter struct {
+		vals []string
+		want string
+	}
+	filters := make([]dimFilter, 0, len(req.Filters))
+	for dim, want := range req.Filters {
+		filters = append(filters, dimFilter{vals: strCol("dim_" + dim), want: want})
+	}
+	at := func(v []float64, pos int) float64 {
+		if v == nil {
+			return 0
+		}
+		return v[pos]
 	}
 
 	type gp struct {
@@ -179,46 +243,54 @@ func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 	cells := map[gp]*cell{}
 	aggCells := map[string]*cell{}
 	scanned := 0
-	err = e.db.View(func() error {
-		tab.Scan(func(r warehouse.Row) bool {
-			scanned++
-			pk := r.Int("period_key")
-			if req.StartKey != 0 && pk < req.StartKey {
-				return true
+	dead := td.Tombstones()
+rows:
+	for pos := 0; pos < td.NumRows(); pos++ {
+		if dead[pos] {
+			continue
+		}
+		scanned++
+		var pk int64
+		if pkV != nil {
+			pk = pkV[pos]
+		}
+		if req.StartKey != 0 && pk < req.StartKey {
+			continue
+		}
+		if req.EndKey != 0 && pk > req.EndKey {
+			continue
+		}
+		for _, f := range filters {
+			if f.vals == nil || f.vals[pos] != f.want {
+				continue rows
 			}
-			if req.EndKey != 0 && pk > req.EndKey {
-				return true
-			}
-			for dim, want := range req.Filters {
-				if r.String("dim_"+dim) != want {
-					return true
-				}
-			}
-			group := ""
-			if groupCol != "" {
-				group = r.String(groupCol)
-			}
-			k := gp{group, pk}
-			c := cells[k]
-			if c == nil {
-				c = &cell{}
-				cells[k] = c
-			}
-			c.add(metric, r)
-			a := aggCells[group]
-			if a == nil {
-				a = &cell{}
-				aggCells[group] = a
-			}
-			a.add(metric, r)
-			return true
-		})
-		return nil
-	})
-	mRowsScanned.Add(uint64(scanned))
-	if err != nil {
-		return nil, err
+		}
+		group := ""
+		if groupV != nil {
+			group = groupV[pos]
+		}
+		var n int64
+		if nV != nil {
+			n = nV[pos]
+		}
+		sum, last := at(sumV, pos), at(lastV, pos)
+		mn, mx := at(minV, pos), at(maxV, pos)
+		wsum, wden := at(wsumV, pos), at(wdenV, pos)
+		k := gp{group, pk}
+		c := cells[k]
+		if c == nil {
+			c = &cell{}
+			cells[k] = c
+		}
+		c.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+		a := aggCells[group]
+		if a == nil {
+			a = &cell{}
+			aggCells[group] = a
+		}
+		a.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
 	}
+	mRowsScanned.Add(uint64(scanned))
 
 	byGroup := map[string][]Point{}
 	for k, c := range cells {

@@ -1,24 +1,27 @@
 package aggregate
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
+	"xdmodfed/internal/config"
 	"xdmodfed/internal/realm"
 	"xdmodfed/internal/warehouse"
 )
 
 // Full rebuild of a realm's aggregation tables. The scan phase runs
-// outside the DB write lock: one read transaction spans every source
-// schema, inside which a bounded pool of workers folds each schema's
-// fact table into a private partial-aggregation map. Partials are then
-// merged deterministically (in source-schema order) and installed —
-// truncate plus refill — in a single write transaction, so readers
-// never observe a half-built table and writers are only blocked for
-// the install, not the scans.
+// against the published columnar snapshots of the fact tables — a read
+// lock is held only for the few pointer loads that capture a consistent
+// snapshot set, then a bounded pool of workers folds each schema's
+// column vectors into a private partial-aggregation map with no lock at
+// all. Partials are then merged deterministically (in source-schema
+// order) and installed as one bulk columnar load per aggregation table
+// in a single write transaction, so readers never observe a half-built
+// table and writers are only blocked for the install, not the scans.
 
 // accRow is one partially aggregated group: the same running state
 // mergeAggRow keeps in the aggregation table, held in memory while a
@@ -40,64 +43,79 @@ type accRow struct {
 // partial accumulates one source schema's facts, per period.
 type partial map[Period]map[string]*accRow
 
-// accKey identifies one aggregation row within a period table.
-func accKey(periodKey int64, dims []string) string {
-	var b strings.Builder
-	b.WriteString(strconv.FormatInt(periodKey, 10))
-	for _, d := range dims {
-		b.WriteByte(0)
-		b.WriteString(d)
-	}
-	return b.String()
+// folder folds facts into a partial. The group key — period key plus
+// NUL-joined dimension values — is rendered into a reused byte buffer,
+// so the per-fact map probe allocates nothing; the key is only
+// materialized as a string when a new group is created.
+type folder struct {
+	periods []Period
+	p       partial
+	groups  []map[string]*accRow // indexed like periods
+	keyBuf  []byte
 }
 
-// foldFact folds one fact row into the accumulator with exactly the
+func newFolder() *folder {
+	periods := Periods()
+	f := &folder{periods: periods, p: make(partial, len(periods)),
+		groups: make([]map[string]*accRow, len(periods))}
+	for i, period := range periods {
+		g := make(map[string]*accRow)
+		f.p[period] = g
+		f.groups[i] = g
+	}
+	return f
+}
+
+// fold folds one fact into every period's accumulator with exactly the
 // semantics of mergeAggRow: counts and sums add, min/max compare, and
 // last_* follow the newest timestamp with ties won by the later fold.
-func (p partial) foldFact(period Period, periodKey int64, dims []string,
-	ts float64, vals, wvals []float64) {
-
-	groups := p[period]
-	if groups == nil {
-		groups = make(map[string]*accRow)
-		p[period] = groups
-	}
-	key := accKey(periodKey, dims)
-	acc, ok := groups[key]
-	if !ok {
-		acc = &accRow{
-			periodKey: periodKey,
-			dims:      append([]string(nil), dims...),
-			n:         1,
-			lastTS:    ts,
-			sums:      append([]float64(nil), vals...),
-			mins:      append([]float64(nil), vals...),
-			maxs:      append([]float64(nil), vals...),
-			lasts:     append([]float64(nil), vals...),
-			wsums:     append([]float64(nil), wvals...),
+// The caller may reuse dims, vals and wvals between calls.
+func (f *folder) fold(t time.Time, dims []string, vals, wvals []float64) {
+	ts := float64(t.UnixNano()) / 1e9
+	for i, period := range f.periods {
+		pk := period.Key(t)
+		b := strconv.AppendInt(f.keyBuf[:0], pk, 10)
+		for _, d := range dims {
+			b = append(b, 0)
+			b = append(b, d...)
 		}
-		groups[key] = acc
-		return
-	}
-	newer := ts >= acc.lastTS
-	acc.n++
-	if newer {
-		acc.lastTS = ts
-	}
-	for i, v := range vals {
-		acc.sums[i] += v
-		if v < acc.mins[i] {
-			acc.mins[i] = v
+		f.keyBuf = b
+		g := f.groups[i]
+		acc, ok := g[string(b)] // compiler elides the string conversion
+		if !ok {
+			g[string(b)] = &accRow{
+				periodKey: pk,
+				dims:      append([]string(nil), dims...),
+				n:         1,
+				lastTS:    ts,
+				sums:      append([]float64(nil), vals...),
+				mins:      append([]float64(nil), vals...),
+				maxs:      append([]float64(nil), vals...),
+				lasts:     append([]float64(nil), vals...),
+				wsums:     append([]float64(nil), wvals...),
+			}
+			continue
 		}
-		if v > acc.maxs[i] {
-			acc.maxs[i] = v
-		}
+		newer := ts >= acc.lastTS
+		acc.n++
 		if newer {
-			acc.lasts[i] = v
+			acc.lastTS = ts
 		}
-	}
-	for i, w := range wvals {
-		acc.wsums[i] += w
+		for i, v := range vals {
+			acc.sums[i] += v
+			if v < acc.mins[i] {
+				acc.mins[i] = v
+			}
+			if v > acc.maxs[i] {
+				acc.maxs[i] = v
+			}
+			if newer {
+				acc.lasts[i] = v
+			}
+		}
+		for i, w := range wvals {
+			acc.wsums[i] += w
+		}
 	}
 }
 
@@ -141,83 +159,276 @@ func (p partial) merge(other partial) {
 	}
 }
 
-// toSet renders the accumulated group as an aggregation-table row.
-func (acc *accRow) toSet(info realm.Info, cols, weights []string) map[string]any {
-	set := map[string]any{
-		"period_key": acc.periodKey,
-		"n":          acc.n,
-		"last_ts":    acc.lastTS,
-	}
-	for i, d := range info.Dimensions {
-		set["dim_"+d.ID] = acc.dims[i]
-	}
-	for i, c := range cols {
-		set["sum_"+c] = acc.sums[i]
-		set["min_"+c] = acc.mins[i]
-		set["max_"+c] = acc.maxs[i]
-		set["last_"+c] = acc.lasts[i]
-	}
-	for i, w := range weights {
-		set[wsumColName(w)] = acc.wsums[i]
-	}
-	return set
+// numCol reads one numeric column of a snapshot, widening integers the
+// way Row.Float does; absent or non-numeric columns read as zero, and
+// so do NULL cells.
+type numCol struct {
+	f     []float64
+	i     []int64
+	nulls []bool
 }
 
-// scanPartial folds every fact row of one source table into a fresh
-// partial. The caller must hold the DB read lock for the whole call.
-func (e *Engine) scanPartial(info realm.Info, fact *warehouse.Table, cols, weights []string) (partial, int, error) {
-	p := make(partial, len(Periods()))
-	n := 0
-	var scanErr error
+func (c numCol) at(pos int) float64 {
+	if c.nulls != nil && c.nulls[pos] {
+		return 0
+	}
+	if c.f != nil {
+		return c.f[pos]
+	}
+	if c.i != nil {
+		return float64(c.i[pos])
+	}
+	return 0
+}
+
+func numColOf(td *warehouse.TableData, name string) numCol {
+	ci, ok := td.ColIndex(name)
+	if !ok {
+		return numCol{}
+	}
+	return numCol{f: td.FloatCol(ci), i: td.IntCol(ci), nulls: td.NullCol(ci)}
+}
+
+// dimReader renders one dimension's value from a snapshot position:
+// categorical dimensions read the raw string (empty when absent, NULL
+// or not a string column, like Row.String), numeric dimensions bin the
+// widened value into the configured aggregation level.
+type dimReader struct {
+	numeric   bool
+	strs      []string
+	nulls     []bool
+	num       numCol
+	levels    config.AggregationLevels
+	hasLevels bool
+}
+
+func (d *dimReader) value(pos int) string {
+	if !d.numeric {
+		if d.strs == nil || (d.nulls != nil && d.nulls[pos]) {
+			return ""
+		}
+		return d.strs[pos]
+	}
+	if d.hasLevels {
+		return d.levels.BucketFor(d.num.at(pos))
+	}
+	return "all"
+}
+
+// factReader resolves one fact-table snapshot's columns for
+// aggregation: the time column, one reader per dimension, one numeric
+// reader per measure column and per weighted pair. Resolution happens
+// once per scan; the per-row loop then touches only typed vectors.
+type factReader struct {
+	timeCol string
+	times   []time.Time
+	tnulls  []bool
+	dims    []dimReader
+	meas    []numCol
+	wpairs  [][2]numCol
+}
+
+func (e *Engine) newFactReader(info realm.Info, td *warehouse.TableData, cols, weights []string) (*factReader, error) {
+	fr := &factReader{timeCol: info.TimeColumn}
+	ti, ok := td.ColIndex(info.TimeColumn)
+	if !ok {
+		return nil, fmt.Errorf("aggregate: fact row missing time column %q", info.TimeColumn)
+	}
+	fr.times = td.TimeCol(ti)
+	if fr.times == nil {
+		return nil, fmt.Errorf("aggregate: time column %q is %s, want time.Time", info.TimeColumn, td.Def().Columns[ti].Type)
+	}
+	fr.tnulls = td.NullCol(ti)
+	fr.dims = make([]dimReader, len(info.Dimensions))
+	for i, d := range info.Dimensions {
+		dr := dimReader{numeric: d.Numeric}
+		if d.Numeric {
+			dr.num = numColOf(td, d.Column)
+			dr.levels, dr.hasLevels = e.levels[d.ID]
+		} else if ci, ok := td.ColIndex(d.Column); ok {
+			dr.strs = td.StringCol(ci)
+			dr.nulls = td.NullCol(ci)
+		}
+		fr.dims[i] = dr
+	}
+	fr.meas = make([]numCol, len(cols))
+	for i, c := range cols {
+		fr.meas[i] = numColOf(td, c)
+	}
+	fr.wpairs = make([][2]numCol, len(weights))
+	for i, w := range weights {
+		a, b := splitPair(w)
+		fr.wpairs[i] = [2]numCol{numColOf(td, a), numColOf(td, b)}
+	}
+	return fr, nil
+}
+
+// splitPair splits a "col*weight" pair name.
+func splitPair(pair string) (string, string) {
+	for i := 0; i < len(pair); i++ {
+		if pair[i] == '*' {
+			return pair[:i], pair[i+1:]
+		}
+	}
+	return pair, ""
+}
+
+// timeAt returns the fact time at pos; NULL is an error, as a row
+// without its time column cannot be bucketed.
+func (fr *factReader) timeAt(pos int) (time.Time, error) {
+	if fr.tnulls[pos] {
+		return time.Time{}, fmt.Errorf("aggregate: time column %q is <nil>, want time.Time", fr.timeCol)
+	}
+	return fr.times[pos], nil
+}
+
+// scanPartial folds every live fact row of one snapshot into a fresh
+// partial. Runs lock-free against the immutable snapshot.
+func (e *Engine) scanPartial(info realm.Info, td *warehouse.TableData, cols, weights []string) (partial, int, error) {
+	f := newFolder()
+	rows := td.NumRows()
+	if rows == 0 {
+		return f.p, 0, nil
+	}
+	fr, err := e.newFactReader(info, td, cols, weights)
+	if err != nil {
+		return nil, 0, err
+	}
+	dead := td.Tombstones()
 	dims := make([]string, len(info.Dimensions))
 	vals := make([]float64, len(cols))
 	wvals := make([]float64, len(weights))
-	fact.Scan(func(r warehouse.Row) bool {
-		t, err := factTime(info, r)
+	n := 0
+	for pos := 0; pos < rows; pos++ {
+		if dead[pos] {
+			continue
+		}
+		t, err := fr.timeAt(pos)
 		if err != nil {
-			scanErr = err
-			return false
+			return nil, 0, err
 		}
-		for i, d := range info.Dimensions {
-			dims[i] = e.dimValue(d, r)
+		for i := range fr.dims {
+			dims[i] = fr.dims[i].value(pos)
 		}
-		for i, c := range cols {
-			vals[i] = r.Float(c)
+		for i := range fr.meas {
+			vals[i] = fr.meas[i].at(pos)
 		}
-		for i, w := range weights {
-			wvals[i] = wProduct(r, w)
+		for i := range fr.wpairs {
+			wvals[i] = fr.wpairs[i][0].at(pos) * fr.wpairs[i][1].at(pos)
 		}
-		ts := float64(t.UnixNano()) / 1e9
-		for _, period := range Periods() {
-			p.foldFact(period, period.Key(t), dims, ts, vals, wvals)
-		}
+		f.fold(t, dims, vals, wvals)
 		n++
-		return true
-	})
-	return p, n, scanErr
+	}
+	return f.p, n, nil
 }
 
-// Reaggregate truncates the realm's aggregation tables and rebuilds
-// them from the given source schemas, scanning the schemas in
-// parallel. This is the paper's config-change path: "update the
-// appropriate configuration file on the federation hub, then
-// re-aggregate all raw federation data" (§II-C3) — raw data is
-// untouched, so nothing is lost. It is also the fallback whenever the
-// incremental path cannot keep the aggregates current (updates,
-// deletes, truncates, loose reloads).
+// buildAggColumns renders one period's merged groups as the columnar
+// payload of the period's aggregation table, rows in sorted group-key
+// order (deterministic installs: replicas replaying the resulting LOAD
+// event end up bit-identical).
+func buildAggColumns(info realm.Info, p Period, cols, weights []string, groups map[string]*accRow) *warehouse.ColumnData {
+	def := aggDef(info, p)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	n := len(keys)
+	nd := len(info.Dimensions)
+	cd := &warehouse.ColumnData{Rows: n,
+		Names: make([]string, len(def.Columns)),
+		Cols:  make([]warehouse.ColumnVector, len(def.Columns))}
+	for i, c := range def.Columns {
+		cd.Names[i] = c.Name
+	}
+	periodKeys := make([]int64, n)
+	dimVecs := make([][]string, nd)
+	for d := range dimVecs {
+		dimVecs[d] = make([]string, n)
+	}
+	ns := make([]int64, n)
+	lastTS := make([]float64, n)
+	measVecs := make([][]float64, 4*len(cols)) // sum,min,max,last per measure
+	for i := range measVecs {
+		measVecs[i] = make([]float64, n)
+	}
+	wsumVecs := make([][]float64, len(weights))
+	for i := range wsumVecs {
+		wsumVecs[i] = make([]float64, n)
+	}
+	for ri, k := range keys {
+		acc := groups[k]
+		periodKeys[ri] = acc.periodKey
+		for d := 0; d < nd; d++ {
+			dimVecs[d][ri] = acc.dims[d]
+		}
+		ns[ri] = acc.n
+		lastTS[ri] = acc.lastTS
+		for i := range cols {
+			measVecs[4*i][ri] = acc.sums[i]
+			measVecs[4*i+1][ri] = acc.mins[i]
+			measVecs[4*i+2][ri] = acc.maxs[i]
+			measVecs[4*i+3][ri] = acc.lasts[i]
+		}
+		for i := range weights {
+			wsumVecs[i][ri] = acc.wsums[i]
+		}
+	}
+	ci := 0
+	cd.Cols[ci] = warehouse.ColumnVector{Type: warehouse.TypeInt, Ints: periodKeys}
+	ci++
+	for d := 0; d < nd; d++ {
+		cd.Cols[ci] = warehouse.ColumnVector{Type: warehouse.TypeString, Strs: dimVecs[d]}
+		ci++
+	}
+	cd.Cols[ci] = warehouse.ColumnVector{Type: warehouse.TypeInt, Ints: ns}
+	ci++
+	cd.Cols[ci] = warehouse.ColumnVector{Type: warehouse.TypeFloat, Floats: lastTS}
+	ci++
+	for i := range measVecs {
+		cd.Cols[ci] = warehouse.ColumnVector{Type: warehouse.TypeFloat, Floats: measVecs[i]}
+		ci++
+	}
+	for i := range wsumVecs {
+		cd.Cols[ci] = warehouse.ColumnVector{Type: warehouse.TypeFloat, Floats: wsumVecs[i]}
+		ci++
+	}
+	return cd
+}
+
+// Reaggregate rebuilds the realm's aggregation tables from the given
+// source schemas, scanning the schemas in parallel. This is the paper's
+// config-change path: "update the appropriate configuration file on the
+// federation hub, then re-aggregate all raw federation data" (§II-C3) —
+// raw data is untouched, so nothing is lost. It is also the fallback
+// whenever the incremental path cannot keep the aggregates current
+// (updates, deletes, truncates, loose reloads).
 func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, error) {
 	targets, err := e.targets(info)
 	if err != nil {
 		return 0, err
 	}
-	facts := make([]*warehouse.Table, len(sourceSchemas))
+	tabs := make([]*warehouse.Table, len(sourceSchemas))
 	for i, s := range sourceSchemas {
 		tab, err := e.db.TableIn(s, info.FactTable)
 		if err != nil {
 			return 0, err
 		}
-		facts[i] = tab
+		tabs[i] = tab
 	}
+	// Capture the published snapshot of every source table inside one
+	// brief read transaction: the lock excludes writers for a few
+	// pointer loads, so the snapshot set is a consistent cut across
+	// schemas even when one write transaction spans several of them.
+	// The scans themselves then run with no lock held at all — chart
+	// queries and replication writes proceed concurrently.
+	facts := make([]*warehouse.TableData, len(tabs))
+	e.db.View(func() error {
+		for i, tab := range tabs {
+			facts[i] = tab.Data()
+		}
+		return nil
+	})
 	// The epoch bump happens after the rebuild completes (deferred so
 	// error paths bump too — a failed rebuild may have changed the
 	// tables): any chart query that raced the install read the epoch
@@ -239,24 +450,18 @@ func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, erro
 	counts := make([]int, len(facts))
 	errs := make([]error, len(facts))
 
-	// One read transaction spans every scan: all workers observe the
-	// same consistent snapshot, writers wait until scanning finishes,
-	// and other readers (chart queries) proceed concurrently.
-	e.db.View(func() error {
-		sem := make(chan struct{}, max(workers, 1))
-		var wg sync.WaitGroup
-		for i := range facts {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				partials[i], counts[i], errs[i] = e.scanPartial(info, facts[i], cols, weights)
-			}(i)
-		}
-		wg.Wait()
-		return nil
-	})
+	sem := make(chan struct{}, max(workers, 1))
+	var wg sync.WaitGroup
+	for i := range facts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			partials[i], counts[i], errs[i] = e.scanPartial(info, facts[i], cols, weights)
+		}(i)
+	}
+	wg.Wait()
 	total := 0
 	for i, err := range errs {
 		if err != nil {
@@ -269,17 +474,15 @@ func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, erro
 		merged.merge(p)
 	}
 
-	// Install atomically: truncate + refill in one write transaction,
-	// so no reader ever sees a half-built aggregation table.
+	// Install atomically: one bulk columnar load per aggregation table,
+	// all in one write transaction, so no reader ever sees a half-built
+	// table — and the binlog carries one LOAD event per table instead of
+	// a truncate plus one event per group.
 	err = e.db.Do(func() error {
 		for _, tg := range targets {
-			tg.tab.Truncate()
-		}
-		for _, tg := range targets {
-			for _, acc := range merged[tg.period] {
-				if err := tg.tab.Upsert(acc.toSet(info, cols, weights)); err != nil {
-					return err
-				}
+			cd := buildAggColumns(info, tg.period, cols, weights, merged[tg.period])
+			if err := tg.tab.ReplaceAllColumns(cd); err != nil {
+				return err
 			}
 		}
 		return nil

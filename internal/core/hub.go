@@ -243,14 +243,24 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 		return err
 	}
 	deltas := map[string]*realmDelta{}
-	for _, ev := range events {
-		if err := h.DB.Apply(ev); err != nil {
-			coreLog.Error("apply batch failed", "instance", instance, "lsn", ev.LSN, "err", err)
-			h.noteApplyFailure(instance, err)
-			return err
-		}
+	// The whole batch lands as one write transaction: one lock
+	// acquisition and one columnar-snapshot publish per touched table.
+	// On failure the applied prefix stays applied (matching the old
+	// per-event behavior), and identity/aggregation bookkeeping covers
+	// exactly that prefix.
+	applied, err := h.DB.ApplyAll(events)
+	for _, ev := range events[:applied] {
 		h.observeIdentity(instance, ev)
 		h.classifyEvent(deltas, ev)
+	}
+	if err != nil {
+		lsn := uint64(0)
+		if applied < len(events) {
+			lsn = events[applied].LSN
+		}
+		coreLog.Error("apply batch failed", "instance", instance, "lsn", lsn, "err", err)
+		h.noteApplyFailure(instance, err)
+		return err
 	}
 	if err := h.Positions.Set(instance, upTo); err != nil {
 		return err
@@ -409,19 +419,41 @@ func (h *Hub) classifyEvent(deltas map[string]*realmDelta, ev warehouse.Event) {
 // never hardcoded — so a fact-table column reorder cannot silently
 // poison the identity map.
 func (h *Hub) observeIdentity(instance string, ev warehouse.Event) {
-	if ev.Kind != warehouse.EvInsert || ev.Table != jobs.FactTable {
+	if ev.Table != jobs.FactTable {
 		return
 	}
-	tab, err := h.DB.TableIn(ev.Schema, ev.Table)
-	if err != nil {
-		return
-	}
-	i, ok := tab.ColumnIndex(jobs.ColUser)
-	if !ok || i >= len(ev.Row) {
-		return
-	}
-	if username, ok := ev.Row[i].(string); ok && username != "" {
-		h.Identity.Observe(auth.InstanceUser{Instance: instance, Username: username}, "", "")
+	switch ev.Kind {
+	case warehouse.EvInsert:
+		tab, err := h.DB.TableIn(ev.Schema, ev.Table)
+		if err != nil {
+			return
+		}
+		i, ok := tab.ColumnIndex(jobs.ColUser)
+		if !ok || i >= len(ev.Row) {
+			return
+		}
+		if username, ok := ev.Row[i].(string); ok && username != "" {
+			h.Identity.Observe(auth.InstanceUser{Instance: instance, Username: username}, "", "")
+		}
+	case warehouse.EvLoad:
+		// Bulk loads (backup restores, re-ships) carry the usernames in
+		// the columnar payload; the column is located by name there.
+		if ev.Cols == nil {
+			return
+		}
+		for i, name := range ev.Cols.Names {
+			if name != jobs.ColUser {
+				continue
+			}
+			seen := map[string]bool{}
+			for _, username := range ev.Cols.Cols[i].Strs {
+				if username != "" && !seen[username] {
+					seen[username] = true
+					h.Identity.Observe(auth.InstanceUser{Instance: instance, Username: username}, "", "")
+				}
+			}
+			return
+		}
 	}
 }
 

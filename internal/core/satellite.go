@@ -391,6 +391,12 @@ func (s *Satellite) RunLooseFederation(ctx context.Context, interval time.Durati
 		case <-ctx.Done():
 			return shipped, nil
 		case <-ticker.C:
+			// A tick pending alongside cancellation must not ship again:
+			// select picks ready cases at random, so an extra dump could
+			// otherwise race past a cancel issued mid-callback.
+			if ctx.Err() != nil {
+				return shipped, nil
+			}
 			for _, route := range routes {
 				var dump bytes.Buffer
 				if err := s.DumpForRoute(route, &dump); err != nil {
@@ -428,27 +434,14 @@ func (s *Satellite) RestoreFromHubBackup(r io.Reader) error {
 				continue // non-realm table (e.g. hub bookkeeping)
 			}
 			src := ss.Table(tn)
-			var rows [][]any
-			scratch.View(func() error {
-				src.Scan(func(r warehouse.Row) bool {
-					rows = append(rows, r.Values())
-					return true
-				})
-				return nil
-			})
-			dst, err := s.DB.TableIn(destSchema, tn)
-			if err != nil {
+			if _, err := s.DB.TableIn(destSchema, tn); err != nil {
 				return err
 			}
-			if err := s.DB.Do(func() error {
-				dst.Truncate()
-				for _, row := range rows {
-					if err := dst.InsertRow(row); err != nil {
-						return err
-					}
-				}
-				return nil
-			}); err != nil {
+			// Bulk-load the backup table's columnar snapshot: one
+			// validated LOAD transaction, no row materialization. The
+			// scratch DB is discarded afterwards, so sharing its vectors
+			// is safe.
+			if err := s.DB.LoadColumns(destSchema, tn, src.Data().ColumnData()); err != nil {
 				return err
 			}
 		}

@@ -58,39 +58,53 @@ func (p *Pipeline) IngestJobRecords(recs []shredder.JobRecord) (Stats, error) {
 	if err != nil {
 		return st, fmt.Errorf("ingest: jobs realm not set up: %w", err)
 	}
-	info := jobs.RealmInfo()
+	// Normalize and validate with no lock held; only well-formed rows
+	// enter the write transaction.
+	type candidate struct {
+		resource string
+		jobID    int64
+		row      []any
+	}
+	cands := make([]candidate, 0, len(recs))
 	for _, rec := range recs {
 		st.Parsed++
-		row, err := jobs.FactFromRecord(rec, p.Converter)
+		row, err := jobs.FactRowFromRecord(rec, p.Converter)
 		if err != nil {
 			st.Rejected++
 			st.Errors = append(st.Errors, err)
 			continue
 		}
-		var exists bool
-		p.DB.View(func() error {
-			_, exists = tab.GetByKey(rec.Resource, rec.LocalJobID)
+		cands = append(cands, candidate{rec.Resource, rec.LocalJobID, row})
+	}
+	// One write transaction for the whole batch: a single lock
+	// acquisition and one columnar-snapshot publish regardless of batch
+	// size. Duplicate keys — already ingested, or repeated within the
+	// batch — are visible to GetByKey inside the transaction.
+	var ingested [][]any
+	if len(cands) > 0 {
+		err := p.DB.Do(func() error {
+			for _, c := range cands {
+				if _, exists := tab.GetByKey(c.resource, c.jobID); exists {
+					st.Skipped++
+					continue
+				}
+				if err := tab.InsertRow(c.row); err != nil {
+					st.Rejected++
+					st.Errors = append(st.Errors, err)
+					continue
+				}
+				st.Ingested++
+				ingested = append(ingested, c.row)
+			}
 			return nil
 		})
-		if exists {
-			st.Skipped++
-			continue
+		if err != nil {
+			return st, err
 		}
-		if err := p.DB.Insert(jobs.SchemaName, jobs.FactTable, row); err != nil {
-			st.Rejected++
-			st.Errors = append(st.Errors, err)
-			continue
-		}
-		st.Ingested++
-		if p.Engine != nil {
-			var r warehouse.Row
-			p.DB.View(func() error {
-				r, _ = tab.GetByKey(rec.Resource, rec.LocalJobID)
-				return nil
-			})
-			if err := p.Engine.ApplyFactRow(info, r); err != nil {
-				return st, fmt.Errorf("ingest: aggregate job %d: %w", rec.LocalJobID, err)
-			}
+	}
+	if p.Engine != nil && len(ingested) > 0 {
+		if _, err := p.Engine.ApplyFactRows(jobs.RealmInfo(), jobs.SchemaName, ingested); err != nil {
+			return st, fmt.Errorf("ingest: aggregate jobs: %w", err)
 		}
 	}
 	if st.Ingested > 0 {
@@ -129,6 +143,7 @@ func (p *Pipeline) IngestCloudEvents(events []cloud.Event, horizon time.Time) (S
 	if err != nil {
 		return st, fmt.Errorf("ingest: cloud realm not set up: %w", err)
 	}
+	rows := make([][]any, 0, len(events))
 	for _, e := range events {
 		st.Parsed++
 		if err := e.Validate(); err != nil {
@@ -136,23 +151,27 @@ func (p *Pipeline) IngestCloudEvents(events []cloud.Event, horizon time.Time) (S
 			st.Errors = append(st.Errors, err)
 			continue
 		}
-		err := p.DB.Insert(cloud.SchemaName, cloud.EventTable, map[string]any{
-			"vm_id": e.VMID, "resource": e.Resource, "username": e.User,
-			"project": e.Project, "instance_type": e.InstanceType,
-			"event_type": string(e.Type), "event_time": e.Time,
-			"cores": e.Cores, "memory_gb": e.MemoryGB, "disk_gb": e.DiskGB,
+		rows = append(rows, cloud.EventRow(e))
+	}
+	if len(rows) > 0 {
+		err := p.DB.Do(func() error {
+			for _, r := range rows {
+				if err := evTab.InsertRow(r); err != nil {
+					st.Rejected++
+					st.Errors = append(st.Errors, err)
+					continue
+				}
+				st.Ingested++
+			}
+			return nil
 		})
 		if err != nil {
-			st.Rejected++
-			st.Errors = append(st.Errors, err)
-			continue
+			return st, err
 		}
-		st.Ingested++
 	}
 	if err := p.RebuildCloudSessions(horizon); err != nil {
 		return st, err
 	}
-	_ = evTab
 	return st, nil
 }
 
@@ -194,9 +213,9 @@ func (p *Pipeline) RebuildCloudSessions(horizon time.Time) error {
 	if err := p.DB.Do(func() error {
 		sessTab.Truncate()
 		for _, s := range sessions {
-			row := cloud.SessionRow(s, seq[s.VMID])
+			row := cloud.SessionValues(s, seq[s.VMID])
 			seq[s.VMID]++
-			if err := sessTab.Upsert(row); err != nil {
+			if err := sessTab.UpsertRow(row); err != nil {
 				return err
 			}
 		}
@@ -222,9 +241,11 @@ func (p *Pipeline) IngestStorageSnapshots(snaps []storage.Snapshot) (Stats, erro
 	defer sp.End()
 	defer mBatchSeconds.With("Storage").ObserveSince(time.Now())
 	defer func() { countStats("Storage", st) }()
-	if _, err := p.DB.TableIn(storage.SchemaName, storage.FactTable); err != nil {
+	tab, err := p.DB.TableIn(storage.SchemaName, storage.FactTable)
+	if err != nil {
 		return st, fmt.Errorf("ingest: storage realm not set up: %w", err)
 	}
+	rows := make([][]any, 0, len(snaps))
 	for _, s := range snaps {
 		st.Parsed++
 		if err := s.Validate(); err != nil {
@@ -232,12 +253,23 @@ func (p *Pipeline) IngestStorageSnapshots(snaps []storage.Snapshot) (Stats, erro
 			st.Errors = append(st.Errors, err)
 			continue
 		}
-		if err := p.DB.Upsert(storage.SchemaName, storage.FactTable, storage.FactRow(s)); err != nil {
-			st.Rejected++
-			st.Errors = append(st.Errors, err)
-			continue
+		rows = append(rows, storage.FactValues(s))
+	}
+	if len(rows) > 0 {
+		err := p.DB.Do(func() error {
+			for _, r := range rows {
+				if err := tab.UpsertRow(r); err != nil {
+					st.Rejected++
+					st.Errors = append(st.Errors, err)
+					continue
+				}
+				st.Ingested++
+			}
+			return nil
+		})
+		if err != nil {
+			return st, err
 		}
-		st.Ingested++
 	}
 	if p.Engine != nil && st.Ingested > 0 {
 		if _, err := p.Engine.Reaggregate(storage.RealmInfo(), []string{storage.SchemaName}); err != nil {

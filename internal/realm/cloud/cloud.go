@@ -221,6 +221,28 @@ func monthKey(t time.Time) int64 {
 	return int64(t.Year())*100 + int64(t.Month())
 }
 
+// EventRow converts a VM lifecycle event into a positional
+// cloud_events row (EventDef column order).
+func EventRow(e Event) []any {
+	return []any{
+		e.VMID, e.Resource, e.User, e.Project, e.InstanceType,
+		string(e.Type), e.Time, e.Cores, e.MemoryGB, e.DiskGB,
+	}
+}
+
+// SessionValues converts a session into a positional session_records
+// row (SessionDef column order). seq disambiguates multiple sessions
+// of the same VM.
+func SessionValues(s Session, seq int) []any {
+	return []any{
+		fmt.Sprintf("%s/%d", s.VMID, seq),
+		s.VMID, s.Resource, s.User, s.Project, s.InstanceType,
+		s.Cores, s.MemoryGB, s.DiskGB,
+		s.Start, s.End, s.Wall().Hours(), s.CoreHours(),
+		s.Ended, s.Terminated, monthKey(s.End),
+	}
+}
+
 // SessionRow converts a session into a session_records row.
 func SessionRow(s Session, seq int) map[string]any {
 	return map[string]any{

@@ -134,9 +134,11 @@ func MonthKey(t time.Time) int64 {
 	return int64(t.Year())*100 + int64(t.Month())
 }
 
-// FactFromRecord converts a staging record into a jobfact row,
-// applying the XD SU conversion for the record's resource.
-func FactFromRecord(rec shredder.JobRecord, conv *su.Converter) (map[string]any, error) {
+// FactRowFromRecord converts a staging record into a positional
+// jobfact row (Def column order), applying the XD SU conversion for
+// the record's resource. The positional form inserts straight into the
+// columnar fact table without a name-resolution map per record.
+func FactRowFromRecord(rec shredder.JobRecord, conv *su.Converter) ([]any, error) {
 	if err := rec.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,23 +151,38 @@ func FactFromRecord(rec shredder.JobRecord, conv *su.Converter) (map[string]any,
 		}
 		xdsu = v
 	}
-	return map[string]any{
-		ColJobID:    rec.LocalJobID,
-		ColResource: rec.Resource,
-		ColUser:     rec.User,
-		ColPI:       rec.Account,
-		ColQueue:    rec.Queue,
-		ColNodes:    rec.Nodes,
-		ColCores:    rec.Cores,
-		ColSubmit:   rec.Submit,
-		ColStart:    rec.Start,
-		ColEnd:      rec.End,
-		ColWallSec:  rec.Wall().Seconds(),
-		ColWaitSec:  rec.Wait().Seconds(),
-		ColCPUHours: cpuh,
-		ColXDSU:     xdsu,
-		ColExit:     rec.ExitState,
-		ColDayKey:   DayKey(rec.End),
-		ColMonthKey: MonthKey(rec.End),
+	return []any{
+		rec.LocalJobID,
+		rec.Resource,
+		rec.User,
+		rec.Account,
+		rec.Queue,
+		rec.Nodes,
+		rec.Cores,
+		rec.Submit,
+		rec.Start,
+		rec.End,
+		rec.Wall().Seconds(),
+		rec.Wait().Seconds(),
+		cpuh,
+		xdsu,
+		rec.ExitState,
+		DayKey(rec.End),
+		MonthKey(rec.End),
 	}, nil
+}
+
+// FactFromRecord converts a staging record into a named jobfact row,
+// applying the XD SU conversion for the record's resource.
+func FactFromRecord(rec shredder.JobRecord, conv *su.Converter) (map[string]any, error) {
+	vals, err := FactRowFromRecord(rec, conv)
+	if err != nil {
+		return nil, err
+	}
+	def := Def()
+	row := make(map[string]any, len(vals))
+	for i, c := range def.Columns {
+		row[c.Name] = vals[i]
+	}
+	return row, nil
 }

@@ -197,11 +197,21 @@ func monthKey(t time.Time) int64 {
 	return int64(t.Year())*100 + int64(t.Month())
 }
 
-// FactRow converts a snapshot into a storage_usage row. Snapshots are
-// keyed by (resource, user, day); a later snapshot the same day
-// replaces the earlier one via upsert, implementing the paper's
-// "sampling frequency" caveat — sub-daily samples collapse to the
-// day's latest state.
+// FactValues converts a snapshot into a positional storage_usage row
+// (Def column order). Snapshots are keyed by (resource, user, day); a
+// later snapshot the same day replaces the earlier one via upsert,
+// implementing the paper's "sampling frequency" caveat — sub-daily
+// samples collapse to the day's latest state.
+func FactValues(s Snapshot) []any {
+	return []any{
+		s.Resource, s.ResourceType, s.Mountpoint, s.User, s.PI,
+		s.Timestamp, s.FileCount, s.LogicalBytes, s.PhysicalBytes,
+		s.SoftThreshold, s.HardThreshold, s.QuotaUtilization(),
+		dayKey(s.Timestamp), monthKey(s.Timestamp),
+	}
+}
+
+// FactRow is the named-column form of FactValues.
 func FactRow(s Snapshot) map[string]any {
 	return map[string]any{
 		"resource":       s.Resource,

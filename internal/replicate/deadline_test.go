@@ -180,7 +180,7 @@ func TestReceiverRejectsOversizeFrame(t *testing.T) {
 	}
 	huge := batch{UpTo: 1, Events: []warehouse.Event{{
 		LSN: 1, Kind: warehouse.EvInsert, Schema: "s", Table: "t",
-		Row: []any{strings.Repeat("x", 1 << 20)}, // ~1 MiB >> 8 KiB cap
+		Row: []any{strings.Repeat("x", 1<<20)}, // ~1 MiB >> 8 KiB cap
 	}}}
 	// The hub must hang up mid-frame; with a ~1MiB frame against an
 	// 8KiB budget either the write fails or the follow-up read does.

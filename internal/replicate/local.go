@@ -26,10 +26,11 @@ func Pump(src *warehouse.DB, dst *warehouse.DB, rw *Rewriter, fromLSN uint64) (u
 			return pos, nil
 		}
 		out, upTo := rw.ProcessBatch(evs)
-		for _, ev := range out {
-			if err := dst.Apply(ev); err != nil {
-				return pos, fmt.Errorf("replicate: apply %s %s.%s: %w", ev.Kind, ev.Schema, ev.Table, err)
-			}
+		// One write transaction per batch: a single lock acquisition and
+		// one columnar-snapshot publish per touched table.
+		if n, err := dst.ApplyAll(out); err != nil {
+			ev := out[n]
+			return pos, fmt.Errorf("replicate: apply %s %s.%s: %w", ev.Kind, ev.Schema, ev.Table, err)
 		}
 		mPumpEvents.Add(uint64(len(out)))
 		pos = upTo
@@ -51,10 +52,8 @@ func PumpUntil(ctx context.Context, src, dst *warehouse.DB, rw *Rewriter, fromLS
 			return err
 		}
 		out, upTo := rw.ProcessBatch(evs)
-		for _, ev := range out {
-			if err := dst.Apply(ev); err != nil {
-				return fmt.Errorf("replicate: apply: %w", err)
-			}
+		if _, err := dst.ApplyAll(out); err != nil {
+			return fmt.Errorf("replicate: apply: %w", err)
 		}
 		mPumpEvents.Add(uint64(len(out)))
 		pos = upTo
@@ -95,28 +94,15 @@ func Load(hub *warehouse.DB, instance string, r io.Reader) ([]string, error) {
 		ss := scratch.Schema(sn)
 		for _, tn := range ss.Tables() {
 			st := ss.Table(tn)
-			def := st.Def()
-			var rows [][]any
-			scratch.View(func() error {
-				st.Scan(func(r warehouse.Row) bool {
-					rows = append(rows, r.Values())
-					return true
-				})
-				return nil
-			})
-			tab, err := target.EnsureTable(def)
-			if err != nil {
+			if _, err := target.EnsureTable(st.Def()); err != nil {
 				return loaded, fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
 			}
-			if err := hub.Do(func() error {
-				tab.Truncate()
-				for _, row := range rows {
-					if err := tab.InsertRow(row); err != nil {
-						return err
-					}
-				}
-				return nil
-			}); err != nil {
+			// Bulk-load the table's columnar snapshot: one validated
+			// LOAD transaction per table, no row materialization. The
+			// scratch DB is discarded after the loop, so sharing its
+			// vectors with the hub table is safe.
+			cd := st.Data().ColumnData()
+			if err := hub.LoadColumns(HubSchema(instance), tn, cd); err != nil {
 				return loaded, fmt.Errorf("replicate: loose load %s.%s: %w", HubSchema(instance), tn, err)
 			}
 			loaded = append(loaded, tn)

@@ -92,6 +92,17 @@ func (rw *Rewriter) Process(ev warehouse.Event) (warehouse.Event, bool) {
 		}
 		ev.Schema = HubSchema(rw.instance)
 		return ev, true
+	case warehouse.EvLoad:
+		// A bulk load replaces the whole table: the resource filter must
+		// inspect the columnar payload, not Row/Old (which are nil).
+		if !rw.tableAllowed(ev.Table) {
+			return warehouse.Event{}, false
+		}
+		if rw.filter.ExcludeResources != nil && ev.Cols != nil {
+			ev.Cols = rw.filterLoad(ev.Cols)
+		}
+		ev.Schema = HubSchema(rw.instance)
+		return ev, true
 	}
 	if !rw.tableAllowed(ev.Table) {
 		return warehouse.Event{}, false
@@ -111,6 +122,68 @@ func (rw *Rewriter) Process(ev warehouse.Event) (warehouse.Event, bool) {
 	}
 	ev.Schema = HubSchema(rw.instance)
 	return ev, true
+}
+
+// filterLoad drops excluded-resource rows from a bulk-load payload.
+// The input is never mutated (it may be shared with the source binlog):
+// when rows must go, a filtered copy is built; otherwise the payload
+// passes through untouched. The resource column is located by name in
+// the payload itself, so reordered upstream definitions filter
+// correctly.
+func (rw *Rewriter) filterLoad(cd *warehouse.ColumnData) *warehouse.ColumnData {
+	ri := -1
+	for i, n := range cd.Names {
+		if n == rw.filter.ResourceColumn {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 || cd.Cols[ri].Strs == nil {
+		return cd
+	}
+	res := cd.Cols[ri].Strs
+	keep := make([]int, 0, cd.Rows)
+	for pos := 0; pos < cd.Rows; pos++ {
+		if pos < len(res) && rw.filter.ExcludeResources[res[pos]] {
+			continue
+		}
+		keep = append(keep, pos)
+	}
+	if len(keep) == cd.Rows {
+		return cd
+	}
+	out := &warehouse.ColumnData{
+		Names: append([]string(nil), cd.Names...),
+		Cols:  make([]warehouse.ColumnVector, len(cd.Cols)),
+		Rows:  len(keep),
+	}
+	for i := range cd.Cols {
+		src := &cd.Cols[i]
+		out.Cols[i] = warehouse.ColumnVector{
+			Type:   src.Type,
+			Ints:   pickRows(src.Ints, keep),
+			Floats: pickRows(src.Floats, keep),
+			Strs:   pickRows(src.Strs, keep),
+			Bools:  pickRows(src.Bools, keep),
+			Times:  pickRows(src.Times, keep),
+			Nulls:  pickRows(src.Nulls, keep),
+		}
+	}
+	return out
+}
+
+// pickRows gathers the kept positions of one vector (nil in, nil out).
+func pickRows[T any](src []T, keep []int) []T {
+	if src == nil {
+		return nil
+	}
+	out := make([]T, 0, len(keep))
+	for _, pos := range keep {
+		if pos < len(src) {
+			out = append(out, src[pos])
+		}
+	}
+	return out
 }
 
 func (rw *Rewriter) tableAllowed(table string) bool {

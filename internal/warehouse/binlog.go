@@ -22,6 +22,11 @@ const (
 	EvCreateSchema
 	EvCreateTable
 	EvDropSchema
+	// EvLoad is a bulk load: the event's Cols payload atomically
+	// replaces the table's entire contents (truncate + refill in one
+	// event). Re-aggregation installs, loose-dump batch loads and
+	// backup restores log one EvLoad instead of per-row events.
+	EvLoad
 )
 
 // String returns the event-kind name.
@@ -41,6 +46,8 @@ func (k EventKind) String() string {
 		return "CREATE_TABLE"
 	case EvDropSchema:
 		return "DROP_SCHEMA"
+	case EvLoad:
+		return "LOAD"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -55,9 +62,10 @@ type Event struct {
 	Kind   EventKind
 	Schema string
 	Table  string
-	Row    []any     // new values (insert/update)
-	Old    []any     // previous values (update/delete)
-	Def    *TableDef // table definition (create table)
+	Row    []any       // new values (insert/update)
+	Old    []any       // previous values (update/delete)
+	Def    *TableDef   // table definition (create table)
+	Cols   *ColumnData // full-table columnar payload (load)
 }
 
 func init() {

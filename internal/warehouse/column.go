@@ -1,0 +1,356 @@
+package warehouse
+
+import (
+	"fmt"
+	"time"
+)
+
+// Typed columnar storage. Each table column is one colVec: a typed
+// vector ([]int64, []float64, []string, []bool or []time.Time) plus a
+// parallel validity vector. Vectors are strictly append-only — updates
+// and deletes tombstone the old row position and append a fresh one —
+// which is what makes the copy-on-write snapshot protocol cheap: a
+// published TableData captures the slice headers, and later appends
+// land at indices beyond every published length (or in a reallocated
+// array), so readers and the writer never touch the same element.
+//
+// Validity is a []bool rather than a packed bitmap on purpose: packing
+// would make an append mutate a word that published snapshots share,
+// forcing a copy of the whole bitmap on every insert (and tripping the
+// race detector without it). One byte per cell buys race-free appends.
+type colVec struct {
+	typ      ColumnType
+	nullable bool
+	ints     []int64
+	floats   []float64
+	strs     []string
+	bools    []bool
+	times    []time.Time
+	nulls    []bool // nulls[i] reports cell i is NULL
+}
+
+func newColVec(c Column) colVec { return colVec{typ: c.Type, nullable: c.Nullable} }
+
+// appendVal appends one canonical value (int64/float64/string/bool/
+// time.Time, or nil for NULL) as produced by coerce.
+func (v *colVec) appendVal(x any) {
+	null := x == nil
+	switch v.typ {
+	case TypeInt:
+		var c int64
+		if !null {
+			c = x.(int64)
+		}
+		v.ints = append(v.ints, c)
+	case TypeFloat:
+		var c float64
+		if !null {
+			c = x.(float64)
+		}
+		v.floats = append(v.floats, c)
+	case TypeString:
+		var c string
+		if !null {
+			c = x.(string)
+		}
+		v.strs = append(v.strs, c)
+	case TypeBool:
+		var c bool
+		if !null {
+			c = x.(bool)
+		}
+		v.bools = append(v.bools, c)
+	case TypeTime:
+		var c time.Time
+		if !null {
+			c = x.(time.Time)
+		}
+		v.times = append(v.times, c)
+	}
+	v.nulls = append(v.nulls, null)
+}
+
+// value materializes cell i as a canonical any (nil for NULL).
+func (v *colVec) value(i int) any {
+	if v.nulls[i] {
+		return nil
+	}
+	switch v.typ {
+	case TypeInt:
+		return v.ints[i]
+	case TypeFloat:
+		return v.floats[i]
+	case TypeString:
+		return v.strs[i]
+	case TypeBool:
+		return v.bools[i]
+	case TypeTime:
+		return v.times[i]
+	}
+	return nil
+}
+
+func (v *colVec) length() int { return len(v.nulls) }
+
+// layout is the immutable name→position mapping shared by a table, its
+// published snapshots and every Row handed out; it never changes after
+// table creation.
+type layout struct {
+	def      TableDef
+	colIndex map[string]int
+}
+
+func newLayout(def TableDef) *layout {
+	l := &layout{def: def, colIndex: make(map[string]int, len(def.Columns))}
+	for i, c := range def.Columns {
+		l.colIndex[c.Name] = i
+	}
+	return l
+}
+
+// TableData is an immutable snapshot of one table's contents, published
+// atomically at the end of each write transaction. Readers iterate it
+// without any lock: positions [0, NumRows()) index every column vector
+// and the tombstone vector in lockstep. Tombstoned positions must be
+// skipped via Tombstones().
+type TableData struct {
+	lay  *layout
+	cols []colVec
+	dead []bool
+	rows int // total slots, tombstones included
+	live int // rows minus tombstones
+}
+
+// Len returns the number of live rows in the snapshot.
+func (td *TableData) Len() int { return td.live }
+
+// NumRows returns the number of row slots, tombstones included.
+func (td *TableData) NumRows() int { return td.rows }
+
+// Def returns the snapshot's table definition (shared; do not mutate).
+func (td *TableData) Def() TableDef { return td.lay.def }
+
+// ColIndex resolves a column name to its vector position.
+func (td *TableData) ColIndex(name string) (int, bool) {
+	i, ok := td.lay.colIndex[name]
+	return i, ok
+}
+
+// Tombstones returns the tombstone vector: Tombstones()[pos] reports
+// that row pos is deleted and must be skipped. It may be longer than
+// NumRows(); index only positions below NumRows().
+func (td *TableData) Tombstones() []bool { return td.dead }
+
+// IntCol returns column i's int64 vector (nil when i is not a TypeInt
+// column). Never mutate the returned slice.
+func (td *TableData) IntCol(i int) []int64 { return td.cols[i].ints }
+
+// FloatCol returns column i's float64 vector (nil unless TypeFloat).
+func (td *TableData) FloatCol(i int) []float64 { return td.cols[i].floats }
+
+// StringCol returns column i's string vector (nil unless TypeString).
+func (td *TableData) StringCol(i int) []string { return td.cols[i].strs }
+
+// BoolCol returns column i's bool vector (nil unless TypeBool).
+func (td *TableData) BoolCol(i int) []bool { return td.cols[i].bools }
+
+// TimeCol returns column i's time vector (nil unless TypeTime).
+func (td *TableData) TimeCol(i int) []time.Time { return td.cols[i].times }
+
+// NullCol returns column i's validity vector (true = NULL).
+func (td *TableData) NullCol(i int) []bool { return td.cols[i].nulls }
+
+// Value materializes the cell at (pos, col) as a canonical any.
+func (td *TableData) Value(pos, col int) any { return td.cols[col].value(pos) }
+
+// RowAt wraps position pos for by-name access. The caller must skip
+// tombstoned positions itself.
+func (td *TableData) RowAt(pos int) Row { return Row{lay: td.lay, cols: td.cols, pos: pos} }
+
+// Scan calls fn for every live row of the snapshot, in position order;
+// fn returning false stops the scan.
+func (td *TableData) Scan(fn func(Row) bool) {
+	for pos := 0; pos < td.rows; pos++ {
+		if td.dead[pos] {
+			continue
+		}
+		if !fn(Row{lay: td.lay, cols: td.cols, pos: pos}) {
+			return
+		}
+	}
+}
+
+// ColumnData carries a whole table's contents in columnar form: the
+// payload of bulk loads (EvLoad binlog events, snapshot files, loose
+// dumps). Vectors are indexed [0, Rows) with no tombstones.
+type ColumnData struct {
+	Names []string // column names, in table-definition order
+	Cols  []ColumnVector
+	Rows  int
+}
+
+// ColumnVector is one column of a ColumnData: exactly one typed payload
+// is set, matching Type; Nulls marks NULL cells (nil = none null).
+type ColumnVector struct {
+	Type   ColumnType
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Times  []time.Time
+	Nulls  []bool
+}
+
+// Validate checks cd against a table definition: the column list must
+// match the definition exactly and every vector must carry exactly one
+// typed payload of the declared type and length. This is the strict
+// gate that replaces the old silent-zeroing behavior: a snapshot or
+// load event whose payload types disagree with the schema is rejected
+// with a clear error instead of reading as zeros.
+func (cd *ColumnData) Validate(def TableDef) error {
+	if len(cd.Names) != len(def.Columns) || len(cd.Cols) != len(def.Columns) {
+		return fmt.Errorf("warehouse: load for table %q has %d columns, definition has %d",
+			def.Name, len(cd.Names), len(def.Columns))
+	}
+	for i, c := range def.Columns {
+		if cd.Names[i] != c.Name {
+			return fmt.Errorf("warehouse: load for table %q column %d is %q, definition says %q",
+				def.Name, i, cd.Names[i], c.Name)
+		}
+		v := &cd.Cols[i]
+		if v.Type != c.Type {
+			return fmt.Errorf("warehouse: load for table %q column %q carries %s data, definition says %s",
+				def.Name, c.Name, v.Type, c.Type)
+		}
+		n, typed := 0, 0
+		count := func(l int, active bool) {
+			if active {
+				typed++
+				n = l
+			}
+		}
+		count(len(v.Ints), v.Ints != nil)
+		count(len(v.Floats), v.Floats != nil)
+		count(len(v.Strs), v.Strs != nil)
+		count(len(v.Bools), v.Bools != nil)
+		count(len(v.Times), v.Times != nil)
+		if typed > 1 {
+			return fmt.Errorf("warehouse: load for table %q column %q carries mixed-type data (%d typed payloads)",
+				def.Name, c.Name, typed)
+		}
+		want := map[ColumnType]bool{
+			TypeInt:    v.Ints != nil,
+			TypeFloat:  v.Floats != nil,
+			TypeString: v.Strs != nil,
+			TypeBool:   v.Bools != nil,
+			TypeTime:   v.Times != nil,
+		}
+		if cd.Rows > 0 && !want[c.Type] {
+			return fmt.Errorf("warehouse: load for table %q column %q: missing %s payload",
+				def.Name, c.Name, c.Type)
+		}
+		if typed == 1 && n != cd.Rows {
+			return fmt.Errorf("warehouse: load for table %q column %q has %d values, want %d rows",
+				def.Name, c.Name, n, cd.Rows)
+		}
+		if v.Nulls != nil && len(v.Nulls) != cd.Rows {
+			return fmt.Errorf("warehouse: load for table %q column %q has %d validity entries, want %d rows",
+				def.Name, c.Name, len(v.Nulls), cd.Rows)
+		}
+		if !c.Nullable && v.Nulls != nil {
+			for pos, isNull := range v.Nulls {
+				if isNull {
+					return fmt.Errorf("warehouse: load for table %q column %q row %d is NULL but the column is not nullable",
+						def.Name, c.Name, pos)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// toVec converts one validated ColumnVector into internal form. The
+// vector's slices are adopted, not copied: the caller must not mutate
+// cd afterwards (bulk-load producers build a fresh ColumnData per
+// load).
+func (v *ColumnVector) toVec(c Column, rows int) colVec {
+	out := colVec{typ: c.Type, nullable: c.Nullable,
+		ints: v.Ints, floats: v.Floats, strs: v.Strs, bools: v.Bools, times: v.Times}
+	if v.Nulls != nil {
+		out.nulls = v.Nulls
+	} else {
+		out.nulls = make([]bool, rows)
+	}
+	return out
+}
+
+// ColumnData exports the snapshot's live rows in bulk columnar form,
+// suitable for LoadColumns into another warehouse (loose-dump loads,
+// backup restores). When the snapshot holds no tombstones the returned
+// vectors share the snapshot's immutable storage; do not mutate them.
+func (td *TableData) ColumnData() *ColumnData { return td.columnData() }
+
+// columnData exports the snapshot's live rows in bulk form. When the
+// snapshot holds tombstones the vectors are compacted copies; otherwise
+// the snapshot's own (immutable) vectors are shared.
+func (td *TableData) columnData() *ColumnData {
+	def := td.lay.def
+	cd := &ColumnData{Rows: td.live, Names: make([]string, len(def.Columns)), Cols: make([]ColumnVector, len(def.Columns))}
+	for i, c := range def.Columns {
+		cd.Names[i] = c.Name
+	}
+	if td.live == td.rows {
+		for i := range td.cols {
+			v := &td.cols[i]
+			cd.Cols[i] = ColumnVector{Type: v.typ, Ints: v.ints, Floats: v.floats,
+				Strs: v.strs, Bools: v.bools, Times: v.times, Nulls: v.nulls}
+			ensureTyped(&cd.Cols[i], td.rows)
+		}
+		return cd
+	}
+	for i := range td.cols {
+		src := &td.cols[i]
+		dst := newColVec(def.Columns[i])
+		for pos := 0; pos < td.rows; pos++ {
+			if td.dead[pos] {
+				continue
+			}
+			dst.appendFrom(src, pos)
+		}
+		cd.Cols[i] = ColumnVector{Type: dst.typ, Ints: dst.ints, Floats: dst.floats,
+			Strs: dst.strs, Bools: dst.bools, Times: dst.times, Nulls: dst.nulls}
+		ensureTyped(&cd.Cols[i], td.live)
+	}
+	return cd
+}
+
+// ensureTyped materializes an empty typed payload for zero-row or
+// all-null vectors so Validate's payload check holds after a gob round
+// trip (gob drops empty slices).
+func ensureTyped(v *ColumnVector, rows int) {
+	if rows == 0 {
+		return
+	}
+	switch v.Type {
+	case TypeInt:
+		if v.Ints == nil {
+			v.Ints = make([]int64, rows)
+		}
+	case TypeFloat:
+		if v.Floats == nil {
+			v.Floats = make([]float64, rows)
+		}
+	case TypeString:
+		if v.Strs == nil {
+			v.Strs = make([]string, rows)
+		}
+	case TypeBool:
+		if v.Bools == nil {
+			v.Bools = make([]bool, rows)
+		}
+	case TypeTime:
+		if v.Times == nil {
+			v.Times = make([]time.Time, rows)
+		}
+	}
+}

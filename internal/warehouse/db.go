@@ -8,16 +8,29 @@ import (
 )
 
 // DB is an embedded warehouse instance: a set of named schemas, each a
-// set of typed tables, with an optional binlog recording every
+// set of typed columnar tables, with an optional binlog recording every
 // mutation. A DB plays the role MySQL plays for a real XDMoD instance.
 //
-// All exported methods are safe for concurrent use.
+// All exported methods are safe for concurrent use. Write transactions
+// (Do and the mutation wrappers) hold the write lock and publish an
+// immutable snapshot of every table they touched when they commit;
+// DataFor resolves those snapshots through an atomically swapped
+// catalog, so scan-heavy readers (aggregation, chart queries,
+// replication extraction, snapshot dumps) never take the lock at all.
 type DB struct {
 	name    string
 	mu      sync.RWMutex
 	schemas map[string]*Schema
 	binlog  *Binlog
 	logging bool
+
+	// catalog is the lock-free name→table resolution map, rebuilt (rarely)
+	// on DDL. The inner maps are never mutated after publication.
+	catalog atomic.Pointer[map[string]map[string]*Table]
+
+	// dirty lists tables mutated by the in-flight write transaction
+	// (guarded by mu); commit publishes each and clears the list.
+	dirty []*Table
 
 	// epoch counts warehouse generations for the query-result cache
 	// (internal/qcache): it is bumped whenever data a chart query could
@@ -37,12 +50,15 @@ type Schema struct {
 
 // Open creates an empty DB with binary logging enabled.
 func Open(name string) *DB {
-	return &DB{
+	db := &DB{
 		name:    name,
 		schemas: make(map[string]*Schema),
 		binlog:  NewBinlog(),
 		logging: true,
 	}
+	empty := map[string]map[string]*Table{}
+	db.catalog.Store(&empty)
+	return db
 }
 
 // OpenWithoutBinlog creates a DB that does not record mutations; used
@@ -76,6 +92,34 @@ func (db *DB) logEvent(ev Event) {
 	}
 }
 
+// noteDirty records that t was mutated in the current write
+// transaction. Called (via Table.markDirty) while holding mu.
+func (db *DB) noteDirty(t *Table) { db.dirty = append(db.dirty, t) }
+
+// commitLocked publishes a fresh immutable snapshot for every table the
+// finished transaction touched. Must run while holding mu; after it
+// returns, lock-free readers observe the transaction's effects.
+func (db *DB) commitLocked() {
+	for _, t := range db.dirty {
+		t.publish()
+		t.txnDirty = false
+	}
+	db.dirty = db.dirty[:0]
+}
+
+// rebuildCatalogLocked republishes the lock-free catalog after DDL.
+func (db *DB) rebuildCatalogLocked() {
+	cat := make(map[string]map[string]*Table, len(db.schemas))
+	for name, s := range db.schemas {
+		tabs := make(map[string]*Table, len(s.tables))
+		for tn, t := range s.tables {
+			tabs[tn] = t
+		}
+		cat[name] = tabs
+	}
+	db.catalog.Store(&cat)
+}
+
 // CreateSchema creates a schema; it is an error if it already exists.
 func (db *DB) CreateSchema(name string) (*Schema, error) {
 	db.mu.Lock()
@@ -88,6 +132,7 @@ func (db *DB) CreateSchema(name string) (*Schema, error) {
 	}
 	s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
 	db.schemas[name] = s
+	db.rebuildCatalogLocked()
 	db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
 	return s, nil
 }
@@ -101,6 +146,7 @@ func (db *DB) EnsureSchema(name string) *Schema {
 	}
 	s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
 	db.schemas[name] = s
+	db.rebuildCatalogLocked()
 	db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
 	return s
 }
@@ -113,6 +159,7 @@ func (db *DB) DropSchema(name string) error {
 		return fmt.Errorf("warehouse: schema %q does not exist", name)
 	}
 	delete(db.schemas, name)
+	db.rebuildCatalogLocked()
 	db.logEvent(Event{Kind: EvDropSchema, Schema: name})
 	return nil
 }
@@ -151,6 +198,7 @@ func (s *Schema) CreateTable(def TableDef) (*Table, error) {
 		return nil, err
 	}
 	s.tables[def.Name] = t
+	s.db.rebuildCatalogLocked()
 	d := def.Clone()
 	s.db.logEvent(Event{Kind: EvCreateTable, Schema: s.name, Table: def.Name, Def: &d})
 	return t, nil
@@ -168,6 +216,7 @@ func (s *Schema) EnsureTable(def TableDef) (*Table, error) {
 		return nil, err
 	}
 	s.tables[def.Name] = t
+	s.db.rebuildCatalogLocked()
 	d := def.Clone()
 	s.db.logEvent(Event{Kind: EvCreateTable, Schema: s.name, Table: def.Name, Def: &d})
 	return t, nil
@@ -192,12 +241,15 @@ func (s *Schema) Tables() []string {
 	return names
 }
 
-// Do runs fn while holding the DB write lock; Table mutation methods
-// must be called inside Do (the convenience wrappers below do so).
+// Do runs fn as one write transaction: fn runs while holding the DB
+// write lock (Table mutation methods must be called inside Do; the
+// convenience wrappers below do so), and every table fn touched
+// publishes a fresh snapshot when Do returns.
 func (db *DB) Do(fn func() error) error {
 	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.commitLocked()
 	return fn()
 }
 
@@ -213,6 +265,7 @@ func (db *DB) Insert(schema, table string, row map[string]any) error {
 	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.commitLocked()
 	t, err := db.lookupLocked(schema, table)
 	if err != nil {
 		return err
@@ -225,6 +278,7 @@ func (db *DB) InsertRow(schema, table string, row []any) error {
 	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.commitLocked()
 	t, err := db.lookupLocked(schema, table)
 	if err != nil {
 		return err
@@ -237,11 +291,27 @@ func (db *DB) Upsert(schema, table string, row map[string]any) error {
 	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.commitLocked()
 	t, err := db.lookupLocked(schema, table)
 	if err != nil {
 		return err
 	}
 	return t.Upsert(row)
+}
+
+// LoadColumns atomically replaces schema.table's contents with the
+// given columnar payload in one write transaction (see
+// Table.ReplaceAllColumns).
+func (db *DB) LoadColumns(schema, table string, cd *ColumnData) error {
+	mTxns.Inc()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer db.commitLocked()
+	t, err := db.lookupLocked(schema, table)
+	if err != nil {
+		return err
+	}
+	return t.ReplaceAllColumns(cd)
 }
 
 // Scan iterates schema.table under the read lock.
@@ -279,6 +349,24 @@ func (db *DB) lookupLocked(schema, table string) (*Table, error) {
 	return t, nil
 }
 
+// DataFor returns the last committed snapshot of schema.table without
+// taking any lock: the table is resolved through the atomically
+// published catalog and the snapshot through the table's version
+// pointer. The returned TableData is immutable and stays valid (and
+// consistent) for as long as the caller holds it, regardless of
+// concurrent writes.
+func (db *DB) DataFor(schema, table string) (*TableData, error) {
+	cat := *db.catalog.Load()
+	t, ok := cat[schema][table]
+	if !ok {
+		if _, sok := cat[schema]; !sok {
+			return nil, fmt.Errorf("warehouse: schema %q does not exist", schema)
+		}
+		return nil, fmt.Errorf("warehouse: table %s.%s does not exist", schema, table)
+	}
+	return t.Data(), nil
+}
+
 // Apply replays a single binlog event against this DB. This is the
 // applier half of replication: events extracted from a satellite are
 // applied to the hub, optionally after schema renaming. Row events are
@@ -287,15 +375,46 @@ func (db *DB) Apply(ev Event) error {
 	mTxns.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.commitLocked()
+	return db.applyLocked(ev)
+}
+
+// ApplyAll replays a batch of binlog events as one write transaction:
+// one lock acquisition and one snapshot publish per touched table,
+// however many events the batch carries. It stops at the first failing
+// event; everything applied before it stays applied (and published),
+// matching the per-event Apply semantics replication recovery depends
+// on. It returns how many events of the prefix were applied, so callers
+// that post-process applied events (identity observation, aggregation
+// classification) can cover exactly the applied prefix on error.
+func (db *DB) ApplyAll(evs []Event) (int, error) {
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	mTxns.Inc()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer db.commitLocked()
+	for i, ev := range evs {
+		if err := db.applyLocked(ev); err != nil {
+			return i, err
+		}
+	}
+	return len(evs), nil
+}
+
+func (db *DB) applyLocked(ev Event) error {
 	switch ev.Kind {
 	case EvCreateSchema:
 		if _, ok := db.schemas[ev.Schema]; !ok {
 			db.schemas[ev.Schema] = &Schema{name: ev.Schema, db: db, tables: make(map[string]*Table)}
+			db.rebuildCatalogLocked()
 			db.logEvent(Event{Kind: EvCreateSchema, Schema: ev.Schema})
 		}
 		return nil
 	case EvDropSchema:
 		delete(db.schemas, ev.Schema)
+		db.rebuildCatalogLocked()
 		db.logEvent(Event{Kind: EvDropSchema, Schema: ev.Schema})
 		return nil
 	case EvCreateTable:
@@ -303,6 +422,7 @@ func (db *DB) Apply(ev Event) error {
 		if !ok {
 			s = &Schema{name: ev.Schema, db: db, tables: make(map[string]*Table)}
 			db.schemas[ev.Schema] = s
+			db.rebuildCatalogLocked()
 			db.logEvent(Event{Kind: EvCreateSchema, Schema: ev.Schema})
 		}
 		if _, ok := s.tables[ev.Table]; ok {
@@ -316,6 +436,7 @@ func (db *DB) Apply(ev Event) error {
 			return err
 		}
 		s.tables[ev.Table] = t
+		db.rebuildCatalogLocked()
 		d := ev.Def.Clone()
 		db.logEvent(Event{Kind: EvCreateTable, Schema: ev.Schema, Table: ev.Table, Def: &d})
 		return nil
@@ -336,16 +457,8 @@ func (db *DB) Apply(ev Event) error {
 		if err != nil {
 			return err
 		}
-		if key, ok := t.pkKey(vals); ok {
-			if pos, exists := t.pk[key]; exists {
-				old := t.rows[pos]
-				t.removeFromIndexes(old, pos)
-				t.rows[pos] = vals
-				t.addToIndexes(vals, pos)
-				db.logEvent(Event{Kind: EvUpdate, Schema: ev.Schema, Table: ev.Table,
-					Row: append([]any(nil), vals...), Old: append([]any(nil), old...)})
-				return nil
-			}
+		if _, ok := t.pkKey(vals); ok {
+			return t.upsertVals(vals)
 		}
 		return t.insertVals(vals, true)
 	case EvDelete:
@@ -355,19 +468,24 @@ func (db *DB) Apply(ev Event) error {
 		}
 		if key, ok := t.pkKey(vals); ok {
 			if pos, exists := t.pk[key]; exists {
-				t.deleteAt(pos, t.rows[pos])
+				t.deleteAt(pos)
 			}
-			_ = key
 			return nil
 		}
 		// No primary key: delete by full-row match (first match wins).
 		target := encodeKey(vals)
-		for pos, rv := range t.rows {
-			if rv == nil {
+		var buf []byte
+		allCols := make([]int, len(t.cols))
+		for i := range allCols {
+			allCols[i] = i
+		}
+		for pos := 0; pos < t.rows; pos++ {
+			if t.dead[pos] {
 				continue
 			}
-			if encodeKey(rv) == target {
-				t.deleteAt(pos, rv)
+			buf = appendKeyAt(buf[:0], t.cols, allCols, pos)
+			if string(buf) == target {
+				t.deleteAt(pos)
 				return nil
 			}
 		}
@@ -375,6 +493,11 @@ func (db *DB) Apply(ev Event) error {
 	case EvTruncate:
 		t.Truncate()
 		return nil
+	case EvLoad:
+		if ev.Cols == nil {
+			return fmt.Errorf("warehouse: LOAD event for %s.%s missing columnar payload", ev.Schema, ev.Table)
+		}
+		return t.ReplaceAllColumns(ev.Cols)
 	default:
 		return fmt.Errorf("warehouse: cannot apply event kind %v", ev.Kind)
 	}

@@ -2,6 +2,10 @@ package warehouse
 
 import "xdmodfed/internal/obs"
 
+// logw is the warehouse's structured logger (snapshot migrations, WAL
+// recovery notices).
+var logw = obs.Logger("warehouse")
+
 // Warehouse instrumentation. Handles are resolved once at package init
 // so the hot paths (row mutation, binlog append) pay one atomic add
 // per operation, no map lookups.
@@ -16,6 +20,12 @@ var (
 		"Time to write a warehouse snapshot (full or per-schema dump).", nil)
 	mRestoreSeconds = obs.Default.Histogram("xdmodfed_warehouse_restore_seconds",
 		"Time to restore a warehouse snapshot.", nil)
+	mSnapshotPublishes = obs.Default.Counter("xdmodfed_warehouse_snapshot_publishes_total",
+		"Immutable table snapshots published at write-transaction commit (the copy-on-write version swap lock-free readers scan).")
+	mCompactions = obs.Default.Counter("xdmodfed_warehouse_snapshot_compactions_total",
+		"Column-vector compactions: tables rewritten without tombstones once dead rows outnumber live ones.")
+	mLegacyMigrations = obs.Default.Counter("xdmodfed_warehouse_snapshot_legacy_migrations_total",
+		"Tables migrated on load from the legacy row-oriented snapshot format to columnar storage.")
 	mWALFsyncs = obs.Default.Counter("xdmodfed_warehouse_wal_fsync_total",
 		"Durable-binlog fsync calls.")
 	mWALFsyncSeconds = obs.Default.Histogram("xdmodfed_warehouse_wal_fsync_seconds",

@@ -80,7 +80,7 @@ type aggState struct {
 func (t *Table) GroupBy(q GroupQuery) ([]GroupResult, error) {
 	groupIdx := make([]int, len(q.GroupBy))
 	for i, c := range q.GroupBy {
-		ci, ok := t.colIndex[c]
+		ci, ok := t.lay.colIndex[c]
 		if !ok {
 			return nil, fmt.Errorf("warehouse: group-by column %q not in table %s.%s", c, t.schema, t.def.Name)
 		}
@@ -92,7 +92,7 @@ func (t *Table) GroupBy(q GroupQuery) ([]GroupResult, error) {
 			aggIdx[i] = -1
 			continue
 		}
-		ci, ok := t.colIndex[a.Column]
+		ci, ok := t.lay.colIndex[a.Column]
 		if !ok {
 			return nil, fmt.Errorf("warehouse: aggregate column %q not in table %s.%s", a.Column, t.schema, t.def.Name)
 		}
@@ -106,7 +106,7 @@ func (t *Table) GroupBy(q GroupQuery) ([]GroupResult, error) {
 		}
 		keyParts := make([]any, len(groupIdx))
 		for i, ci := range groupIdx {
-			keyParts[i] = r.vals[ci]
+			keyParts[i] = r.value(ci)
 		}
 		key := encodeKey(keyParts)
 		st, ok := groups[key]
@@ -126,7 +126,7 @@ func (t *Table) GroupBy(q GroupQuery) ([]GroupResult, error) {
 				st.n[i]++
 				continue
 			}
-			v := r.vals[ci]
+			v := r.value(ci)
 			if v == nil {
 				continue
 			}

@@ -8,10 +8,26 @@ import (
 	"time"
 )
 
-// snapshot is the gob wire form of an entire DB (or a subset of its
-// schemas). It doubles as the "database dump" format used by loose
+// Snapshot persistence. Version 2 (current) stores each table's
+// contents in columnar form — one typed vector per column — matching
+// the in-memory layout, so a snapshot is written straight from the
+// published TableData without materializing rows. Version 1 (legacy)
+// stored boxed row slices; v1 streams are still readable and are
+// migrated to columnar form on load (counted by
+// xdmodfed_warehouse_snapshot_legacy_migrations_total and logged as a
+// warning). The format doubles as the "database dump" used by loose
 // federation (dump / ship / batch-load, paper §II-C2).
+
+// snapshotVersion is the current on-disk format version. Legacy
+// row-format streams predate the field and decode as version 0.
+const snapshotVersion = 2
+
+// snapshot is the gob wire form of an entire DB (or a subset of its
+// schemas). The same struct decodes both format versions: legacy
+// streams populate tableSnapshot.Rows, current streams populate
+// tableSnapshot.Data.
 type snapshot struct {
+	Version int
 	Name    string
 	LastLSN uint64
 	Schemas []schemaSnapshot
@@ -24,7 +40,8 @@ type schemaSnapshot struct {
 
 type tableSnapshot struct {
 	Def  TableDef
-	Rows [][]any
+	Rows [][]any     // legacy (v1) row-oriented payload
+	Data *ColumnData // current (v2) columnar payload
 }
 
 // Snapshot writes the full DB state to w. The snapshot records the
@@ -35,15 +52,24 @@ func (db *DB) Snapshot(w io.Writer) error {
 }
 
 // SnapshotSchemas writes the named schemas (all when names is nil).
+// The DB read lock is held only long enough to collect the published
+// table snapshots — a few pointer loads — and the (potentially large)
+// encode runs against those immutable snapshots with no lock held, so
+// dumps never stall writers or other readers.
 func (db *DB) SnapshotSchemas(w io.Writer, names []string) error {
 	defer mSnapshotSeconds.ObserveSince(time.Now())
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	want := map[string]bool{}
 	for _, n := range names {
 		want[n] = true
 	}
-	snap := snapshot{Name: db.name, LastLSN: db.binlog.Last()}
+	db.mu.RLock()
+	snap := snapshot{Version: snapshotVersion, Name: db.name, LastLSN: db.binlog.Last()}
+	type pending struct {
+		schema int
+		table  int
+		td     *TableData
+	}
+	var work []pending
 	for _, sn := range db.schemasSortedLocked() {
 		if names != nil && !want[sn] {
 			continue
@@ -52,15 +78,14 @@ func (db *DB) SnapshotSchemas(w io.Writer, names []string) error {
 		ss := schemaSnapshot{Name: sn}
 		for _, tn := range s.tablesSortedLocked() {
 			t := s.tables[tn]
-			ts := tableSnapshot{Def: t.def.Clone()}
-			for _, vals := range t.rows {
-				if vals != nil {
-					ts.Rows = append(ts.Rows, append([]any(nil), vals...))
-				}
-			}
-			ss.Tables = append(ss.Tables, ts)
+			ss.Tables = append(ss.Tables, tableSnapshot{Def: t.def.Clone()})
+			work = append(work, pending{schema: len(snap.Schemas), table: len(ss.Tables) - 1, td: t.Data()})
 		}
 		snap.Schemas = append(snap.Schemas, ss)
+	}
+	db.mu.RUnlock()
+	for _, p := range work {
+		snap.Schemas[p.schema].Tables[p.table].Data = p.td.columnData()
 	}
 	return gob.NewEncoder(w).Encode(snap)
 }
@@ -102,6 +127,14 @@ func (db *DB) Restore(r io.Reader) (uint64, error) {
 // map (identity for schemas not in the map). Renaming on load is how a
 // loose-federation hub lands each satellite's dump in a uniquely named
 // schema, mirroring Tungsten's rename-on-transfer feature.
+//
+// Columnar (v2) payloads are validated strictly against each table's
+// definition — mismatched types, lengths or nullability fail the
+// restore with a descriptive error rather than loading as zeroed
+// values. Legacy row-format (v1) streams are migrated to columnar
+// storage on load, with a warning logged and
+// xdmodfed_warehouse_snapshot_legacy_migrations_total incremented per
+// migrated table.
 func (db *DB) RestoreRenamed(r io.Reader, rename map[string]string) (uint64, error) {
 	defer mRestoreSeconds.ObserveSince(time.Now())
 	var snap snapshot
@@ -110,6 +143,7 @@ func (db *DB) RestoreRenamed(r io.Reader, rename map[string]string) (uint64, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.commitLocked()
 	for _, ss := range snap.Schemas {
 		name := ss.Name
 		if rename != nil {
@@ -126,20 +160,56 @@ func (db *DB) RestoreRenamed(r io.Reader, rename map[string]string) (uint64, err
 				return 0, err
 			}
 			s.tables[ts.Def.Name] = t
+			db.rebuildCatalogLocked()
 			d := ts.Def.Clone()
 			db.logEvent(Event{Kind: EvCreateTable, Schema: name, Table: ts.Def.Name, Def: &d})
-			for _, row := range ts.Rows {
-				vals, err := t.normalizeSlice(row)
+			cd := ts.Data
+			if cd == nil {
+				// Legacy row-format table: coerce each row against the
+				// definition (strict — a cell the column type cannot hold
+				// fails the restore) and assemble the columnar payload.
+				cd, err = t.migrateLegacyRows(ts.Rows)
 				if err != nil {
 					return 0, err
 				}
-				if err := t.insertVals(vals, true); err != nil {
-					return 0, err
-				}
+				mLegacyMigrations.Inc()
+				logw.Warn("migrated legacy row-format snapshot table to columnar storage",
+					"schema", name, "table", ts.Def.Name, "rows", cd.Rows)
+			}
+			if err := t.ReplaceAllColumns(cd); err != nil {
+				return 0, err
 			}
 		}
 	}
+	db.rebuildCatalogLocked()
 	return snap.LastLSN, nil
+}
+
+// migrateLegacyRows converts legacy boxed rows into a columnar payload,
+// coercing every cell against the table definition.
+func (t *Table) migrateLegacyRows(rows [][]any) (*ColumnData, error) {
+	vecs := make([]colVec, len(t.def.Columns))
+	for i, c := range t.def.Columns {
+		vecs[i] = newColVec(c)
+	}
+	for n, row := range rows {
+		vals, err := t.normalizeSlice(row)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: restore %s.%s row %d: %w", t.schema, t.def.Name, n, err)
+		}
+		for i := range vecs {
+			vecs[i].appendVal(vals[i])
+		}
+	}
+	cd := &ColumnData{Rows: len(rows), Names: make([]string, len(t.def.Columns)), Cols: make([]ColumnVector, len(t.def.Columns))}
+	for i, c := range t.def.Columns {
+		cd.Names[i] = c.Name
+		v := &vecs[i]
+		cd.Cols[i] = ColumnVector{Type: v.typ, Ints: v.ints, Floats: v.floats,
+			Strs: v.strs, Bools: v.bools, Times: v.times, Nulls: v.nulls}
+		ensureTyped(&cd.Cols[i], len(rows))
+	}
+	return cd, nil
 }
 
 // SaveFile snapshots the DB to a file path.

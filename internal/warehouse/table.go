@@ -3,12 +3,19 @@ package warehouse
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync/atomic"
 )
 
-// Row is one table row with access to column values by name.
+// Row is one table row with access to column values by name. A Row is
+// either a position into a set of column vectors (table scans, key
+// lookups, snapshot iteration) or a detached positional value slice
+// (BindRow); both forms are plain values and allocate nothing.
 type Row struct {
-	table *Table
-	vals  []any
+	lay  *layout
+	cols []colVec
+	pos  int
+	det  []any // detached values; when set, cols/pos are unused
 }
 
 // Get returns the value of the named column, or nil when the column
@@ -21,64 +28,129 @@ func (r Row) Get(col string) any {
 // Lookup returns the value of the named column and whether the column
 // exists in the row's table.
 func (r Row) Lookup(col string) (any, bool) {
-	i, ok := r.table.colIndex[col]
+	i, ok := r.lay.colIndex[col]
 	if !ok {
 		return nil, false
 	}
-	return r.vals[i], true
+	return r.value(i), true
 }
 
-// Int returns the column as int64 (zero when null or absent).
+// value returns the cell at column position i.
+func (r Row) value(i int) any {
+	if r.det != nil {
+		return r.det[i]
+	}
+	return r.cols[i].value(r.pos)
+}
+
+// Int returns the column as int64 (zero when null, absent or not an
+// integer column).
 func (r Row) Int(col string) int64 {
-	if v, _ := r.Lookup(col); v != nil {
-		if x, ok := v.(int64); ok {
+	i, ok := r.lay.colIndex[col]
+	if !ok {
+		return 0
+	}
+	if r.det != nil {
+		if x, ok := r.det[i].(int64); ok {
 			return x
 		}
+		return 0
 	}
-	return 0
+	v := &r.cols[i]
+	if v.typ != TypeInt || v.nulls[r.pos] {
+		return 0
+	}
+	return v.ints[r.pos]
 }
 
 // Float returns the column as float64, widening integers.
 func (r Row) Float(col string) float64 {
-	if v, _ := r.Lookup(col); v != nil {
-		switch x := v.(type) {
+	i, ok := r.lay.colIndex[col]
+	if !ok {
+		return 0
+	}
+	if r.det != nil {
+		switch x := r.det[i].(type) {
 		case float64:
 			return x
 		case int64:
 			return float64(x)
 		}
+		return 0
+	}
+	v := &r.cols[i]
+	if v.nulls[r.pos] {
+		return 0
+	}
+	switch v.typ {
+	case TypeFloat:
+		return v.floats[r.pos]
+	case TypeInt:
+		return float64(v.ints[r.pos])
 	}
 	return 0
 }
 
 // String returns the column as a string (empty when null or absent).
 func (r Row) String(col string) string {
-	if v, _ := r.Lookup(col); v != nil {
-		if x, ok := v.(string); ok {
+	i, ok := r.lay.colIndex[col]
+	if !ok {
+		return ""
+	}
+	if r.det != nil {
+		if x, ok := r.det[i].(string); ok {
 			return x
 		}
+		return ""
 	}
-	return ""
+	v := &r.cols[i]
+	if v.typ != TypeString || v.nulls[r.pos] {
+		return ""
+	}
+	return v.strs[r.pos]
 }
 
-// Values returns a copy of the underlying value slice, in column order.
+// Values returns a copy of the row's values, in column order.
 func (r Row) Values() []any {
-	return append([]any(nil), r.vals...)
+	if r.det != nil {
+		return append([]any(nil), r.det...)
+	}
+	out := make([]any, len(r.cols))
+	for i := range r.cols {
+		out[i] = r.cols[i].value(r.pos)
+	}
+	return out
 }
 
-// Table is a typed, indexed, mutex-free table; synchronization is
-// provided by the owning DB (all Table methods must be called while
-// holding the DB lock, which the Schema/DB wrappers do).
+// Table is a typed columnar table. The writer-side state (column
+// vectors, tombstones, primary-key and secondary-index maps) is
+// synchronized by the owning DB: all mutating methods and the
+// read methods below must be called while holding the DB lock, which
+// the Schema/DB wrappers do. Data() is the exception — it returns the
+// last published immutable snapshot and may be called from anywhere
+// without locking.
+//
+// Vectors are append-only: an update or upsert tombstones the old
+// position and appends the replacement, so a published snapshot's
+// cells are never overwritten. The tombstone vector is the only state
+// shared with snapshots that a writer must touch below the published
+// boundary, and it is copied on first such write per transaction.
 type Table struct {
-	def      TableDef
-	schema   string
-	db       *DB
-	rows     [][]any
-	colIndex map[string]int
-	pkCols   []int
-	pk       map[string]int // pk key -> row position
-	indexes  []*secondaryIndex
-	deleted  int // count of tombstoned rows (nil entries in rows)
+	def     TableDef
+	lay     *layout
+	schema  string
+	db      *DB
+	cols    []colVec
+	dead    []bool
+	rows    int // total slots, tombstones included
+	deleted int // tombstoned slots
+	pkCols  []int
+	pk      map[string]int // encoded pk -> row position
+	indexes []*secondaryIndex
+
+	version    atomic.Pointer[TableData]
+	deadShared bool // dead's backing array is referenced by the published snapshot
+	txnDirty   bool // mutated in the current write transaction (guarded by db.mu)
 }
 
 type secondaryIndex struct {
@@ -86,32 +158,40 @@ type secondaryIndex struct {
 	m    map[string][]int
 }
 
+// compactMinDead is the tombstone count below which compaction is
+// never attempted; above it, a table compacts at publish time once
+// tombstones outnumber live rows.
+const compactMinDead = 256
+
 func newTable(db *DB, schema string, def TableDef) (*Table, error) {
 	if err := def.Validate(); err != nil {
 		return nil, err
 	}
+	d := def.Clone()
 	t := &Table{
-		def:      def.Clone(),
-		schema:   schema,
-		db:       db,
-		colIndex: make(map[string]int, len(def.Columns)),
+		def:    d,
+		lay:    newLayout(d),
+		schema: schema,
+		db:     db,
 	}
-	for i, c := range def.Columns {
-		t.colIndex[c.Name] = i
+	t.cols = make([]colVec, len(d.Columns))
+	for i, c := range d.Columns {
+		t.cols[i] = newColVec(c)
 	}
-	for _, k := range def.PrimaryKey {
-		t.pkCols = append(t.pkCols, t.colIndex[k])
+	for _, k := range d.PrimaryKey {
+		t.pkCols = append(t.pkCols, t.lay.colIndex[k])
 	}
 	if len(t.pkCols) > 0 {
 		t.pk = make(map[string]int)
 	}
-	for _, ix := range def.Indexes {
+	for _, ix := range d.Indexes {
 		si := &secondaryIndex{m: make(map[string][]int)}
 		for _, k := range ix {
-			si.cols = append(si.cols, t.colIndex[k])
+			si.cols = append(si.cols, t.lay.colIndex[k])
 		}
 		t.indexes = append(t.indexes, si)
 	}
+	t.publish()
 	return t, nil
 }
 
@@ -122,13 +202,133 @@ func (t *Table) Def() TableDef { return t.def.Clone() }
 func (t *Table) Name() string { return t.def.Name }
 
 // Len returns the number of live rows.
-func (t *Table) Len() int { return len(t.rows) - t.deleted }
+func (t *Table) Len() int { return t.rows - t.deleted }
+
+// Data returns the last published immutable snapshot of the table.
+// It never blocks and needs no lock: scans against the result observe
+// the state as of the most recent committed write transaction.
+func (t *Table) Data() *TableData { return t.version.Load() }
+
+// publish captures the current vectors as an immutable TableData and
+// swaps it in atomically. Called at write-transaction commit (and at
+// table creation) while holding the DB write lock.
+func (t *Table) publish() {
+	if t.deleted > compactMinDead && t.deleted*2 > t.rows {
+		t.compact()
+	}
+	td := &TableData{
+		lay:  t.lay,
+		cols: append([]colVec(nil), t.cols...),
+		dead: t.dead,
+		rows: t.rows,
+		live: t.rows - t.deleted,
+	}
+	t.version.Store(td)
+	t.deadShared = true
+	mSnapshotPublishes.Inc()
+}
+
+// compact rewrites the vectors with live rows only (preserving scan
+// order) and rebuilds the position maps. Published snapshots keep the
+// old vectors, so concurrent readers are unaffected.
+func (t *Table) compact() {
+	mCompactions.Inc()
+	newCols := make([]colVec, len(t.cols))
+	for i, c := range t.def.Columns {
+		newCols[i] = newColVec(c)
+	}
+	live := t.rows - t.deleted
+	newDead := make([]bool, 0, live)
+	var buf []byte
+	newPK := t.pk
+	if newPK != nil {
+		newPK = make(map[string]int, live)
+	}
+	for _, ix := range t.indexes {
+		ix.m = make(map[string][]int)
+	}
+	newPos := 0
+	for pos := 0; pos < t.rows; pos++ {
+		if t.dead[pos] {
+			continue
+		}
+		for i := range t.cols {
+			newCols[i].appendFrom(&t.cols[i], pos)
+		}
+		newDead = append(newDead, false)
+		if newPK != nil {
+			buf = appendKeyAt(buf[:0], newCols, t.pkCols, newPos)
+			newPK[string(buf)] = newPos
+		}
+		for _, ix := range t.indexes {
+			buf = appendKeyAt(buf[:0], newCols, ix.cols, newPos)
+			ix.m[string(buf)] = append(ix.m[string(buf)], newPos)
+		}
+		newPos++
+	}
+	t.cols = newCols
+	t.dead = newDead
+	t.rows = live
+	t.deleted = 0
+	t.pk = newPK
+	t.deadShared = false
+}
+
+// appendFrom appends src's cell at pos without boxing.
+func (v *colVec) appendFrom(src *colVec, pos int) {
+	switch v.typ {
+	case TypeInt:
+		v.ints = append(v.ints, src.ints[pos])
+	case TypeFloat:
+		v.floats = append(v.floats, src.floats[pos])
+	case TypeString:
+		v.strs = append(v.strs, src.strs[pos])
+	case TypeBool:
+		v.bools = append(v.bools, src.bools[pos])
+	case TypeTime:
+		v.times = append(v.times, src.times[pos])
+	}
+	v.nulls = append(v.nulls, src.nulls[pos])
+}
+
+// appendKeyAt renders the key for the given column positions of row
+// pos, producing exactly the bytes encodeKey yields for the same
+// values.
+func appendKeyAt(b []byte, cols []colVec, idx []int, pos int) []byte {
+	for n, ci := range idx {
+		if n > 0 {
+			b = append(b, 0x1f)
+		}
+		v := &cols[ci]
+		if v.nulls[pos] {
+			b = append(b, 0)
+			continue
+		}
+		switch v.typ {
+		case TypeInt:
+			b = strconv.AppendInt(b, v.ints[pos], 10)
+		case TypeFloat:
+			b = strconv.AppendFloat(b, v.floats[pos], 'g', -1, 64)
+		case TypeString:
+			b = append(b, v.strs[pos]...)
+		case TypeBool:
+			if v.bools[pos] {
+				b = append(b, '1')
+			} else {
+				b = append(b, '0')
+			}
+		case TypeTime:
+			b = strconv.AppendInt(b, v.times[pos].UnixNano(), 10)
+		}
+	}
+	return b
+}
 
 // normalize converts a map-form row into a coerced value slice.
 func (t *Table) normalize(row map[string]any) ([]any, error) {
 	vals := make([]any, len(t.def.Columns))
 	for k := range row {
-		if _, ok := t.colIndex[k]; !ok {
+		if _, ok := t.lay.colIndex[k]; !ok {
 			return nil, fmt.Errorf("warehouse: table %s.%s has no column %q", t.schema, t.def.Name, k)
 		}
 	}
@@ -170,22 +370,66 @@ func (t *Table) pkKey(vals []any) (string, bool) {
 	return encodeKey(parts), true
 }
 
+// rowValues materializes the row at pos as a fresh value slice.
+func (t *Table) rowValues(pos int) []any {
+	out := make([]any, len(t.cols))
+	for i := range t.cols {
+		out[i] = t.cols[i].value(pos)
+	}
+	return out
+}
+
+// appendRow appends a normalized row to the vectors and returns its
+// position.
+func (t *Table) appendRow(vals []any) int {
+	pos := t.rows
+	for i := range t.cols {
+		t.cols[i].appendVal(vals[i])
+	}
+	t.dead = append(t.dead, false)
+	t.rows++
+	t.markDirty()
+	return pos
+}
+
+// tombstoneAt marks the row at pos deleted. When the tombstone vector
+// is still shared with the published snapshot and pos is visible to
+// readers, the vector is copied first (the COW half of the snapshot
+// protocol; at most one copy per write transaction).
+func (t *Table) tombstoneAt(pos int) {
+	if t.deadShared {
+		if pub := t.version.Load(); pos < pub.rows {
+			t.dead = append([]bool(nil), t.dead...)
+			t.deadShared = false
+		}
+	}
+	t.dead[pos] = true
+	t.deleted++
+	t.markDirty()
+}
+
+func (t *Table) markDirty() {
+	if !t.txnDirty {
+		t.txnDirty = true
+		t.db.noteDirty(t)
+	}
+}
+
 // insertVals inserts a pre-normalized row and logs the mutation.
 func (t *Table) insertVals(vals []any, log bool) error {
 	if key, ok := t.pkKey(vals); ok {
 		if _, dup := t.pk[key]; dup {
 			return fmt.Errorf("warehouse: table %s.%s: duplicate primary key %q", t.schema, t.def.Name, key)
 		}
-		t.pk[key] = len(t.rows)
+		t.pk[key] = t.rows
 	}
-	pos := len(t.rows)
-	t.rows = append(t.rows, vals)
+	pos := t.appendRow(vals)
 	for _, ix := range t.indexes {
 		k := ix.key(vals)
 		ix.m[k] = append(ix.m[k], pos)
 	}
 	if log {
-		t.db.logEvent(Event{Kind: EvInsert, Schema: t.schema, Table: t.def.Name, Row: append([]any(nil), vals...)})
+		t.db.logEvent(Event{Kind: EvInsert, Schema: t.schema, Table: t.def.Name, Row: vals})
 	}
 	return nil
 }
@@ -223,20 +467,35 @@ func (t *Table) Upsert(row map[string]any) error {
 	if err != nil {
 		return err
 	}
+	return t.upsertVals(vals)
+}
+
+// UpsertRow upserts a positional row (values in column order).
+func (t *Table) UpsertRow(row []any) error {
+	vals, err := t.normalizeSlice(row)
+	if err != nil {
+		return err
+	}
+	return t.upsertVals(vals)
+}
+
+func (t *Table) upsertVals(vals []any) error {
 	key, ok := t.pkKey(vals)
 	if !ok {
 		return fmt.Errorf("warehouse: table %s.%s has no primary key; cannot upsert", t.schema, t.def.Name)
 	}
-	if pos, exists := t.pk[key]; exists {
-		old := t.rows[pos]
-		t.removeFromIndexes(old, pos)
-		t.rows[pos] = vals
-		t.addToIndexes(vals, pos)
-		t.db.logEvent(Event{Kind: EvUpdate, Schema: t.schema, Table: t.def.Name,
-			Row: append([]any(nil), vals...), Old: append([]any(nil), old...)})
-		return nil
+	pos, exists := t.pk[key]
+	if !exists {
+		return t.insertVals(vals, true)
 	}
-	return t.insertVals(vals, true)
+	old := t.rowValues(pos)
+	t.removeFromIndexes(old, pos)
+	t.tombstoneAt(pos)
+	newPos := t.appendRow(vals)
+	t.pk[key] = newPos
+	t.addToIndexes(vals, newPos)
+	t.db.logEvent(Event{Kind: EvUpdate, Schema: t.schema, Table: t.def.Name, Row: vals, Old: old})
+	return nil
 }
 
 func (t *Table) removeFromIndexes(vals []any, pos int) {
@@ -268,26 +527,27 @@ func (t *Table) addToIndexes(vals []any, pos int) {
 // Delete removes rows matching the predicate and returns the count.
 func (t *Table) Delete(where func(Row) bool) int {
 	n := 0
-	for pos, vals := range t.rows {
-		if vals == nil {
+	end := t.rows
+	for pos := 0; pos < end; pos++ {
+		if t.dead[pos] {
 			continue
 		}
-		if where(Row{table: t, vals: vals}) {
-			t.deleteAt(pos, vals)
+		if where(Row{lay: t.lay, cols: t.cols, pos: pos}) {
+			t.deleteAt(pos)
 			n++
 		}
 	}
 	return n
 }
 
-func (t *Table) deleteAt(pos int, vals []any) {
-	if key, ok := t.pkKey(vals); ok {
+func (t *Table) deleteAt(pos int) {
+	old := t.rowValues(pos)
+	if key, ok := t.pkKey(old); ok {
 		delete(t.pk, key)
 	}
-	t.removeFromIndexes(vals, pos)
-	t.rows[pos] = nil
-	t.deleted++
-	t.db.logEvent(Event{Kind: EvDelete, Schema: t.schema, Table: t.def.Name, Old: append([]any(nil), vals...)})
+	t.removeFromIndexes(old, pos)
+	t.tombstoneAt(pos)
+	t.db.logEvent(Event{Kind: EvDelete, Schema: t.schema, Table: t.def.Name, Old: old})
 }
 
 // DeleteByKey removes the row with the given primary key values.
@@ -297,21 +557,80 @@ func (t *Table) DeleteByKey(keyVals ...any) bool {
 	if !ok {
 		return false
 	}
-	t.deleteAt(pos, t.rows[pos])
+	t.deleteAt(pos)
 	return true
 }
 
 // Truncate removes all rows.
 func (t *Table) Truncate() {
-	t.rows = nil
+	t.resetStorage()
+	t.db.logEvent(Event{Kind: EvTruncate, Schema: t.schema, Table: t.def.Name})
+}
+
+func (t *Table) resetStorage() {
+	t.cols = make([]colVec, len(t.def.Columns))
+	for i, c := range t.def.Columns {
+		t.cols[i] = newColVec(c)
+	}
+	t.dead = nil
+	t.rows = 0
 	t.deleted = 0
+	t.deadShared = false
 	if t.pk != nil {
 		t.pk = make(map[string]int)
 	}
 	for _, ix := range t.indexes {
 		ix.m = make(map[string][]int)
 	}
-	t.db.logEvent(Event{Kind: EvTruncate, Schema: t.schema, Table: t.def.Name})
+	t.markDirty()
+}
+
+// ReplaceAllColumns atomically replaces the table's entire contents
+// with the given columnar payload (a bulk load: re-aggregation
+// installs, loose-dump batch loads, backup restores). The payload is
+// validated strictly against the table definition, primary-key
+// uniqueness included, before anything is mutated; on success one
+// EvLoad event carrying the payload is logged in place of per-row
+// events. The table adopts cd's vectors — the caller must not modify
+// cd afterwards.
+func (t *Table) ReplaceAllColumns(cd *ColumnData) error {
+	if err := cd.Validate(t.def); err != nil {
+		return err
+	}
+	cols := make([]colVec, len(t.def.Columns))
+	for i, c := range t.def.Columns {
+		cols[i] = cd.Cols[i].toVec(c, cd.Rows)
+	}
+	var newPK map[string]int
+	if len(t.pkCols) > 0 {
+		newPK = make(map[string]int, cd.Rows)
+		var buf []byte
+		for pos := 0; pos < cd.Rows; pos++ {
+			buf = appendKeyAt(buf[:0], cols, t.pkCols, pos)
+			if _, dup := newPK[string(buf)]; dup {
+				return fmt.Errorf("warehouse: load for table %s.%s: duplicate primary key %q at row %d",
+					t.schema, t.def.Name, string(buf), pos)
+			}
+			newPK[string(buf)] = pos
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.m = make(map[string][]int)
+		var buf []byte
+		for pos := 0; pos < cd.Rows; pos++ {
+			buf = appendKeyAt(buf[:0], cols, ix.cols, pos)
+			ix.m[string(buf)] = append(ix.m[string(buf)], pos)
+		}
+	}
+	t.cols = cols
+	t.dead = make([]bool, cd.Rows)
+	t.rows = cd.Rows
+	t.deleted = 0
+	t.deadShared = false
+	t.pk = newPK
+	t.markDirty()
+	t.db.logEvent(Event{Kind: EvLoad, Schema: t.schema, Table: t.def.Name, Cols: cd})
+	return nil
 }
 
 // GetByKey returns the row with the given primary key values.
@@ -320,7 +639,7 @@ func (t *Table) GetByKey(keyVals ...any) (Row, bool) {
 	if !ok {
 		return Row{}, false
 	}
-	return Row{table: t, vals: t.rows[pos]}, true
+	return Row{lay: t.lay, cols: t.cols, pos: pos}, true
 }
 
 // UpdateByKey applies the given column assignments to the row with the
@@ -332,10 +651,10 @@ func (t *Table) UpdateByKey(keyVals []any, set map[string]any) error {
 	if !ok {
 		return fmt.Errorf("warehouse: table %s.%s: no row with key %v", t.schema, t.def.Name, keyVals)
 	}
-	old := t.rows[pos]
+	old := t.rowValues(pos)
 	vals := append([]any(nil), old...)
 	for k, v := range set {
-		i, ok := t.colIndex[k]
+		i, ok := t.lay.colIndex[k]
 		if !ok {
 			return fmt.Errorf("warehouse: table %s.%s has no column %q", t.schema, t.def.Name, k)
 		}
@@ -350,24 +669,28 @@ func (t *Table) UpdateByKey(keyVals []any, set map[string]any) error {
 		if _, dup := t.pk[newKey]; dup {
 			return fmt.Errorf("warehouse: table %s.%s: update collides on key %q", t.schema, t.def.Name, newKey)
 		}
-		delete(t.pk, key)
-		t.pk[newKey] = pos
 	}
 	t.removeFromIndexes(old, pos)
-	t.rows[pos] = vals
-	t.addToIndexes(vals, pos)
-	t.db.logEvent(Event{Kind: EvUpdate, Schema: t.schema, Table: t.def.Name,
-		Row: append([]any(nil), vals...), Old: append([]any(nil), old...)})
+	t.tombstoneAt(pos)
+	delete(t.pk, key)
+	newPos := t.appendRow(vals)
+	t.pk[newKey] = newPos
+	t.addToIndexes(vals, newPos)
+	t.db.logEvent(Event{Kind: EvUpdate, Schema: t.schema, Table: t.def.Name, Row: vals, Old: old})
 	return nil
 }
 
 // Scan calls fn for every live row; fn returning false stops the scan.
+// Within a write transaction the scan observes the transaction's own
+// uncommitted changes (it reads the writer state, not the published
+// snapshot); use Data().Scan for the lock-free committed view.
 func (t *Table) Scan(fn func(Row) bool) {
-	for _, vals := range t.rows {
-		if vals == nil {
+	end := t.rows
+	for pos := 0; pos < end; pos++ {
+		if t.dead[pos] {
 			continue
 		}
-		if !fn(Row{table: t, vals: vals}) {
+		if !fn(Row{lay: t.lay, cols: t.cols, pos: pos}) {
 			return
 		}
 	}
@@ -380,7 +703,7 @@ func (t *Table) Scan(fn func(Row) bool) {
 func (t *Table) ScanIndex(cols []string, vals []any, fn func(Row) bool) {
 	want := make([]int, len(cols))
 	for i, c := range cols {
-		want[i] = t.colIndex[c]
+		want[i] = t.lay.colIndex[c]
 	}
 	for _, ix := range t.indexes {
 		if equalIntSlices(ix.cols, want) {
@@ -393,10 +716,10 @@ func (t *Table) ScanIndex(cols []string, vals []any, fn func(Row) bool) {
 				coerced[i] = cv
 			}
 			for _, pos := range ix.m[encodeKey(coerced)] {
-				if t.rows[pos] == nil {
+				if t.dead[pos] {
 					continue
 				}
-				if !fn(Row{table: t, vals: t.rows[pos]}) {
+				if !fn(Row{lay: t.lay, cols: t.cols, pos: pos}) {
 					return
 				}
 			}
@@ -429,7 +752,7 @@ func equalIntSlices(a, b []int) bool {
 // row layout, or false when the column does not exist. Consumers of
 // positional binlog event rows use this instead of hardcoding offsets.
 func (t *Table) ColumnIndex(name string) (int, bool) {
-	i, ok := t.colIndex[name]
+	i, ok := t.lay.colIndex[name]
 	return i, ok
 }
 
@@ -442,7 +765,7 @@ func (t *Table) BindRow(row []any) (Row, error) {
 	if err != nil {
 		return Row{}, err
 	}
-	return Row{table: t, vals: vals}, nil
+	return Row{lay: t.lay, det: vals}, nil
 }
 
 // Columns returns the ordered column names.

@@ -328,6 +328,23 @@ func ReplayLog(db *DB, path string) (uint64, error) {
 	var last uint64
 	var validOff int64
 	var torn string
+	// Validated events are applied in batches: one write transaction —
+	// one lock acquisition and one snapshot publish per touched table —
+	// per replayBatch events instead of per event.
+	const replayBatch = 1024
+	var batch []Event
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		first, lastLSN := batch[0].LSN, batch[len(batch)-1].LSN
+		if _, err := db.ApplyAll(batch); err != nil {
+			return fmt.Errorf("warehouse: recover %s in LSN range [%d, %d]: %w", path, first, lastLSN, err)
+		}
+		last = lastLSN
+		batch = batch[:0]
+		return nil
+	}
 	for {
 		frameLen, err := binary.ReadUvarint(cr)
 		if err != nil {
@@ -360,11 +377,16 @@ func ReplayLog(db *DB, path string) (uint64, error) {
 			torn = "undecodable payload"
 			break
 		}
-		if err := db.Apply(ev); err != nil {
-			return last, fmt.Errorf("warehouse: recover %s at LSN %d: %w", path, ev.LSN, err)
+		batch = append(batch, ev)
+		if len(batch) >= replayBatch {
+			if err := flush(); err != nil {
+				return last, err
+			}
 		}
-		last = ev.LSN
 		validOff = cr.off
+	}
+	if err := flush(); err != nil {
+		return last, err
 	}
 	if torn != "" {
 		mWALTruncated.Inc()

@@ -22,7 +22,7 @@ var emitBench = flag.Bool("emit-bench", false, "run the emitter tests and write 
 
 // chartServer builds a REST server over an instance holding queryFacts
 // aggregated job facts, with the query cache at its defaults.
-func chartServer(b *testing.B) *rest.Server {
+func chartServer(b testing.TB) *rest.Server {
 	b.Helper()
 	in := benchInstance(b)
 	st, err := in.Pipeline.IngestJobRecords(benchRecords(queryFacts))
