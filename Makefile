@@ -29,6 +29,7 @@ chaos:
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 20000x .
+	$(GO) test -run '^$$' -bench BenchmarkTelemetryOverhead -benchtime 500x .
 	$(GO) test -run '^$$' -bench 'BenchmarkChartQuery' -cpu 4 .
 	$(GO) test -run '^TestEmit.*BenchJSON$$' -emit-bench -timeout 30m .
 

@@ -53,9 +53,13 @@ func main() {
 		qcTTL       = flag.String("query-cache-ttl", "", "optional query-cache entry TTL, e.g. 30s (default none)")
 		aggInc      = flag.Bool("agg-incremental", true, "fold replicated inserts into hub aggregates at apply time")
 		aggWorkers  = flag.Int("agg-rebuild-workers", 0, "parallel scan workers for full re-aggregation (0 = one per CPU)")
+		traceCap    = flag.Int("trace-capacity", 0, "retained spans for /debug/traces (0 = config/default)")
+		scrapeIv    = flag.String("scrape-interval", "", "member telemetry scrape interval, e.g. 15s (default config/15s)")
 		loose       looseFlags
+		scrape      scrapeFlags
 	)
 	flag.Var(&loose, "loose", "load a loose dump: instance=path (repeatable)")
+	flag.Var(&scrape, "scrape", "scrape a member's telemetry: name=addr (repeatable)")
 	flag.Parse()
 	if *configPath == "" {
 		fatal(fmt.Errorf("-config is required"))
@@ -67,6 +71,7 @@ func main() {
 	}
 	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
 	applyAggFlags(&cfg, *aggInc, *aggWorkers)
+	applyTelemetryFlags(&cfg, *traceCap, *scrapeIv, scrape)
 	hub, err := core.NewHub(cfg)
 	if err != nil {
 		fatal(err)
@@ -111,6 +116,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if hub.Telemetry.Targets() > 0 {
+		go hub.Telemetry.Run(ctx)
+	}
 	srv := &http.Server{Addr: *listen, Handler: rest.NewHubServer(hub).Handler()}
 	go func() {
 		<-ctx.Done()
@@ -139,6 +147,42 @@ func applyCacheFlags(cfg *config.InstanceConfig, enable bool, maxBytes int64, tt
 		}
 	})
 	if err := cfg.QueryCache.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// scrapeFlags collects repeated -scrape name=addr flags.
+type scrapeFlags []string
+
+func (s *scrapeFlags) String() string { return strings.Join(*s, ",") }
+func (s *scrapeFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// applyTelemetryFlags layers the observability/telemetry command-line
+// knobs over the config file: only flags the operator actually set
+// override it, and -scrape targets add to the configured member list.
+func applyTelemetryFlags(cfg *config.InstanceConfig, traceCap int, scrapeIv string, scrape scrapeFlags) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "trace-capacity":
+			cfg.Observability.TraceCapacity = traceCap
+		case "scrape-interval":
+			cfg.Telemetry.ScrapeInterval = scrapeIv
+		}
+	})
+	for _, spec := range scrape {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || addr == "" {
+			fatal(fmt.Errorf("bad -scrape %q, want name=addr", spec))
+		}
+		cfg.Telemetry.Members = append(cfg.Telemetry.Members, config.TelemetryMember{Name: name, Addr: addr})
+	}
+	if err := cfg.Observability.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := cfg.Telemetry.Validate(); err != nil {
 		fatal(err)
 	}
 }

@@ -43,6 +43,7 @@ func main() {
 		qcTTL      = flag.String("query-cache-ttl", "", "optional query-cache entry TTL, e.g. 30s (default none)")
 		walFsync   = flag.String("wal-fsync", "", "WAL fsync policy: always, interval or none (default config/always)")
 		walFsyncIv = flag.String("wal-fsync-interval", "", "fsync timer for -wal-fsync=interval, e.g. 100ms")
+		traceCap   = flag.Int("trace-capacity", 0, "retained spans for /debug/traces (0 = config/default)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -55,6 +56,7 @@ func main() {
 	}
 	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
 	applyDurabilityFlags(&cfg, *walFsync, *walFsyncIv)
+	applyObsFlags(&cfg, *traceCap)
 	sat, err := core.NewSatellite(cfg)
 	if err != nil {
 		fatal(err)
@@ -145,6 +147,19 @@ func applyDurabilityFlags(cfg *config.InstanceConfig, fsync, interval string) {
 		}
 	})
 	if err := cfg.Durability.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyObsFlags layers the observability command-line knobs over the
+// config file: only flags the operator actually set override it.
+func applyObsFlags(cfg *config.InstanceConfig, traceCap int) {
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trace-capacity" {
+			cfg.Observability.TraceCapacity = traceCap
+		}
+	})
+	if err := cfg.Observability.Validate(); err != nil {
 		fatal(err)
 	}
 }

@@ -9,6 +9,7 @@
 package xdmodfed
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -96,7 +97,7 @@ func TestEmitColumnarBenchJSON(t *testing.T) {
 		for i := 0; i < n; i++ {
 			srv.Instance.DB.BumpEpoch()
 			start := time.Now()
-			if _, err := srv.QuerySeries("Jobs", chartReq, "", 0); err != nil {
+			if _, _, err := srv.QuerySeries(context.Background(), "Jobs", chartReq, "", 0); err != nil {
 				t.Fatal(err)
 			}
 			lat = append(lat, time.Since(start))

@@ -150,28 +150,42 @@ func (c *cell) value(m realm.Metric) float64 {
 	}
 }
 
+// QueryInfo carries per-query execution statistics alongside the
+// result, for the REST layer's explain output and slow-query log.
+type QueryInfo struct {
+	// RowsScanned counts live aggregate rows the scan visited (after
+	// tombstone skipping, before period/filter predicates).
+	RowsScanned int
+}
+
 // Query runs a request against the realm's aggregation tables. The
 // scan iterates the table's published columnar snapshot and takes no
 // lock at all: a rebuild or replication batch committing concurrently
 // swaps in a new snapshot without ever blocking (or being blocked by)
 // chart queries.
 func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
+	out, _, err := e.QueryStats(info, req)
+	return out, err
+}
+
+// QueryStats is Query plus execution statistics.
+func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, error) {
 	defer mQuerySeconds.With(info.Name).ObserveSince(time.Now())
 	metric, ok := info.Metric(req.MetricID)
 	if !ok {
-		return nil, BadRequestf("aggregate: realm %s has no metric %q", info.Name, req.MetricID)
+		return nil, QueryInfo{}, BadRequestf("aggregate: realm %s has no metric %q", info.Name, req.MetricID)
 	}
 	groupCol := ""
 	if req.GroupBy != "" {
 		d, ok := info.Dimension(req.GroupBy)
 		if !ok {
-			return nil, BadRequestf("aggregate: realm %s has no dimension %q", info.Name, req.GroupBy)
+			return nil, QueryInfo{}, BadRequestf("aggregate: realm %s has no dimension %q", info.Name, req.GroupBy)
 		}
 		groupCol = "dim_" + d.ID
 	}
 	for f := range req.Filters {
 		if _, ok := info.Dimension(f); !ok {
-			return nil, BadRequestf("aggregate: realm %s has no dimension %q (filter)", info.Name, f)
+			return nil, QueryInfo{}, BadRequestf("aggregate: realm %s has no dimension %q (filter)", info.Name, f)
 		}
 	}
 	if req.Period == 0 {
@@ -179,7 +193,7 @@ func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 	}
 	td, err := e.db.DataFor(AggSchema(info), AggTableName(info.FactTable, req.Period))
 	if err != nil {
-		return nil, err
+		return nil, QueryInfo{}, err
 	}
 
 	// Resolve every column the metric touches once, up front; the
@@ -312,7 +326,7 @@ rows:
 			N:         aggCells[g].n,
 		})
 	}
-	return out, nil
+	return out, QueryInfo{RowsScanned: scanned}, nil
 }
 
 // TopN returns the n groups with the largest aggregate value, largest

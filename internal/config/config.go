@@ -298,6 +298,116 @@ func (d DurabilityConfig) Validate() error {
 	return nil
 }
 
+// ObservabilityConfig tunes the instance's tracing and slow-query
+// diagnostics. The zero value means "defaults": 256 retained spans,
+// 128 slow-log entries, every query recorded. Correctness never
+// depends on these knobs; they bound how much diagnostic history the
+// process retains.
+type ObservabilityConfig struct {
+	// TraceCapacity is how many completed spans the process retains for
+	// GET /debug/traces. 0 uses the default (256). Busy hubs stitching
+	// federated traces typically raise it.
+	TraceCapacity int `json:"trace_capacity,omitempty"`
+	// SlowQueryCapacity is how many entries the chart slow-query ring
+	// (GET /debug/slowlog) retains. 0 uses the default (128).
+	SlowQueryCapacity int `json:"slow_query_capacity,omitempty"`
+	// SlowQueryThreshold records only queries at least this slow, in Go
+	// duration syntax ("50ms"). Empty records every query.
+	SlowQueryThreshold string `json:"slow_query_threshold,omitempty"`
+}
+
+// SlowQueryThresholdDuration parses the threshold; empty means 0
+// (record everything).
+func (o ObservabilityConfig) SlowQueryThresholdDuration() (time.Duration, error) {
+	if o.SlowQueryThreshold == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(o.SlowQueryThreshold)
+	if err != nil {
+		return 0, fmt.Errorf("config: invalid observability slow_query_threshold %q: %w", o.SlowQueryThreshold, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("config: observability slow_query_threshold must not be negative, got %q", o.SlowQueryThreshold)
+	}
+	return d, nil
+}
+
+// Validate checks the observability knobs.
+func (o ObservabilityConfig) Validate() error {
+	if o.TraceCapacity < 0 {
+		return fmt.Errorf("config: observability trace_capacity must not be negative")
+	}
+	if o.SlowQueryCapacity < 0 {
+		return fmt.Errorf("config: observability slow_query_capacity must not be negative")
+	}
+	if _, err := o.SlowQueryThresholdDuration(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TelemetryMember names one member instance whose /metrics and
+// /healthz a hub scrapes.
+type TelemetryMember struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"` // REST address, "host:port" or full URL
+}
+
+// TelemetryConfig tunes the hub's telemetry federation: scraping each
+// member's /metrics and /healthz and re-exporting them centrally. With
+// no members listed, nothing is scraped (targets may still be added at
+// runtime, e.g. by the hub daemon's -scrape flag).
+type TelemetryConfig struct {
+	// ScrapeInterval paces member telemetry scrapes. Empty uses the
+	// default (15s).
+	ScrapeInterval string `json:"scrape_interval,omitempty"`
+	// ScrapeTimeout bounds one member scrape HTTP round trip. Empty
+	// uses the default (5s).
+	ScrapeTimeout string `json:"scrape_timeout,omitempty"`
+	// Members are the instances to scrape.
+	Members []TelemetryMember `json:"members,omitempty"`
+}
+
+// Telemetry knob defaults.
+const (
+	DefaultScrapeInterval = 15 * time.Second
+	DefaultScrapeTimeout  = 5 * time.Second
+)
+
+// ScrapeIntervalDuration parses the scrape-interval knob.
+func (t TelemetryConfig) ScrapeIntervalDuration() (time.Duration, error) {
+	return parseDuration("telemetry scrape_interval", t.ScrapeInterval, DefaultScrapeInterval)
+}
+
+// ScrapeTimeoutDuration parses the scrape-timeout knob.
+func (t TelemetryConfig) ScrapeTimeoutDuration() (time.Duration, error) {
+	return parseDuration("telemetry scrape_timeout", t.ScrapeTimeout, DefaultScrapeTimeout)
+}
+
+// Validate checks the telemetry knobs.
+func (t TelemetryConfig) Validate() error {
+	if _, err := t.ScrapeIntervalDuration(); err != nil {
+		return err
+	}
+	if _, err := t.ScrapeTimeoutDuration(); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, m := range t.Members {
+		if m.Name == "" {
+			return fmt.Errorf("config: telemetry member missing name")
+		}
+		if m.Addr == "" {
+			return fmt.Errorf("config: telemetry member %q missing addr", m.Name)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("config: telemetry member %q listed twice", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return nil
+}
+
 // SSOSource names one single-sign-on provider an instance trusts.
 type SSOSource struct {
 	Name     string `json:"name"`     // e.g. "shibboleth", "globus", "keycloak", "ldap"
@@ -334,6 +444,12 @@ type InstanceConfig struct {
 	// Durability tunes the satellite write-ahead log's fsync policy;
 	// the zero value fsyncs on every batch.
 	Durability DurabilityConfig `json:"durability,omitempty"`
+	// Observability tunes span retention and the chart slow-query log;
+	// the zero value uses safe defaults.
+	Observability ObservabilityConfig `json:"observability,omitempty"`
+	// Telemetry configures hub-side scraping of member /metrics and
+	// /healthz; the zero value scrapes nothing.
+	Telemetry TelemetryConfig `json:"telemetry,omitempty"`
 }
 
 // Validate checks the whole instance configuration.
@@ -384,6 +500,12 @@ func (c InstanceConfig) Validate() error {
 		return err
 	}
 	if err := c.Durability.Validate(); err != nil {
+		return err
+	}
+	if err := c.Observability.Validate(); err != nil {
+		return err
+	}
+	if err := c.Telemetry.Validate(); err != nil {
 		return err
 	}
 	return nil

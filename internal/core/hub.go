@@ -72,6 +72,12 @@ type Hub struct {
 	Positions *replicate.PositionStore
 	Identity  *auth.IdentityMap
 
+	// Telemetry scrapes member /metrics and /healthz endpoints and
+	// re-exports them on the hub (telemetry federation). Always non-nil
+	// on a hub; it scrapes nothing until targets are configured. The
+	// daemon starts its loop with Telemetry.Run.
+	Telemetry *obs.Federator
+
 	// Faults, when set before Listen, injects connection faults on
 	// every replication conn the hub accepts (chaos tests only).
 	Faults *faults.Registry
@@ -130,10 +136,23 @@ func NewHub(cfg config.InstanceConfig) (*Hub, error) {
 	if err != nil {
 		return nil, err
 	}
+	scrapeInterval, err := cfg.Telemetry.ScrapeIntervalDuration()
+	if err != nil {
+		return nil, err
+	}
+	scrapeTimeout, err := cfg.Telemetry.ScrapeTimeoutDuration()
+	if err != nil {
+		return nil, err
+	}
+	var targets []obs.MemberTarget
+	for _, m := range cfg.Telemetry.Members {
+		targets = append(targets, obs.MemberTarget{Name: m.Name, Addr: m.Addr})
+	}
 	h := &Hub{
 		Instance:      in,
 		Positions:     ps,
 		Identity:      auth.NewIdentityMap(),
+		Telemetry:     obs.NewFederator(targets, scrapeInterval, scrapeTimeout),
 		now:           time.Now,
 		members:       make(map[string]*Member),
 		realms:        make(map[string]*realmAggState),
@@ -235,7 +254,16 @@ type realmDelta struct {
 // chart query after a batch pays O(batch) instead of O(all facts);
 // non-additive mutations mark just their realm dirty for rebuild.
 func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event) error {
-	_, sp := obs.StartSpan(context.Background(), "hub.ApplyBatch")
+	return h.ApplyBatchCtx(context.Background(), instance, upTo, events)
+}
+
+// ApplyBatchCtx implements replicate.ContextSink: when ctx carries the
+// replication frame's trace context, the apply span (and the fold
+// spans under it) join the satellite's trace, so one TraceID covers
+// the ingest commit, the replication send, the hub apply and the
+// incremental aggregation fold across both processes.
+func (h *Hub) ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, events []warehouse.Event) error {
+	sctx, sp := obs.StartSpan(ctx, "hub.ApplyBatch")
 	sp.SetAttr("instance", instance)
 	defer sp.End()
 	defer mHubBatchSeconds.ObserveSince(time.Now())
@@ -307,7 +335,11 @@ func (h *Hub) ApplyBatch(instance string, upTo uint64, events []warehouse.Event)
 	h.mu.Unlock()
 
 	for _, d := range folds {
+		_, fsp := obs.StartSpan(sctx, "hub.IncrementalFold")
+		fsp.SetAttr("realm", d.info.Name)
+		fsp.SetAttr("rows", fmt.Sprintf("%d", len(d.rows)))
 		_, err := h.Engine.ApplyFactRows(d.info, d.schema, d.rows)
+		fsp.End()
 		h.mu.Lock()
 		st := h.realmStateLocked(d.info.Name)
 		st.folding--

@@ -89,6 +89,11 @@ func NewInstance(cfg config.InstanceConfig) (*Instance, error) {
 	if cfg.Version == "" {
 		cfg.Version = Version
 	}
+	if n := cfg.Observability.TraceCapacity; n > 0 {
+		// Process-wide: the last instance constructed wins, which is the
+		// normal one-instance-per-process deployment.
+		obs.DefaultTracer.SetCapacity(n)
+	}
 	db := warehouse.Open(cfg.Name)
 
 	conv := su.NewConverter()
@@ -180,6 +185,16 @@ func (in *Instance) Query(realmName string, req aggregate.Request) ([]aggregate.
 		return nil, aggregate.BadRequestf("core: instance %s has no realm %q", in.Config.Name, realmName)
 	}
 	return in.Engine.Query(info, req)
+}
+
+// QueryStats is Query plus per-query execution statistics (rows
+// scanned), for the REST layer's explain and slow-query log.
+func (in *Instance) QueryStats(realmName string, req aggregate.Request) ([]aggregate.Series, aggregate.QueryInfo, error) {
+	info, ok := in.Registry.Get(realmName)
+	if !ok {
+		return nil, aggregate.QueryInfo{}, aggregate.BadRequestf("core: instance %s has no realm %q", in.Config.Name, realmName)
+	}
+	return in.Engine.QueryStats(info, req)
 }
 
 // AggregateAll (re)aggregates every realm from the instance's own raw

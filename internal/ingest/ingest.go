@@ -109,6 +109,9 @@ func (p *Pipeline) IngestJobRecords(recs []shredder.JobRecord) (Stats, error) {
 	}
 	if st.Ingested > 0 {
 		p.DB.BumpEpoch() // invalidate cached chart results
+		// Mark the binlog with this ingest's trace context, so the
+		// replication send and the hub apply join the same trace.
+		p.DB.Binlog().NoteTrace(sp.TraceParent())
 	}
 	return st, nil
 }
@@ -171,6 +174,9 @@ func (p *Pipeline) IngestCloudEvents(events []cloud.Event, horizon time.Time) (S
 	}
 	if err := p.RebuildCloudSessions(horizon); err != nil {
 		return st, err
+	}
+	if st.Ingested > 0 {
+		p.DB.Binlog().NoteTrace(sp.TraceParent())
 	}
 	return st, nil
 }
@@ -278,6 +284,7 @@ func (p *Pipeline) IngestStorageSnapshots(snaps []storage.Snapshot) (Stats, erro
 	}
 	if st.Ingested > 0 {
 		p.DB.BumpEpoch()
+		p.DB.Binlog().NoteTrace(sp.TraceParent())
 	}
 	return st, nil
 }

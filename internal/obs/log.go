@@ -5,6 +5,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 	"sync/atomic"
 )
 
@@ -46,13 +47,13 @@ func SetLogLevel(l slog.Level) { logLevel.Set(l) }
 
 // dynHandler is a slog.Handler that resolves the root handler at
 // Handle time, so SetLogOutput/SetLogLevel affect loggers created
-// before the call. Groups are flattened into attr keys by slog itself
-// before reaching us only for the text/JSON handlers, so WithGroup is
-// delegated by prefixing — kept minimal: group names are dropped and
-// attrs applied flat, which is sufficient for this codebase's flat
-// key/value logging style.
+// before the call. Open groups are flattened into dotted attr-key
+// prefixes ("rep.hub") rather than delegated to the root handler —
+// the root handler changes underneath us, so group state must live
+// here, applied uniformly to WithAttrs attrs and record attrs alike.
 type dynHandler struct {
-	attrs []slog.Attr
+	groups []string // open WithGroup names, outermost first
+	attrs  []slog.Attr
 }
 
 func (d dynHandler) Enabled(_ context.Context, l slog.Level) bool {
@@ -64,17 +65,45 @@ func (d dynHandler) Handle(ctx context.Context, r slog.Record) error {
 	if len(d.attrs) > 0 {
 		h = h.WithAttrs(d.attrs)
 	}
+	if len(d.groups) > 0 && r.NumAttrs() > 0 {
+		// Attrs passed at the log call site land inside the open groups
+		// too, so rebuild the record with prefixed keys.
+		nr := slog.NewRecord(r.Time, r.Level, r.Message, r.PC)
+		r.Attrs(func(a slog.Attr) bool {
+			nr.AddAttrs(d.qualify(a))
+			return true
+		})
+		r = nr
+	}
 	return h.Handle(ctx, r)
 }
 
 func (d dynHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
 	merged := make([]slog.Attr, 0, len(d.attrs)+len(attrs))
 	merged = append(merged, d.attrs...)
-	merged = append(merged, attrs...)
-	return dynHandler{attrs: merged}
+	for _, a := range attrs {
+		merged = append(merged, d.qualify(a))
+	}
+	return dynHandler{groups: d.groups, attrs: merged}
 }
 
-func (d dynHandler) WithGroup(string) slog.Handler { return d }
+func (d dynHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return d // slog spec: inline the group
+	}
+	groups := make([]string, 0, len(d.groups)+1)
+	groups = append(groups, d.groups...)
+	groups = append(groups, name)
+	return dynHandler{groups: groups, attrs: d.attrs}
+}
+
+// qualify prefixes an attr key with the open group path.
+func (d dynHandler) qualify(a slog.Attr) slog.Attr {
+	if len(d.groups) == 0 || a.Equal(slog.Attr{}) {
+		return a
+	}
+	return slog.Attr{Key: strings.Join(d.groups, ".") + "." + a.Key, Value: a.Value}
+}
 
 // Logger returns the structured logger for one component (e.g.
 // "rest", "replicate", "warehouse").

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestLoggerWithGroup is the regression test for dynHandler dropping
+// slog group names: WithGroup must qualify both With-attached attrs
+// and attrs passed at the log call site, while attrs attached before
+// the group stay unqualified.
+func TestLoggerWithGroup(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf, false)
+	defer SetLogOutput(os.Stderr, false)
+
+	log := Logger("grouped").WithGroup("rep").With("hub", "h1")
+	log.Info("sending", "events", 7)
+	out := buf.String()
+	for _, want := range []string{"component=grouped", "rep.hub=h1", "rep.events=7", "sending"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q: %q", want, out)
+		}
+	}
+	if strings.Contains(out, "rep.component") {
+		t.Errorf("pre-group attr was qualified: %q", out)
+	}
+
+	// Nested groups compose into a dotted path, and the grouping
+	// survives a root-handler swap (the whole point of dynHandler).
+	buf.Reset()
+	SetLogOutput(&buf, true)
+	nested := Logger("grouped").WithGroup("rep").WithGroup("batch").With("n", 3)
+	nested.Warn("slow", "ms", 12.5)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log not parseable: %v (%q)", err, buf.String())
+	}
+	if rec["rep.batch.n"] != float64(3) || rec["rep.batch.ms"] != 12.5 || rec["component"] != "grouped" {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	// Empty group names are inlined per the slog contract.
+	buf.Reset()
+	SetLogOutput(&buf, false)
+	Logger("grouped").WithGroup("").Info("plain", "k", "v")
+	if out := buf.String(); !strings.Contains(out, " k=v") {
+		t.Fatalf("empty group qualified attrs: %q", out)
+	}
+}

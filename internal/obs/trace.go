@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,9 +14,12 @@ import (
 // Lightweight pipeline tracing: StartSpan opens a span whose ID
 // propagates through the context, so nested stages (REST request →
 // hub apply → aggregation) link up into one trace. Finished spans land
-// in a fixed-size ring buffer served by GET /debug/traces. This is
-// deliberately not a distributed tracer — it answers "what did this
-// process spend its time on recently" with zero dependencies.
+// in a fixed-size ring buffer served by GET /debug/traces. Spans cross
+// process boundaries through a W3C-style traceparent wire form (see
+// tracectx.go): a remote parent installed with ContextWithTraceParent
+// makes the next StartSpan a child of the remote span, so a satellite
+// ingest, its replication send, and the hub apply share one TraceID —
+// still with zero dependencies.
 
 // Span is one timed operation. Exported fields are the JSON shape
 // served by /debug/traces.
@@ -46,8 +50,48 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{buf: make([]Span, capacity)}
 }
 
+// DefaultTraceCapacity is the span retention of DefaultTracer unless
+// reconfigured (config observability.trace_capacity, -trace-capacity).
+const DefaultTraceCapacity = 256
+
 // DefaultTracer receives spans from StartSpan.
-var DefaultTracer = NewTracer(256)
+var DefaultTracer = NewTracer(DefaultTraceCapacity)
+
+// SetCapacity resizes the ring buffer, preserving the most recent
+// spans that fit. A busy hub stitching federated traces can raise it
+// so remote halves are still retained when the operator looks.
+func (t *Tracer) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if capacity == len(t.buf) {
+		return
+	}
+	keep := t.n
+	if keep > len(t.buf) {
+		keep = len(t.buf)
+	}
+	if keep > capacity {
+		keep = capacity
+	}
+	nb := make([]Span, capacity)
+	// Repack newest-first into chronological order starting at slot 0,
+	// so record() and Recent() keep working off the reset counter.
+	for i := 0; i < keep; i++ {
+		nb[keep-1-i] = t.buf[(t.n-1-i)%len(t.buf)]
+	}
+	t.buf = nb
+	t.n = keep
+}
+
+// Capacity returns the ring buffer's span retention.
+func (t *Tracer) Capacity() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
 
 func (t *Tracer) record(s Span) {
 	t.mu.Lock()
@@ -67,6 +111,28 @@ func (t *Tracer) Recent() []Span {
 	out := make([]Span, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, t.buf[(t.n-1-i)%len(t.buf)])
+	}
+	return out
+}
+
+// Filter returns retained spans, newest first, keeping those whose
+// TraceID equals traceID (when non-empty) and whose Name contains
+// nameSub (when non-empty), up to limit (0 = unlimited). It backs the
+// ?trace_id=/?name=/?limit= parameters of GET /debug/traces, which let
+// a federated trace be stitched from both processes' rings.
+func (t *Tracer) Filter(traceID, nameSub string, limit int) []Span {
+	var out []Span
+	for _, s := range t.Recent() {
+		if traceID != "" && s.TraceID != traceID {
+			continue
+		}
+		if nameSub != "" && !strings.Contains(s.Name, nameSub) {
+			continue
+		}
+		out = append(out, s)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	return out
 }
@@ -109,6 +175,11 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
 		s.TraceID = parent.TraceID
 		s.ParentID = parent.SpanID
+	} else if rp, ok := ctx.Value(remoteCtxKey{}).(remoteParent); ok {
+		// A traceparent arrived over the wire (HTTP header or a
+		// replication frame): adopt its trace and parent under it.
+		s.TraceID = rp.traceID
+		s.ParentID = rp.spanID
 	} else {
 		s.TraceID = newID()
 	}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"strings"
+)
+
+// Cross-process trace propagation: a span context travels between
+// processes as a W3C-trace-context-style traceparent string,
+//
+//	00-<32 hex trace id>-<16 hex span id>-01
+//
+// emitted and accepted as the `traceparent` HTTP header by the REST
+// layer and carried in the replication protocol's hello/helloAck/batch
+// frames. This process's span IDs are unpadded lowercase-hex uint64s,
+// so they are zero-padded on emit and the padding stripped on parse —
+// the round trip is exact because FormatUint never emits leading
+// zeros.
+
+// traceParentVersion is the only version this codebase emits. Any
+// parseable version except the reserved "ff" is accepted.
+const traceParentVersion = "00"
+
+// TraceParent renders the span's context in wire form; "" on a nil
+// span (instrumentation disabled).
+func (s *Span) TraceParent() string {
+	if s == nil {
+		return ""
+	}
+	return traceParentVersion + "-" + padHex(s.TraceID, 32) + "-" + padHex(s.SpanID, 16) + "-01"
+}
+
+// TraceParent returns the wire form of the trace context carried by
+// ctx: the local span's, or a remote parent's (re-encoded), or "".
+func TraceParent(ctx context.Context) string {
+	if s := SpanFrom(ctx); s != nil {
+		return s.TraceParent()
+	}
+	if rp, ok := ctx.Value(remoteCtxKey{}).(remoteParent); ok {
+		return traceParentVersion + "-" + padHex(rp.traceID, 32) + "-" + padHex(rp.spanID, 16) + "-01"
+	}
+	return ""
+}
+
+type remoteCtxKey struct{}
+
+// remoteParent is a span context received over the wire; StartSpan
+// parents under it when the context carries no local span.
+type remoteParent struct {
+	traceID string
+	spanID  string
+}
+
+// ContextWithTraceParent installs a wire-form trace context as the
+// remote parent for the next StartSpan. A malformed or empty tp
+// returns ctx unchanged, so callers can pass untrusted header values
+// straight through.
+func ContextWithTraceParent(ctx context.Context, tp string) context.Context {
+	traceID, spanID, ok := ParseTraceParent(tp)
+	if !ok {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, remoteParent{traceID: traceID, spanID: spanID})
+}
+
+// ParseTraceParent splits and validates a traceparent string,
+// returning the trace and span IDs in this process's unpadded form.
+func ParseTraceParent(tp string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 {
+		return "", "", false
+	}
+	version, tid, sid, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || version == "ff" {
+		return "", "", false
+	}
+	if len(tid) != 32 || !isHex(tid) || len(sid) != 16 || !isHex(sid) {
+		return "", "", false
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return "", "", false
+	}
+	traceID, spanID = trimHex(tid), trimHex(sid)
+	if traceID == "0" || spanID == "0" {
+		return "", "", false // all-zero IDs are invalid per W3C
+	}
+	return traceID, spanID, true
+}
+
+func padHex(id string, width int) string {
+	if len(id) >= width {
+		return id
+	}
+	return strings.Repeat("0", width-len(id)) + id
+}
+
+func trimHex(id string) string {
+	id = strings.TrimLeft(id, "0")
+	if id == "" {
+		return "0"
+	}
+	return id
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

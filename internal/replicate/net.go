@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,10 @@ func isTimeout(err error) bool {
 type hello struct {
 	Instance string
 	Version  string
+	// Trace is the satellite handshake span's wire-form trace context
+	// (obs traceparent). Optional: gob omits the zero value, so old
+	// peers interoperate and an empty string means "no trace".
+	Trace string
 }
 
 type helloAck struct {
@@ -89,6 +94,9 @@ type helloAck struct {
 	// Heartbeat is the hub's heartbeat interval; the satellite adopts
 	// it (zero from an old hub means DefaultHeartbeatInterval).
 	Heartbeat time.Duration
+	// Trace is the hub accept span's trace context (optional; joins the
+	// satellite's handshake trace when hello carried one).
+	Trace string
 }
 
 type batch struct {
@@ -97,6 +105,12 @@ type batch struct {
 	// HB marks an empty keep-alive frame sent while the satellite has
 	// nothing to replicate; the hub ignores it (no ack, no apply).
 	HB bool
+	// Trace is the sending span's trace context, itself parented under
+	// the ingest that produced the batch's newest events (when the
+	// binlog retains that mark) — the hub apply joins it, so one
+	// TraceID spans ingest → send → apply → fold across processes.
+	// Optional; zero value = absent.
+	Trace string
 }
 
 type ack struct {
@@ -153,6 +167,17 @@ type Sink interface {
 	// ApplyBatch applies events from instance and durably records upTo
 	// as its new commit position.
 	ApplyBatch(instance string, upTo uint64, events []warehouse.Event) error
+}
+
+// ContextSink is an optional Sink extension: a sink whose apply
+// accepts the incoming batch's trace context. The receiver prefers it
+// when implemented, so the hub's apply span joins the satellite's
+// trace instead of starting a fresh one.
+type ContextSink interface {
+	Sink
+	// ApplyBatchCtx is ApplyBatch with the batch frame's trace context
+	// installed in ctx (obs.ContextWithTraceParent).
+	ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, events []warehouse.Event) error
 }
 
 // Receiver accepts tight-replication connections on the hub.
@@ -238,24 +263,38 @@ func (r *Receiver) serve(conn net.Conn) {
 	if err := dec.Decode(&h); err != nil {
 		return
 	}
+	// The accept span joins the satellite's handshake trace when the
+	// hello carried one, so a refused connect is visible on both rings.
+	hctx, hsp := obs.StartSpan(
+		obs.ContextWithTraceParent(context.Background(), h.Trace), "replicate.accept")
+	hsp.SetAttr("instance", h.Instance)
 	if h.Version != r.Version {
 		send(helloAck{OK: false, Err: fmt.Sprintf(
 			"version mismatch: hub runs %q, instance %q runs %q (each instance must run the same version)",
 			r.Version, h.Instance, h.Version)})
+		hsp.SetAttr("rejected", "version")
+		hsp.End()
 		return
 	}
 	if r.Authorize != nil {
 		if err := r.Authorize(h.Instance); err != nil {
 			send(rejection(err))
+			hsp.SetAttr("rejected", err.Error())
+			hsp.End()
 			return
 		}
 	}
 	resume, err := r.Sink.Resume(h.Instance)
 	if err != nil {
 		send(rejection(err))
+		hsp.SetAttr("rejected", err.Error())
+		hsp.End()
 		return
 	}
-	if err := send(helloAck{OK: true, Resume: resume, Heartbeat: hb}); err != nil {
+	ackErr := send(helloAck{OK: true, Resume: resume, Heartbeat: hb, Trace: obs.TraceParent(hctx)})
+	hsp.SetAttr("resume", strconv.FormatUint(resume, 10))
+	hsp.End()
+	if ackErr != nil {
 		return
 	}
 
@@ -302,7 +341,16 @@ func (r *Receiver) serve(conn net.Conn) {
 		if b.HB {
 			continue // satellite keep-alive
 		}
-		if err := r.Sink.ApplyBatch(h.Instance, b.UpTo, b.Events); err != nil {
+		var err error
+		if cs, ok := r.Sink.(ContextSink); ok {
+			// Hand the frame's trace context to the sink so its apply
+			// span continues the satellite's trace.
+			actx := obs.ContextWithTraceParent(context.Background(), b.Trace)
+			err = cs.ApplyBatchCtx(actx, h.Instance, b.UpTo, b.Events)
+		} else {
+			err = r.Sink.ApplyBatch(h.Instance, b.UpTo, b.Events)
+		}
+		if err != nil {
 			repLog.Warn("replication batch rejected",
 				"instance", h.Instance, "up_to", b.UpTo, "err", err)
 			return
@@ -394,13 +442,20 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 	enc := gob.NewEncoder(&countingWriter{w: conn, c: mSentBytes.With(s.Instance)})
 	dec := gob.NewDecoder(conn)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
-	if err := enc.Encode(hello{Instance: s.Instance, Version: s.Version}); err != nil {
+	hctx, hsp := obs.StartSpan(ctx, "replicate.handshake")
+	hsp.SetAttr("instance", s.Instance)
+	hsp.SetAttr("hub", hubAddr)
+	if err := enc.Encode(hello{Instance: s.Instance, Version: s.Version, Trace: obs.TraceParent(hctx)}); err != nil {
+		hsp.End()
 		return err
 	}
 	var ha helloAck
 	if err := dec.Decode(&ha); err != nil {
+		hsp.End()
 		return err
 	}
+	hsp.SetAttr("ok", strconv.FormatBool(ha.OK))
+	hsp.End()
 	if !ha.OK {
 		if ha.RetryAfter > 0 {
 			return &RetryAfterError{After: ha.RetryAfter, Reason: ha.Err}
@@ -488,8 +543,17 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 			return err
 		}
 		out, upTo := s.Rewriter.ProcessBatch(evs)
+		// Parent the send span under the ingest that produced the
+		// newest events in this range, when the binlog retains that
+		// mark; the frame carries the span's context to the hub.
+		sctx := obs.ContextWithTraceParent(context.Background(), s.DB.Binlog().TraceBetween(pos, upTo))
+		sctx, ssp := obs.StartSpan(sctx, "replicate.send")
+		ssp.SetAttr("instance", s.Instance)
+		ssp.SetAttr("events", strconv.Itoa(len(out)))
 		conn.SetWriteDeadline(time.Now().Add(writeTimeout(hb)))
-		if err := enc.Encode(batch{UpTo: upTo, Events: out}); err != nil {
+		err = enc.Encode(batch{UpTo: upTo, Events: out, Trace: obs.TraceParent(sctx)})
+		ssp.End()
+		if err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}

@@ -1,6 +1,7 @@
 package rest
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -52,7 +53,14 @@ func (s *Server) handle(mux *http.ServeMux, pattern string, fn http.HandlerFunc)
 	}
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx, sp := obs.StartSpan(r.Context(), "http "+pattern)
+		// Cross-process trace propagation: adopt the caller's traceparent
+		// (if any) so the request span joins its trace, and echo our span
+		// back so the caller can stitch the two sides together.
+		ctx := obs.ContextWithTraceParent(r.Context(), r.Header.Get("traceparent"))
+		ctx, sp := obs.StartSpan(ctx, "http "+pattern)
+		if tp := sp.TraceParent(); tp != "" {
+			w.Header().Set("traceparent", tp)
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		fn(rec, r.WithContext(ctx))
 		code := strconv.Itoa(rec.code)
@@ -63,12 +71,15 @@ func (s *Server) handle(mux *http.ServeMux, pattern string, fn http.HandlerFunc)
 	})
 }
 
-// registerObsHandlers adds /metrics, /healthz, /debug/traces and
-// (when configured) the pprof handlers.
+// registerObsHandlers adds /metrics, /healthz, /debug/traces,
+// /debug/slowlog, the hub's /api/federation/telemetry and (when
+// configured) the pprof handlers.
 func (s *Server) registerObsHandlers(mux *http.ServeMux) {
 	s.handle(mux, "GET /metrics", s.handleMetrics)
 	s.handle(mux, "GET /healthz", s.handleHealthz)
 	s.handle(mux, "GET /debug/traces", s.handleTraces)
+	s.handle(mux, "GET /debug/slowlog", s.handleSlowlog)
+	s.handle(mux, "GET /api/federation/telemetry", s.handleFederationTelemetry)
 	if s.Instance.Config.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -82,7 +93,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.ContentType)
 	if err := obs.Default.Render(w); err != nil {
 		restLog.Error("metrics render failed", "err", err)
+		return
 	}
+	// A hub additionally re-exports every scraped member series with a
+	// `member` label (telemetry federation). Member families are
+	// rewritten to xdmodfed_member_* so they cannot collide with the
+	// hub's own series above.
+	if s.Hub != nil && s.Hub.Telemetry != nil {
+		if err := s.Hub.Telemetry.Render(w); err != nil {
+			restLog.Error("federated metrics render failed", "err", err)
+		}
+	}
+}
+
+// handleFederationTelemetry serves the hub's JSON telemetry rollup:
+// per-member reachability, scrape latency, staleness and key gauges.
+func (s *Server) handleFederationTelemetry(w http.ResponseWriter, r *http.Request) {
+	if s.Hub == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("this instance is not a federation hub"))
+		return
+	}
+	members := s.Hub.Telemetry.Snapshot()
+	up := 0
+	for _, m := range members {
+		if m.Up {
+			up++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hub":                     s.Instance.Config.Name,
+		"scrape_interval_seconds": s.Hub.Telemetry.Interval().Seconds(),
+		"members_total":           len(members),
+		"members_up":              up,
+		"members":                 members,
+	})
 }
 
 // healthzResponse is the /healthz document. Satellites report sender
@@ -177,9 +221,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleTraces serves retained spans, newest first:
+//
+//	GET /debug/traces?trace_id=<hex>&name=<substring>&limit=20
+//
+// trace_id selects one distributed trace (exact match); name filters
+// by span-name substring. Both combine with limit.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	limit := 0
-	if v := r.URL.Query().Get("limit"); v != "" {
+	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
 			writeErr(w, http.StatusBadRequest, errBadLimit(v))
@@ -187,10 +238,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	spans := obs.DefaultTracer.Recent()
-	if limit > 0 && limit < len(spans) {
-		spans = spans[:limit]
-	}
+	spans := obs.DefaultTracer.Filter(q.Get("trace_id"), q.Get("name"), limit)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"enabled": obs.Enabled(),
 		"count":   len(spans),

@@ -7,6 +7,7 @@
 package rest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/chart"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
 	"xdmodfed/internal/qcache"
 )
 
@@ -31,9 +33,20 @@ type Server struct {
 	// cache holds fully post-processed chart results (after rollup and
 	// top-N), keyed by the canonical request and invalidated by the
 	// warehouse epoch. nil when disabled in the instance config.
-	cache *qcache.Cache[[]aggregate.Series]
+	cache *qcache.Cache[chartResult]
+
+	// slow is the bounded slow-query ring behind GET /debug/slowlog.
+	slow *slowLog
 
 	started time.Time
+}
+
+// chartResult is the cached unit of one chart query: the
+// post-processed series plus the execution statistics of the compute
+// that produced them, so a cache hit can still report rows scanned.
+type chartResult struct {
+	Series      []aggregate.Series
+	RowsScanned int
 }
 
 // newServer wires the shared parts of every server flavour, including
@@ -49,12 +62,20 @@ func newServer(in *core.Instance) *Server {
 			restLog.Warn("ignoring invalid query_cache ttl", "ttl", qc.TTL, "err", err)
 			ttl = 0
 		}
-		s.cache = qcache.New[[]aggregate.Series](qcache.Config{
+		s.cache = qcache.New[chartResult](qcache.Config{
 			Name:     in.Config.Name,
 			MaxBytes: qc.MaxBytes,
 			TTL:      ttl,
-		}, seriesBytes)
+		}, chartResultBytes)
 	}
+	oc := in.Config.Observability
+	threshold, err := oc.SlowQueryThresholdDuration()
+	if err != nil {
+		// Validated at load time; fail safe on hand-built configs.
+		restLog.Warn("ignoring invalid observability slow_query_threshold", "threshold", oc.SlowQueryThreshold, "err", err)
+		threshold = 0
+	}
+	s.slow = newSlowLog(oc.SlowQueryCapacity, threshold)
 	return s
 }
 
@@ -230,6 +251,9 @@ type chartResponse struct {
 	Metric string           `json:"metric"`
 	Period string           `json:"period"`
 	Series []seriesResponse `json:"series"`
+	// Explain carries the query's execution statistics when the request
+	// asked for them with ?explain=1.
+	Explain *QueryStat `json:"explain,omitempty"`
 }
 
 type seriesResponse struct {
@@ -312,7 +336,7 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request, _ auth.Sess
 		}
 	}
 
-	series, err := s.QuerySeries(realmName, req, rollup, top)
+	series, stat, err := s.QuerySeries(r.Context(), realmName, req, rollup, top)
 	if err != nil {
 		// A malformed request (unknown realm, metric, dimension…) is the
 		// client's fault; anything else — aggregation-table corruption,
@@ -334,6 +358,9 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request, _ auth.Sess
 	switch q.Get("format") {
 	case "", "json":
 		resp := chartResponse{Realm: realmName, Metric: req.MetricID, Period: req.Period.String()}
+		if q.Get("explain") == "1" {
+			resp.Explain = &stat
+		}
 		for _, ser := range series {
 			sr := seriesResponse{Group: ser.Group, Aggregate: ser.Aggregate, N: ser.N}
 			for _, pt := range ser.Points {
@@ -378,28 +405,63 @@ func parseKey(s string) (int64, error) {
 // epoch observed here proves the aggregates already reflect every
 // write that preceded it, and the entry stored under it can be served
 // until the next write bumps the epoch.
-func (s *Server) QuerySeries(realmName string, req aggregate.Request, rollup string, top int) ([]aggregate.Series, error) {
+// The returned QueryStat describes how the query ran — duration, rows
+// scanned, cache outcome, snapshot epoch — and has already been
+// recorded into the RED metrics and the slow-query ring; ctx supplies
+// the trace the stat is attributed to.
+func (s *Server) QuerySeries(ctx context.Context, realmName string, req aggregate.Request, rollup string, top int) ([]aggregate.Series, QueryStat, error) {
+	start := time.Now()
+	stat := QueryStat{
+		Time:    start.UTC(),
+		Realm:   realmName,
+		Metric:  req.MetricID,
+		GroupBy: req.GroupBy,
+		Period:  req.Period.String(),
+		Start:   req.StartKey,
+		End:     req.EndKey,
+		Filters: req.Filters,
+		Rollup:  rollup,
+		Top:     top,
+		Cache:   "off",
+	}
+	if tid, _, ok := obs.ParseTraceParent(obs.TraceParent(ctx)); ok {
+		stat.TraceID = tid
+	}
+	finish := func(err error) {
+		stat.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			stat.Error = err.Error()
+		}
+		s.observeQuery(stat)
+	}
 	if s.Hub != nil {
 		if err := s.Hub.EnsureAggregated(); err != nil {
-			return nil, err
+			finish(err)
+			return nil, stat, err
 		}
 	}
 	if s.cache == nil {
-		return s.computeSeries(realmName, req, rollup, top)
+		res, err := s.computeSeries(realmName, req, rollup, top)
+		stat.RowsScanned = res.RowsScanned
+		finish(err)
+		return res.Series, stat, err
 	}
-	epoch := s.Instance.DB.Epoch()
-	series, _, err := s.cache.GetOrCompute(chartKey(realmName, req, rollup, top), epoch, func() ([]aggregate.Series, error) {
+	stat.Epoch = s.Instance.DB.Epoch()
+	res, hit, err := s.cache.GetOrCompute(chartKey(realmName, req, rollup, top), stat.Epoch, func() (chartResult, error) {
 		return s.computeSeries(realmName, req, rollup, top)
 	})
-	return series, err
+	stat.Cache = map[bool]string{true: "hit", false: "miss"}[hit]
+	stat.RowsScanned = res.RowsScanned
+	finish(err)
+	return res.Series, stat, err
 }
 
 // computeSeries is the uncached query path. Its result is stored in
 // (and shared through) the cache, so callers must not mutate it.
-func (s *Server) computeSeries(realmName string, req aggregate.Request, rollup string, top int) ([]aggregate.Series, error) {
-	series, err := s.Instance.Query(realmName, req)
+func (s *Server) computeSeries(realmName string, req aggregate.Request, rollup string, top int) (chartResult, error) {
+	series, info, err := s.Instance.QueryStats(realmName, req)
 	if err != nil {
-		return nil, err
+		return chartResult{}, err
 	}
 	if rollup != "" && s.Instance.Hierarchy != nil {
 		series = s.Instance.Hierarchy.Rollup(series, rollup)
@@ -407,7 +469,7 @@ func (s *Server) computeSeries(realmName string, req aggregate.Request, rollup s
 	if top > 0 {
 		series = aggregate.TopN(series, top)
 	}
-	return series, nil
+	return chartResult{Series: series, RowsScanned: info.RowsScanned}, nil
 }
 
 // chartKey builds the cache key for one fully specified chart query.
@@ -424,12 +486,12 @@ func (s *Server) CacheStats() (qcache.Stats, bool) {
 	return s.cache.Stats(), true
 }
 
-// seriesBytes estimates the retained size of a cached chart result for
-// the cache's byte accounting: slice headers, group strings, and 16
-// bytes per point (period key + value).
-func seriesBytes(series []aggregate.Series) int {
+// chartResultBytes estimates the retained size of a cached chart
+// result for the cache's byte accounting: slice headers, group
+// strings, and 16 bytes per point (period key + value).
+func chartResultBytes(res chartResult) int {
 	n := 24
-	for _, ser := range series {
+	for _, ser := range res.Series {
 		n += 56 + len(ser.Group) + 16*len(ser.Points)
 	}
 	return n

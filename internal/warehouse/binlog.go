@@ -89,7 +89,20 @@ type Binlog struct {
 	events []Event
 	first  uint64 // LSN of events[0]; next LSN is first+len(events)
 	closed bool
+	notes  []traceNote // recent trace-context marks, oldest first
 }
+
+// traceNote associates a trace context (wire-form traceparent) with
+// the binlog position it produced, so the replication sender can
+// propagate the trace of the ingest that committed a batch's events.
+type traceNote struct {
+	lsn uint64
+	tp  string
+}
+
+// maxTraceNotes bounds retained trace marks; replication consumes
+// them within one batch interval, so a small window suffices.
+const maxTraceNotes = 64
 
 // ErrPositionTrimmed reports a read from a position older than the log
 // retains.
@@ -184,6 +197,47 @@ func (b *Binlog) Wait(ctx context.Context, pos uint64, max int) ([]Event, error)
 		}
 		b.cond.Wait()
 	}
+}
+
+// NoteTrace marks the current end of the log with a trace context, so
+// the events appended up to here can be attributed to the operation
+// (e.g. an ingest commit) that produced them. Safe on a nil binlog
+// (stores opened without one); an empty context is ignored.
+func (b *Binlog) NoteTrace(tp string) {
+	if b == nil || tp == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	last := b.first + uint64(len(b.events)) - 1
+	if last == 0 {
+		return // nothing appended yet; nothing to attribute
+	}
+	if n := len(b.notes); n > 0 && b.notes[n-1].lsn == last {
+		b.notes[n-1].tp = tp // newest mark for a position wins
+		return
+	}
+	b.notes = append(b.notes, traceNote{lsn: last, tp: tp})
+	if len(b.notes) > maxTraceNotes {
+		b.notes = append(b.notes[:0], b.notes[len(b.notes)-maxTraceNotes:]...)
+	}
+}
+
+// TraceBetween returns the newest trace context marked at a position
+// in (from, upTo], or "" when none is retained — the sender attaches
+// it to the replication batch covering that LSN range.
+func (b *Binlog) TraceBetween(from, upTo uint64) string {
+	if b == nil {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := len(b.notes) - 1; i >= 0; i-- {
+		if n := b.notes[i]; n.lsn > from && n.lsn <= upTo {
+			return n.tp
+		}
+	}
+	return ""
 }
 
 // Trim discards events with LSN <= upTo, freeing memory once all

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
 	"xdmodfed/internal/obs"
@@ -227,5 +228,243 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	if len(sh.Senders) != 1 || sh.Senders[0].Hub != addr ||
 		sh.Senders[0].LagEvents != 0 || sh.Senders[0].SentEvents == 0 {
 		t.Errorf("satellite senders = %s", satHealth)
+	}
+}
+
+// TestFederatedTelemetryEndToEnd exercises the telemetry federation
+// stack over a live hub+satellite pair: the ingest trace propagates
+// across the replication link (one TraceID visible from both sides'
+// /debug/traces), the hub re-exports scraped member series under a
+// member label, the JSON rollup reports the member up, and a chart
+// query lands in /debug/slowlog with cache outcome and scan size.
+func TestFederatedTelemetryEndToEnd(t *testing.T) {
+	hub, err := core.NewHub(config.InstanceConfig{
+		Name: "telhub", Version: core.Version,
+		AggregationLevels: []config.AggregationLevels{
+			config.HubWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+		},
+		// Exercise the configurable span-ring capacity end to end.
+		Observability: config.ObservabilityConfig{TraceCapacity: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := hub.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	if err := hub.Register("siteB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Auth.Vault().Create(auth.User{Username: "teladmin", Role: auth.RoleManager}, "manager-pass1"); err != nil {
+		t.Fatal(err)
+	}
+
+	sat, err := core.NewSatellite(config.InstanceConfig{
+		Name: "siteB", Version: core.Version,
+		Resources: []config.ResourceConfig{{Name: "clusterB", Type: "hpc", SUFactor: 1.0}},
+		AggregationLevels: []config.AggregationLevels{
+			config.InstanceAWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+		},
+		Hubs: []config.HubRoute{{HubAddr: addr, Mode: "tight"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []shredder.JobRecord
+	base := time.Date(2017, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		end := base.Add(time.Duration(i) * time.Hour)
+		recs = append(recs, shredder.JobRecord{
+			LocalJobID: int64(i + 1), User: fmt.Sprintf("u%d", i%3), Account: "acct",
+			Resource: "clusterB", Queue: "batch", Nodes: 1, Cores: 4,
+			Submit: end.Add(-2 * time.Hour), Start: end.Add(-time.Hour), End: end,
+		})
+	}
+	if st, err := sat.Pipeline.IngestJobRecords(recs); err != nil || st.Ingested != 30 {
+		t.Fatalf("ingest: %v %v", st, err)
+	}
+
+	satSrv := rest.NewSatelliteServer(sat).Handler()
+	hubSrv := rest.NewHubServer(hub).Handler()
+
+	// The ingest span opens the distributed trace the replication link
+	// must join; grab its TraceID from the satellite's /debug/traces.
+	code, body := httpGetBody(t, satSrv, "/debug/traces?name=ingest.IngestJobRecords&limit=1")
+	if code != http.StatusOK {
+		t.Fatalf("satellite /debug/traces status %d", code)
+	}
+	var satTraces struct {
+		Enabled bool       `json:"enabled"`
+		Count   int        `json:"count"`
+		Spans   []obs.Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &satTraces); err != nil {
+		t.Fatalf("traces not JSON: %v\n%s", err, body)
+	}
+	if !satTraces.Enabled || satTraces.Count != 1 || satTraces.Spans[0].TraceID == "" {
+		t.Fatalf("no ingest span retained: %s", body)
+	}
+	traceID := satTraces.Spans[0].TraceID
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sat.StartFederation(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer sat.StopFederation()
+
+	// Wait until the satellite reports the hub route fully drained.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, h := httpGetBody(t, satSrv, "/healthz")
+		var sh struct {
+			Senders []struct {
+				LagEvents uint64 `json:"lag_events"`
+				Sent      int    `json:"sent_events"`
+			} `json:"senders"`
+		}
+		if err := json.Unmarshal([]byte(h), &sh); err != nil {
+			t.Fatal(err)
+		}
+		if len(sh.Senders) == 1 && sh.Senders[0].LagEvents == 0 && sh.Senders[0].Sent > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never drained: %s", h)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Both sides of the wire joined the ingest trace: the satellite's
+	// send span and the hub's apply span carry the same TraceID and are
+	// retrievable through each process's /debug/traces.
+	for handler, wantSpan := range map[string]string{
+		"satellite": "replicate.send",
+		"hub":       "hub.ApplyBatch",
+	} {
+		h := satSrv
+		if handler == "hub" {
+			h = hubSrv
+		}
+		code, body := httpGetBody(t, h, "/debug/traces?trace_id="+traceID)
+		if code != http.StatusOK {
+			t.Fatalf("%s /debug/traces status %d", handler, code)
+		}
+		var doc struct {
+			Spans []obs.Span `json:"spans"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, sp := range doc.Spans {
+			if sp.TraceID != traceID {
+				t.Fatalf("%s trace filter leaked span %+v", handler, sp)
+			}
+			if strings.Contains(sp.Name, wantSpan) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s /debug/traces has no %q span in trace %s:\n%s", handler, wantSpan, traceID, body)
+		}
+	}
+
+	// Telemetry federation: point the hub's scraper at the satellite's
+	// REST endpoint and force one scrape cycle.
+	memberSrv := httptest.NewServer(satSrv)
+	defer memberSrv.Close()
+	hub.Telemetry.AddTarget("siteB", memberSrv.URL)
+	hub.Telemetry.ScrapeOnce(context.Background())
+
+	code, hubMetrics := httpGetBody(t, hubSrv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("hub /metrics status %d", code)
+	}
+	checkExposition(t, hubMetrics)
+	for _, want := range []string{
+		"# TYPE xdmodfed_member_ingest_records_total counter",
+		`xdmodfed_member_ingest_records_total{member="siteB",realm="Jobs",outcome="ingested"}`,
+		`xdmodfed_member_replication_lag_events{member="siteB",`,
+	} {
+		if !strings.Contains(hubMetrics, want) {
+			t.Errorf("hub /metrics missing scraped member series %q", want)
+		}
+	}
+
+	// The JSON rollup reports the member scraped, healthy and fresh.
+	code, telBody := httpGetBody(t, hubSrv, "/api/federation/telemetry")
+	if code != http.StatusOK {
+		t.Fatalf("/api/federation/telemetry status %d", code)
+	}
+	var tel struct {
+		Hub     string                `json:"hub"`
+		Up      int                   `json:"members_up"`
+		Total   int                   `json:"members_total"`
+		Members []obs.MemberTelemetry `json:"members"`
+	}
+	if err := json.Unmarshal([]byte(telBody), &tel); err != nil {
+		t.Fatalf("telemetry rollup not JSON: %v\n%s", err, telBody)
+	}
+	if tel.Hub != "telhub" || tel.Up != 1 || tel.Total != 1 {
+		t.Errorf("rollup header = %s", telBody)
+	}
+	if len(tel.Members) != 1 || !tel.Members[0].Up || tel.Members[0].Name != "siteB" ||
+		tel.Members[0].Series == 0 || tel.Members[0].Health != "ok" {
+		t.Errorf("rollup member = %s", telBody)
+	}
+
+	// A hub chart query lands in the slow-query log with its cache
+	// outcome and scan size; the second run is served from cache.
+	loginBody := strings.NewReader(`{"username":"teladmin","password":"manager-pass1"}`)
+	lreq := httptest.NewRequest("POST", "/api/auth/login", loginBody)
+	lrec := httptest.NewRecorder()
+	hubSrv.ServeHTTP(lrec, lreq)
+	if lrec.Code != http.StatusOK {
+		t.Fatalf("login status %d: %s", lrec.Code, lrec.Body)
+	}
+	var sess struct {
+		Token string `json:"token"`
+	}
+	if err := json.Unmarshal(lrec.Body.Bytes(), &sess); err != nil {
+		t.Fatal(err)
+	}
+	const chartPath = "/api/chart?realm=Jobs&metric=total_cpu_hours&group_by=person&period=month"
+	for i := 0; i < 2; i++ {
+		creq := httptest.NewRequest("GET", chartPath, nil)
+		creq.Header.Set("Authorization", "Bearer "+sess.Token)
+		crec := httptest.NewRecorder()
+		hubSrv.ServeHTTP(crec, creq)
+		if crec.Code != http.StatusOK {
+			t.Fatalf("chart %d status %d: %s", i, crec.Code, crec.Body)
+		}
+	}
+	code, slowBody := httpGetBody(t, hubSrv, "/debug/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slowlog status %d", code)
+	}
+	var slow struct {
+		Enabled bool             `json:"enabled"`
+		Entries []rest.QueryStat `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(slowBody), &slow); err != nil {
+		t.Fatalf("slowlog not JSON: %v\n%s", err, slowBody)
+	}
+	if !slow.Enabled || len(slow.Entries) < 2 {
+		t.Fatalf("slowlog = %s", slowBody)
+	}
+	// Newest first: the repeat query hit the cache, the first missed;
+	// both report the rows the underlying compute scanned.
+	hit, miss := slow.Entries[0], slow.Entries[1]
+	if hit.Cache != "hit" || miss.Cache != "miss" {
+		t.Errorf("slowlog cache outcomes = %s, %s; want hit, miss", hit.Cache, miss.Cache)
+	}
+	for _, q := range []rest.QueryStat{hit, miss} {
+		if q.Realm != "Jobs" || q.Metric != "total_cpu_hours" || q.RowsScanned <= 0 || q.TraceID == "" {
+			t.Errorf("slowlog entry = %+v", q)
+		}
 	}
 }

@@ -6,6 +6,7 @@
 package xdmodfed
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -51,7 +52,7 @@ func BenchmarkChartQueryCold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.Instance.DB.BumpEpoch()
-		if _, err := srv.QuerySeries("Jobs", chartReq, "", 0); err != nil {
+		if _, _, err := srv.QuerySeries(context.Background(), "Jobs", chartReq, "", 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,13 +63,13 @@ func BenchmarkChartQueryCold(b *testing.B) {
 // looking at the same charts.
 func BenchmarkChartQueryHot(b *testing.B) {
 	srv := chartServer(b)
-	if _, err := srv.QuerySeries("Jobs", chartReq, "", 0); err != nil {
+	if _, _, err := srv.QuerySeries(context.Background(), "Jobs", chartReq, "", 0); err != nil {
 		b.Fatal(err) // prime the cache
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := srv.QuerySeries("Jobs", chartReq, "", 0); err != nil {
+		if _, _, err := srv.QuerySeries(context.Background(), "Jobs", chartReq, "", 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +94,7 @@ func BenchmarkChartQueryCoalesced(b *testing.B) {
 		for g := 0; g < herd; g++ {
 			go func() {
 				defer wg.Done()
-				if _, err := srv.QuerySeries("Jobs", chartReq, "", 0); err != nil {
+				if _, _, err := srv.QuerySeries(context.Background(), "Jobs", chartReq, "", 0); err != nil {
 					b.Error(err)
 				}
 			}()
