@@ -16,7 +16,9 @@ test:
 # cache, the aggregation engine (parallel rebuild vs. incremental fold),
 # the federation core (hub apply vs. aggregate vs. query), the REST
 # layer that drives them all concurrently, the warehouse (WAL follower
-# and fsync timer goroutines), and the fault-injection layer.
+# and fsync timer goroutines) including the tiered segment store under
+# ./internal/warehouse/store (concurrent materialize/evict/drop), and
+# the fault-injection layer.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/replicate/... ./internal/qcache/... ./internal/aggregate/... ./internal/core/... ./internal/rest/... ./internal/warehouse/... ./internal/faults/...
 

@@ -55,6 +55,10 @@ func main() {
 		aggWorkers  = flag.Int("agg-rebuild-workers", 0, "parallel scan workers for full re-aggregation (0 = one per CPU)")
 		traceCap    = flag.Int("trace-capacity", 0, "retained spans for /debug/traces (0 = config/default)")
 		scrapeIv    = flag.String("scrape-interval", "", "member telemetry scrape interval, e.g. 15s (default config/15s)")
+		storageBk   = flag.String("storage-backend", "", "segment-store backend: memory or disk (default config/memory)")
+		dataDir     = flag.String("data-dir", "", "segment directory for -storage-backend=disk")
+		hotTail     = flag.Int("hot-tail-rows", 0, "rows buffered per table before sealing a segment (0 = config/default)")
+		maxResid    = flag.Int64("max-resident-bytes", 0, "heap cap for materialized disk segments (0 = config/default)")
 		loose       looseFlags
 		scrape      scrapeFlags
 	)
@@ -72,6 +76,7 @@ func main() {
 	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
 	applyAggFlags(&cfg, *aggInc, *aggWorkers)
 	applyTelemetryFlags(&cfg, *traceCap, *scrapeIv, scrape)
+	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
 	hub, err := core.NewHub(cfg)
 	if err != nil {
 		fatal(err)
@@ -183,6 +188,26 @@ func applyTelemetryFlags(cfg *config.InstanceConfig, traceCap int, scrapeIv stri
 		fatal(err)
 	}
 	if err := cfg.Telemetry.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyStorageFlags layers the segment-store knobs over the config
+// file: only flags the operator actually set override it.
+func applyStorageFlags(cfg *config.InstanceConfig, backend, dataDir string, hotTail int, maxResident int64) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "storage-backend":
+			cfg.Storage.Backend = backend
+		case "data-dir":
+			cfg.Storage.DataDir = dataDir
+		case "hot-tail-rows":
+			cfg.Storage.HotTailRows = hotTail
+		case "max-resident-bytes":
+			cfg.Storage.MaxResidentBytes = maxResident
+		}
+	})
+	if err := cfg.Storage.Validate(); err != nil {
 		fatal(err)
 	}
 }

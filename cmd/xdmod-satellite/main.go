@@ -44,6 +44,10 @@ func main() {
 		walFsync   = flag.String("wal-fsync", "", "WAL fsync policy: always, interval or none (default config/always)")
 		walFsyncIv = flag.String("wal-fsync-interval", "", "fsync timer for -wal-fsync=interval, e.g. 100ms")
 		traceCap   = flag.Int("trace-capacity", 0, "retained spans for /debug/traces (0 = config/default)")
+		storageBk  = flag.String("storage-backend", "", "segment-store backend: memory or disk (default config/memory)")
+		dataDir    = flag.String("data-dir", "", "segment directory for -storage-backend=disk")
+		hotTail    = flag.Int("hot-tail-rows", 0, "rows buffered per table before sealing a segment (0 = config/default)")
+		maxResid   = flag.Int64("max-resident-bytes", 0, "heap cap for materialized disk segments (0 = config/default)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -57,6 +61,7 @@ func main() {
 	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
 	applyDurabilityFlags(&cfg, *walFsync, *walFsyncIv)
 	applyObsFlags(&cfg, *traceCap)
+	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
 	sat, err := core.NewSatellite(cfg)
 	if err != nil {
 		fatal(err)
@@ -160,6 +165,26 @@ func applyObsFlags(cfg *config.InstanceConfig, traceCap int) {
 		}
 	})
 	if err := cfg.Observability.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyStorageFlags layers the segment-store knobs over the config
+// file: only flags the operator actually set override it.
+func applyStorageFlags(cfg *config.InstanceConfig, backend, dataDir string, hotTail int, maxResident int64) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "storage-backend":
+			cfg.Storage.Backend = backend
+		case "data-dir":
+			cfg.Storage.DataDir = dataDir
+		case "hot-tail-rows":
+			cfg.Storage.HotTailRows = hotTail
+		case "max-resident-bytes":
+			cfg.Storage.MaxResidentBytes = maxResident
+		}
+	})
+	if err := cfg.Storage.Validate(); err != nil {
 		fatal(err)
 	}
 }

@@ -196,60 +196,10 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 		return nil, QueryInfo{}, err
 	}
 
-	// Resolve every column the metric touches once, up front; the
-	// per-row loop below reads typed vectors only.
-	strCol := func(name string) []string {
-		if ci, ok := td.ColIndex(name); ok {
-			return td.StringCol(ci)
-		}
-		return nil
-	}
-	fltCol := func(name string) []float64 {
-		if ci, ok := td.ColIndex(name); ok {
-			return td.FloatCol(ci)
-		}
-		return nil
-	}
-	intCol := func(name string) []int64 {
-		if ci, ok := td.ColIndex(name); ok {
-			return td.IntCol(ci)
-		}
-		return nil
-	}
-	pkV, nV := intCol("period_key"), intCol("n")
-	hasMeasure := metric.Column != ""
-	var sumV, lastV, minV, maxV []float64
-	if hasMeasure {
-		sumV = fltCol("sum_" + metric.Column)
-		lastV = fltCol("last_" + metric.Column)
-		minV = fltCol("min_" + metric.Column)
-		maxV = fltCol("max_" + metric.Column)
-	}
-	hasWeight := metric.WeightColumn != ""
-	var wsumV, wdenV []float64
-	if hasWeight {
-		wsumV = fltCol(wsumColName(metric.Column + "*" + metric.WeightColumn))
-		wdenV = fltCol("sum_" + metric.WeightColumn)
-	}
-	var groupV []string
-	if groupCol != "" {
-		groupV = strCol(groupCol)
-	}
 	type dimFilter struct {
 		vals []string
 		want string
 	}
-	filters := make([]dimFilter, 0, len(req.Filters))
-	for dim, want := range req.Filters {
-		filters = append(filters, dimFilter{vals: strCol("dim_" + dim), want: want})
-	}
-	at := func(v []float64, pos int) float64 {
-		if v == nil {
-			return 0
-		}
-		return v[pos]
-	}
-
 	type gp struct {
 		group string
 		pk    int64
@@ -257,52 +207,106 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 	cells := map[gp]*cell{}
 	aggCells := map[string]*cell{}
 	scanned := 0
-	dead := td.Tombstones()
-rows:
-	for pos := 0; pos < td.NumRows(); pos++ {
-		if dead[pos] {
-			continue
+	hasMeasure := metric.Column != ""
+	hasWeight := metric.WeightColumn != ""
+	at := func(v []float64, pos int) float64 {
+		if v == nil {
+			return 0
 		}
-		scanned++
-		var pk int64
-		if pkV != nil {
-			pk = pkV[pos]
-		}
-		if req.StartKey != 0 && pk < req.StartKey {
-			continue
-		}
-		if req.EndKey != 0 && pk > req.EndKey {
-			continue
-		}
-		for _, f := range filters {
-			if f.vals == nil || f.vals[pos] != f.want {
-				continue rows
+		return v[pos]
+	}
+	// Chunk-wise scan: every column the metric touches is resolved once
+	// per contiguous chunk (a cold segment materializes only when the
+	// scan reaches it), the per-row loop reads typed vectors only, and
+	// the accumulator maps carry across chunk boundaries.
+	for chunk := 0; chunk < td.NumChunks(); chunk++ {
+		ch := td.Chunk(chunk)
+		strCol := func(name string) []string {
+			if ci, ok := ch.ColIndex(name); ok {
+				return ch.StringCol(ci)
 			}
+			return nil
 		}
-		group := ""
-		if groupV != nil {
-			group = groupV[pos]
+		fltCol := func(name string) []float64 {
+			if ci, ok := ch.ColIndex(name); ok {
+				return ch.FloatCol(ci)
+			}
+			return nil
 		}
-		var n int64
-		if nV != nil {
-			n = nV[pos]
+		intCol := func(name string) []int64 {
+			if ci, ok := ch.ColIndex(name); ok {
+				return ch.IntCol(ci)
+			}
+			return nil
 		}
-		sum, last := at(sumV, pos), at(lastV, pos)
-		mn, mx := at(minV, pos), at(maxV, pos)
-		wsum, wden := at(wsumV, pos), at(wdenV, pos)
-		k := gp{group, pk}
-		c := cells[k]
-		if c == nil {
-			c = &cell{}
-			cells[k] = c
+		pkV, nV := intCol("period_key"), intCol("n")
+		var sumV, lastV, minV, maxV []float64
+		if hasMeasure {
+			sumV = fltCol("sum_" + metric.Column)
+			lastV = fltCol("last_" + metric.Column)
+			minV = fltCol("min_" + metric.Column)
+			maxV = fltCol("max_" + metric.Column)
 		}
-		c.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
-		a := aggCells[group]
-		if a == nil {
-			a = &cell{}
-			aggCells[group] = a
+		var wsumV, wdenV []float64
+		if hasWeight {
+			wsumV = fltCol(wsumColName(metric.Column + "*" + metric.WeightColumn))
+			wdenV = fltCol("sum_" + metric.WeightColumn)
 		}
-		a.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+		var groupV []string
+		if groupCol != "" {
+			groupV = strCol(groupCol)
+		}
+		filters := make([]dimFilter, 0, len(req.Filters))
+		for dim, want := range req.Filters {
+			filters = append(filters, dimFilter{vals: strCol("dim_" + dim), want: want})
+		}
+		dead := ch.Tombstones()
+	rows:
+		for pos := 0; pos < ch.Rows(); pos++ {
+			if dead[pos] {
+				continue
+			}
+			scanned++
+			var pk int64
+			if pkV != nil {
+				pk = pkV[pos]
+			}
+			if req.StartKey != 0 && pk < req.StartKey {
+				continue
+			}
+			if req.EndKey != 0 && pk > req.EndKey {
+				continue
+			}
+			for _, f := range filters {
+				if f.vals == nil || f.vals[pos] != f.want {
+					continue rows
+				}
+			}
+			group := ""
+			if groupV != nil {
+				group = groupV[pos]
+			}
+			var n int64
+			if nV != nil {
+				n = nV[pos]
+			}
+			sum, last := at(sumV, pos), at(lastV, pos)
+			mn, mx := at(minV, pos), at(maxV, pos)
+			wsum, wden := at(wsumV, pos), at(wdenV, pos)
+			k := gp{group, pk}
+			c := cells[k]
+			if c == nil {
+				c = &cell{}
+				cells[k] = c
+			}
+			c.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+			a := aggCells[group]
+			if a == nil {
+				a = &cell{}
+				aggCells[group] = a
+			}
+			a.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+		}
 	}
 	mRowsScanned.Add(uint64(scanned))
 

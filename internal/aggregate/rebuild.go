@@ -181,12 +181,12 @@ func (c numCol) at(pos int) float64 {
 	return 0
 }
 
-func numColOf(td *warehouse.TableData, name string) numCol {
-	ci, ok := td.ColIndex(name)
+func numColOf(ch warehouse.ColChunk, name string) numCol {
+	ci, ok := ch.ColIndex(name)
 	if !ok {
 		return numCol{}
 	}
-	return numCol{f: td.FloatCol(ci), i: td.IntCol(ci), nulls: td.NullCol(ci)}
+	return numCol{f: ch.FloatCol(ci), i: ch.IntCol(ci), nulls: ch.NullCol(ci)}
 }
 
 // dimReader renders one dimension's value from a snapshot position:
@@ -215,10 +215,11 @@ func (d *dimReader) value(pos int) string {
 	return "all"
 }
 
-// factReader resolves one fact-table snapshot's columns for
-// aggregation: the time column, one reader per dimension, one numeric
-// reader per measure column and per weighted pair. Resolution happens
-// once per scan; the per-row loop then touches only typed vectors.
+// factReader resolves one fact-table chunk's columns for aggregation:
+// the time column, one reader per dimension, one numeric reader per
+// measure column and per weighted pair. Resolution happens once per
+// chunk; the per-row loop then touches only typed vectors at
+// chunk-local positions.
 type factReader struct {
 	timeCol string
 	times   []time.Time
@@ -228,37 +229,37 @@ type factReader struct {
 	wpairs  [][2]numCol
 }
 
-func (e *Engine) newFactReader(info realm.Info, td *warehouse.TableData, cols, weights []string) (*factReader, error) {
+func (e *Engine) newFactReader(info realm.Info, ch warehouse.ColChunk, cols, weights []string) (*factReader, error) {
 	fr := &factReader{timeCol: info.TimeColumn}
-	ti, ok := td.ColIndex(info.TimeColumn)
+	ti, ok := ch.ColIndex(info.TimeColumn)
 	if !ok {
 		return nil, fmt.Errorf("aggregate: fact row missing time column %q", info.TimeColumn)
 	}
-	fr.times = td.TimeCol(ti)
+	fr.times = ch.TimeCol(ti)
 	if fr.times == nil {
-		return nil, fmt.Errorf("aggregate: time column %q is %s, want time.Time", info.TimeColumn, td.Def().Columns[ti].Type)
+		return nil, fmt.Errorf("aggregate: time column %q is not a time column, want time.Time", info.TimeColumn)
 	}
-	fr.tnulls = td.NullCol(ti)
+	fr.tnulls = ch.NullCol(ti)
 	fr.dims = make([]dimReader, len(info.Dimensions))
 	for i, d := range info.Dimensions {
 		dr := dimReader{numeric: d.Numeric}
 		if d.Numeric {
-			dr.num = numColOf(td, d.Column)
+			dr.num = numColOf(ch, d.Column)
 			dr.levels, dr.hasLevels = e.levels[d.ID]
-		} else if ci, ok := td.ColIndex(d.Column); ok {
-			dr.strs = td.StringCol(ci)
-			dr.nulls = td.NullCol(ci)
+		} else if ci, ok := ch.ColIndex(d.Column); ok {
+			dr.strs = ch.StringCol(ci)
+			dr.nulls = ch.NullCol(ci)
 		}
 		fr.dims[i] = dr
 	}
 	fr.meas = make([]numCol, len(cols))
 	for i, c := range cols {
-		fr.meas[i] = numColOf(td, c)
+		fr.meas[i] = numColOf(ch, c)
 	}
 	fr.wpairs = make([][2]numCol, len(weights))
 	for i, w := range weights {
 		a, b := splitPair(w)
-		fr.wpairs[i] = [2]numCol{numColOf(td, a), numColOf(td, b)}
+		fr.wpairs[i] = [2]numCol{numColOf(ch, a), numColOf(ch, b)}
 	}
 	return fr, nil
 }
@@ -283,41 +284,50 @@ func (fr *factReader) timeAt(pos int) (time.Time, error) {
 }
 
 // scanPartial folds every live fact row of one snapshot into a fresh
-// partial. Runs lock-free against the immutable snapshot.
+// partial. Runs lock-free against the immutable snapshot, chunk by
+// chunk: a cold sealed segment is materialized only when the scan
+// reaches it (and is evictable again as soon as the scan moves on), so
+// the scan's resident footprint is one segment plus the backend's
+// budget — never the whole table.
 func (e *Engine) scanPartial(info realm.Info, td *warehouse.TableData, cols, weights []string) (partial, int, error) {
 	f := newFolder()
-	rows := td.NumRows()
-	if rows == 0 {
+	if td.NumRows() == 0 {
 		return f.p, 0, nil
 	}
-	fr, err := e.newFactReader(info, td, cols, weights)
-	if err != nil {
-		return nil, 0, err
-	}
-	dead := td.Tombstones()
 	dims := make([]string, len(info.Dimensions))
 	vals := make([]float64, len(cols))
 	wvals := make([]float64, len(weights))
 	n := 0
-	for pos := 0; pos < rows; pos++ {
-		if dead[pos] {
+	for chunk := 0; chunk < td.NumChunks(); chunk++ {
+		ch := td.Chunk(chunk)
+		if ch.Rows() == 0 {
 			continue
 		}
-		t, err := fr.timeAt(pos)
+		fr, err := e.newFactReader(info, ch, cols, weights)
 		if err != nil {
 			return nil, 0, err
 		}
-		for i := range fr.dims {
-			dims[i] = fr.dims[i].value(pos)
+		dead := ch.Tombstones()
+		for pos := 0; pos < ch.Rows(); pos++ {
+			if dead[pos] {
+				continue
+			}
+			t, err := fr.timeAt(pos)
+			if err != nil {
+				return nil, 0, err
+			}
+			for i := range fr.dims {
+				dims[i] = fr.dims[i].value(pos)
+			}
+			for i := range fr.meas {
+				vals[i] = fr.meas[i].at(pos)
+			}
+			for i := range fr.wpairs {
+				wvals[i] = fr.wpairs[i][0].at(pos) * fr.wpairs[i][1].at(pos)
+			}
+			f.fold(t, dims, vals, wvals)
+			n++
 		}
-		for i := range fr.meas {
-			vals[i] = fr.meas[i].at(pos)
-		}
-		for i := range fr.wpairs {
-			wvals[i] = fr.wpairs[i][0].at(pos) * fr.wpairs[i][1].at(pos)
-		}
-		f.fold(t, dims, vals, wvals)
-		n++
 	}
 	return f.p, n, nil
 }

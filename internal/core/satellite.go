@@ -33,6 +33,7 @@ import (
 	"xdmodfed/internal/replicate"
 	"xdmodfed/internal/su"
 	"xdmodfed/internal/warehouse"
+	"xdmodfed/internal/warehouse/store"
 )
 
 // Version is the XDMoD software version of this build. The federation
@@ -77,6 +78,30 @@ type Instance struct {
 	Hierarchy  *hierarchy.Hierarchy // institutional hierarchy, nil when unconfigured
 }
 
+// openWarehouse builds the instance's warehouse on the configured
+// segment-store backend. The zero-value storage config reproduces the
+// pre-tiering behavior exactly: an in-memory backend with sealing
+// disabled. With backend "disk", cold segments spill to
+// cfg.Storage.DataDir and tables seal their hot tail every
+// cfg.Storage.TailRows() appended rows.
+func openWarehouse(cfg config.InstanceConfig) (*warehouse.DB, error) {
+	var backend store.Backend
+	switch cfg.Storage.Backend {
+	case "disk":
+		d, err := store.OpenDisk(cfg.Storage.DataDir, cfg.Storage.MaxResidentBytes)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening segment store: %w", err)
+		}
+		backend = d
+	default:
+		backend = store.NewMem()
+	}
+	return warehouse.OpenOptions(cfg.Name, warehouse.Options{
+		Storage:     backend,
+		HotTailRows: cfg.Storage.TailRows(),
+	}), nil
+}
+
 // NewInstance builds an instance from its configuration: all four
 // realms are set up, resources register their SU conversion factors,
 // aggregation levels come from the config (instances "may be
@@ -94,7 +119,10 @@ func NewInstance(cfg config.InstanceConfig) (*Instance, error) {
 		// normal one-instance-per-process deployment.
 		obs.DefaultTracer.SetCapacity(n)
 	}
-	db := warehouse.Open(cfg.Name)
+	db, err := openWarehouse(cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	conv := su.NewConverter()
 	for _, r := range cfg.Resources {
@@ -372,6 +400,7 @@ func (s *Satellite) DumpForRoute(route config.HubRoute, w io.Writer) error {
 		return err
 	}
 	scratch := warehouse.OpenWithoutBinlog("dump-" + s.Config.Name)
+	defer scratch.Close()
 	if _, err := replicate.Pump(s.DB, scratch, rw, 0); err != nil {
 		return err
 	}
@@ -431,6 +460,7 @@ func (s *Satellite) RunLooseFederation(ctx context.Context, interval time.Durati
 // realm schemas, located by table name.
 func (s *Satellite) RestoreFromHubBackup(r io.Reader) error {
 	scratch := warehouse.OpenWithoutBinlog("backup-restore")
+	defer scratch.Close()
 	if _, err := scratch.Restore(r); err != nil {
 		return err
 	}

@@ -85,6 +85,7 @@ func Load(hub *warehouse.DB, instance string, r io.Reader) ([]string, error) {
 	// scratch DB first, then copy tables across. This also keeps a
 	// malformed dump from corrupting the hub.
 	scratch := warehouse.OpenWithoutBinlog("loose-load")
+	defer scratch.Close()
 	if _, err := scratch.Restore(r); err != nil {
 		return nil, err
 	}

@@ -110,15 +110,35 @@ func newLayout(def TableDef) *layout {
 
 // TableData is an immutable snapshot of one table's contents, published
 // atomically at the end of each write transaction. Readers iterate it
-// without any lock: positions [0, NumRows()) index every column vector
-// and the tombstone vector in lockstep. Tombstoned positions must be
-// skipped via Tombstones().
+// without any lock: global positions [0, NumRows()) index the tombstone
+// vector, and are split across an ordered list of contiguous chunks —
+// sealed segments (possibly cold, materialized on first touch) followed
+// by the hot tail. Tombstoned positions must be skipped via
+// Tombstones(). Scan-heavy readers iterate chunk-wise via NumChunks/
+// Chunk so cold segments are materialized one at a time instead of all
+// at once.
 type TableData struct {
-	lay  *layout
+	lay    *layout
+	chunks []tdChunk
+	dead   []bool
+	rows   int // total slots, tombstones included
+	live   int // rows minus tombstones
+}
+
+// tdChunk is one contiguous piece of a snapshot: a sealed segment (sc
+// set) or a captured hot tail (cols set).
+type tdChunk struct {
+	sc   *sealedChunk
 	cols []colVec
-	dead []bool
-	rows int // total slots, tombstones included
-	live int // rows minus tombstones
+	base int
+	rows int
+}
+
+func (c *tdChunk) columns() []colVec {
+	if c.sc != nil {
+		return c.sc.columns()
+	}
+	return c.cols
 }
 
 // Len returns the number of live rows in the snapshot.
@@ -141,44 +161,112 @@ func (td *TableData) ColIndex(name string) (int, bool) {
 // NumRows(); index only positions below NumRows().
 func (td *TableData) Tombstones() []bool { return td.dead }
 
-// IntCol returns column i's int64 vector (nil when i is not a TypeInt
-// column). Never mutate the returned slice.
-func (td *TableData) IntCol(i int) []int64 { return td.cols[i].ints }
-
-// FloatCol returns column i's float64 vector (nil unless TypeFloat).
-func (td *TableData) FloatCol(i int) []float64 { return td.cols[i].floats }
-
-// StringCol returns column i's string vector (nil unless TypeString).
-func (td *TableData) StringCol(i int) []string { return td.cols[i].strs }
-
-// BoolCol returns column i's bool vector (nil unless TypeBool).
-func (td *TableData) BoolCol(i int) []bool { return td.cols[i].bools }
-
-// TimeCol returns column i's time vector (nil unless TypeTime).
-func (td *TableData) TimeCol(i int) []time.Time { return td.cols[i].times }
-
-// NullCol returns column i's validity vector (true = NULL).
-func (td *TableData) NullCol(i int) []bool { return td.cols[i].nulls }
+// chunkAt resolves a global position to its chunk.
+func (td *TableData) chunkAt(pos int) *tdChunk {
+	for i := range td.chunks {
+		c := &td.chunks[i]
+		if pos < c.base+c.rows {
+			return c
+		}
+	}
+	panic("warehouse: snapshot position out of range")
+}
 
 // Value materializes the cell at (pos, col) as a canonical any.
-func (td *TableData) Value(pos, col int) any { return td.cols[col].value(pos) }
+func (td *TableData) Value(pos, col int) any {
+	c := td.chunkAt(pos)
+	return c.columns()[col].value(pos - c.base)
+}
 
 // RowAt wraps position pos for by-name access. The caller must skip
 // tombstoned positions itself.
-func (td *TableData) RowAt(pos int) Row { return Row{lay: td.lay, cols: td.cols, pos: pos} }
+func (td *TableData) RowAt(pos int) Row {
+	c := td.chunkAt(pos)
+	return Row{lay: td.lay, cols: c.columns(), pos: pos - c.base}
+}
 
 // Scan calls fn for every live row of the snapshot, in position order;
 // fn returning false stops the scan.
 func (td *TableData) Scan(fn func(Row) bool) {
-	for pos := 0; pos < td.rows; pos++ {
-		if td.dead[pos] {
-			continue
-		}
-		if !fn(Row{lay: td.lay, cols: td.cols, pos: pos}) {
-			return
+	for i := range td.chunks {
+		c := &td.chunks[i]
+		cols := c.columns()
+		for lp := 0; lp < c.rows; lp++ {
+			if td.dead[c.base+lp] {
+				continue
+			}
+			if !fn(Row{lay: td.lay, cols: cols, pos: lp}) {
+				return
+			}
 		}
 	}
 }
+
+// NumChunks returns how many contiguous chunks the snapshot spans.
+func (td *TableData) NumChunks() int { return len(td.chunks) }
+
+// Chunk materializes (if cold) and returns chunk i. Iterating
+// chunk-by-chunk — resolving each only when the scan reaches it — is
+// what keeps a scan's resident footprint at one segment plus the
+// backend's budget rather than the whole table.
+func (td *TableData) Chunk(i int) ColChunk {
+	c := &td.chunks[i]
+	return ColChunk{
+		lay:  td.lay,
+		cols: c.columns(),
+		dead: td.dead[c.base : c.base+c.rows],
+		base: c.base,
+		rows: c.rows,
+	}
+}
+
+// ColChunk is a contiguous columnar view of part of a snapshot. All
+// vectors are indexed by chunk-local position [0, Rows()); Base maps
+// local to global positions. Never mutate a returned vector, and do
+// not retain vectors beyond the snapshot's lifetime: for disk-backed
+// segments the numeric vectors alias a file mapping that the snapshot
+// keeps alive.
+type ColChunk struct {
+	lay  *layout
+	cols []colVec
+	dead []bool
+	base int
+	rows int
+}
+
+// Rows returns the chunk's row count, tombstones included.
+func (ch ColChunk) Rows() int { return ch.rows }
+
+// Base returns the chunk's first global row position.
+func (ch ColChunk) Base() int { return ch.base }
+
+// Tombstones returns the chunk-local tombstone vector.
+func (ch ColChunk) Tombstones() []bool { return ch.dead }
+
+// ColIndex resolves a column name to its vector position.
+func (ch ColChunk) ColIndex(name string) (int, bool) {
+	i, ok := ch.lay.colIndex[name]
+	return i, ok
+}
+
+// IntCol returns column i's int64 vector (nil when i is not a TypeInt
+// column). Never mutate the returned slice.
+func (ch ColChunk) IntCol(i int) []int64 { return ch.cols[i].ints }
+
+// FloatCol returns column i's float64 vector (nil unless TypeFloat).
+func (ch ColChunk) FloatCol(i int) []float64 { return ch.cols[i].floats }
+
+// StringCol returns column i's string vector (nil unless TypeString).
+func (ch ColChunk) StringCol(i int) []string { return ch.cols[i].strs }
+
+// BoolCol returns column i's bool vector (nil unless TypeBool).
+func (ch ColChunk) BoolCol(i int) []bool { return ch.cols[i].bools }
+
+// TimeCol returns column i's time vector (nil unless TypeTime).
+func (ch ColChunk) TimeCol(i int) []time.Time { return ch.cols[i].times }
+
+// NullCol returns column i's validity vector (true = NULL).
+func (ch ColChunk) NullCol(i int) []bool { return ch.cols[i].nulls }
 
 // ColumnData carries a whole table's contents in columnar form: the
 // payload of bulk loads (EvLoad binlog events, snapshot files, loose
@@ -291,32 +379,46 @@ func (v *ColumnVector) toVec(c Column, rows int) colVec {
 func (td *TableData) ColumnData() *ColumnData { return td.columnData() }
 
 // columnData exports the snapshot's live rows in bulk form. When the
-// snapshot holds tombstones the vectors are compacted copies; otherwise
-// the snapshot's own (immutable) vectors are shared.
+// snapshot is a single heap-backed chunk with no tombstones, its own
+// (immutable) vectors are shared; otherwise the rows are copied into
+// fresh vectors. Disk-backed chunks always copy — the export may be
+// adopted by another warehouse (loose-dump loads) and must not alias a
+// file mapping whose lifetime it does not control.
 func (td *TableData) columnData() *ColumnData {
 	def := td.lay.def
 	cd := &ColumnData{Rows: td.live, Names: make([]string, len(def.Columns)), Cols: make([]ColumnVector, len(def.Columns))}
 	for i, c := range def.Columns {
 		cd.Names[i] = c.Name
 	}
-	if td.live == td.rows {
-		for i := range td.cols {
-			v := &td.cols[i]
+	if td.live == td.rows && len(td.chunks) == 1 &&
+		(td.chunks[0].sc == nil || td.chunks[0].sc.h.HeapBacked()) {
+		cols := td.chunks[0].columns()
+		for i := range cols {
+			v := &cols[i]
 			cd.Cols[i] = ColumnVector{Type: v.typ, Ints: v.ints, Floats: v.floats,
 				Strs: v.strs, Bools: v.bools, Times: v.times, Nulls: v.nulls}
 			ensureTyped(&cd.Cols[i], td.rows)
 		}
 		return cd
 	}
-	for i := range td.cols {
-		src := &td.cols[i]
-		dst := newColVec(def.Columns[i])
-		for pos := 0; pos < td.rows; pos++ {
-			if td.dead[pos] {
+	dsts := make([]colVec, len(def.Columns))
+	for i, c := range def.Columns {
+		dsts[i] = newColVec(c)
+	}
+	for ci := range td.chunks {
+		c := &td.chunks[ci]
+		cols := c.columns()
+		for lp := 0; lp < c.rows; lp++ {
+			if td.dead[c.base+lp] {
 				continue
 			}
-			dst.appendFrom(src, pos)
+			for i := range dsts {
+				dsts[i].appendFrom(&cols[i], lp)
+			}
 		}
+	}
+	for i := range dsts {
+		dst := &dsts[i]
 		cd.Cols[i] = ColumnVector{Type: dst.typ, Ints: dst.ints, Floats: dst.floats,
 			Strs: dst.strs, Bools: dst.bools, Times: dst.times, Nulls: dst.nulls}
 		ensureTyped(&cd.Cols[i], td.live)

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"xdmodfed/internal/warehouse/store"
 )
 
 // DB is an embedded warehouse instance: a set of named schemas, each a
@@ -23,6 +25,13 @@ type DB struct {
 	schemas map[string]*Schema
 	binlog  *Binlog
 	logging bool
+
+	// storage is the segment backend every table seals cold chunks
+	// into; hotTailRows is the tail size that triggers sealing at
+	// publish (0 = seal only on compaction and bulk loads). Both are
+	// fixed at Open.
+	storage     store.Backend
+	hotTailRows int
 
 	// catalog is the lock-free name→table resolution map, rebuilt (rarely)
 	// on DDL. The inner maps are never mutated after publication.
@@ -48,18 +57,50 @@ type Schema struct {
 	tables map[string]*Table
 }
 
-// Open creates an empty DB with binary logging enabled.
-func Open(name string) *DB {
+// Options configures a DB's tiered storage.
+type Options struct {
+	// Storage is the segment backend cold chunks seal into; nil uses
+	// the in-memory backend (the classic all-RAM behavior).
+	Storage store.Backend
+	// HotTailRows seals a table's hot tail as a segment once it
+	// reaches this many rows at commit. 0 never seals the tail —
+	// segments then form only through compaction and bulk loads, which
+	// with the memory backend is byte-for-byte the pre-tiering layout.
+	HotTailRows int
+}
+
+// Open creates an empty DB with binary logging enabled and in-memory
+// segment storage.
+func Open(name string) *DB { return OpenOptions(name, Options{}) }
+
+// OpenOptions creates an empty DB with binary logging enabled and the
+// given storage configuration.
+func OpenOptions(name string, opts Options) *DB {
+	if opts.Storage == nil {
+		opts.Storage = store.NewMem()
+	}
+	if opts.HotTailRows < 0 {
+		opts.HotTailRows = 0
+	}
 	db := &DB{
-		name:    name,
-		schemas: make(map[string]*Schema),
-		binlog:  NewBinlog(),
-		logging: true,
+		name:        name,
+		schemas:     make(map[string]*Schema),
+		binlog:      NewBinlog(),
+		logging:     true,
+		storage:     opts.Storage,
+		hotTailRows: opts.HotTailRows,
 	}
 	empty := map[string]map[string]*Table{}
 	db.catalog.Store(&empty)
 	return db
 }
+
+// Storage returns the DB's segment backend.
+func (db *DB) Storage() store.Backend { return db.storage }
+
+// Close releases the DB's segment-store backend (unmapping any
+// disk-backed segments). The DB must not be used afterwards.
+func (db *DB) Close() error { return db.storage.Close() }
 
 // OpenWithoutBinlog creates a DB that does not record mutations; used
 // for scratch stores (e.g. staging areas) where replication is not
@@ -475,19 +516,26 @@ func (db *DB) applyLocked(ev Event) error {
 		// No primary key: delete by full-row match (first match wins).
 		target := encodeKey(vals)
 		var buf []byte
-		allCols := make([]int, len(t.cols))
+		allCols := make([]int, len(t.def.Columns))
 		for i := range allCols {
 			allCols[i] = i
 		}
-		for pos := 0; pos < t.rows; pos++ {
-			if t.dead[pos] {
-				continue
+		found := -1
+		t.forEachChunk(func(cols []colVec, base, rows int) bool {
+			for lp := 0; lp < rows; lp++ {
+				if t.dead[base+lp] {
+					continue
+				}
+				buf = appendKeyAt(buf[:0], cols, allCols, lp)
+				if string(buf) == target {
+					found = base + lp
+					return false
+				}
 			}
-			buf = appendKeyAt(buf[:0], t.cols, allCols, pos)
-			if string(buf) == target {
-				t.deleteAt(pos)
-				return nil
-			}
+			return true
+		})
+		if found >= 0 {
+			t.deleteAt(found)
 		}
 		return nil
 	case EvTruncate:

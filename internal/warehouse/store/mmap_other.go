@@ -1,0 +1,21 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix fallback: read the whole file onto the heap. Go heap
+// allocations of this size are 8-byte aligned, which is all the
+// zero-copy word views require.
+func mapFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, errEmptySegment(path)
+	}
+	return b, nil
+}
+
+func unmapFile(m []byte) {}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The mapping outlives the file
+// descriptor (closed before returning) and, on Linux and the BSDs,
+// even the directory entry — unlinking a mapped segment is how Drop
+// reclaims disk space while in-flight readers finish.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, errEmptySegment(path)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(m []byte) {
+	if m != nil {
+		syscall.Munmap(m)
+	}
+}

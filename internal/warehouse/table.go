@@ -135,18 +135,26 @@ func (r Row) Values() []any {
 // cells are never overwritten. The tombstone vector is the only state
 // shared with snapshots that a writer must touch below the published
 // boundary, and it is copied on first such write per transaction.
+//
+// Storage is tiered (see segment.go): global positions [0, sealedRows)
+// live in immutable sealed chunks held by the DB's segment backend,
+// and [sealedRows, rows) in the hot tail vectors that writes append
+// to. The tombstone vector and the key maps always span both tiers in
+// global positions.
 type Table struct {
-	def     TableDef
-	lay     *layout
-	schema  string
-	db      *DB
-	cols    []colVec
-	dead    []bool
-	rows    int // total slots, tombstones included
-	deleted int // tombstoned slots
-	pkCols  []int
-	pk      map[string]int // encoded pk -> row position
-	indexes []*secondaryIndex
+	def        TableDef
+	lay        *layout
+	schema     string
+	db         *DB
+	sealed     []*sealedChunk
+	sealedRows int
+	tail       []colVec // positions [sealedRows, rows)
+	dead       []bool
+	rows       int // total slots, tombstones included
+	deleted    int // tombstoned slots
+	pkCols     []int
+	pk         map[string]int // encoded pk -> row position
+	indexes    []*secondaryIndex
 
 	version    atomic.Pointer[TableData]
 	deadShared bool // dead's backing array is referenced by the published snapshot
@@ -174,10 +182,7 @@ func newTable(db *DB, schema string, def TableDef) (*Table, error) {
 		schema: schema,
 		db:     db,
 	}
-	t.cols = make([]colVec, len(d.Columns))
-	for i, c := range d.Columns {
-		t.cols[i] = newColVec(c)
-	}
+	t.tail = freshCols(d)
 	for _, k := range d.PrimaryKey {
 		t.pkCols = append(t.pkCols, t.lay.colIndex[k])
 	}
@@ -216,12 +221,15 @@ func (t *Table) publish() {
 	if t.deleted > compactMinDead && t.deleted*2 > t.rows {
 		t.compact()
 	}
+	if ht := t.db.hotTailRows; ht > 0 && t.rows-t.sealedRows >= ht {
+		t.sealTail()
+	}
 	td := &TableData{
-		lay:  t.lay,
-		cols: append([]colVec(nil), t.cols...),
-		dead: t.dead,
-		rows: t.rows,
-		live: t.rows - t.deleted,
+		lay:    t.lay,
+		chunks: t.snapshotChunks(),
+		dead:   t.dead,
+		rows:   t.rows,
+		live:   t.rows - t.deleted,
 	}
 	t.version.Store(td)
 	t.deadShared = true
@@ -229,16 +237,16 @@ func (t *Table) publish() {
 }
 
 // compact rewrites the vectors with live rows only (preserving scan
-// order) and rebuilds the position maps. Published snapshots keep the
-// old vectors, so concurrent readers are unaffected.
+// order), rebuilds the position maps, and re-seals the result through
+// the segment store — so compacting a mostly-dead cold table frees its
+// segments without re-inflating the survivors into permanent RAM.
+// Published snapshots keep the old chunks, so concurrent readers are
+// unaffected.
 func (t *Table) compact() {
 	mCompactions.Inc()
-	newCols := make([]colVec, len(t.cols))
-	for i, c := range t.def.Columns {
-		newCols[i] = newColVec(c)
-	}
+	newCols := freshCols(t.def)
 	live := t.rows - t.deleted
-	newDead := make([]bool, 0, live)
+	newDead := make([]bool, live)
 	var buf []byte
 	newPK := t.pk
 	if newPK != nil {
@@ -248,30 +256,33 @@ func (t *Table) compact() {
 		ix.m = make(map[string][]int)
 	}
 	newPos := 0
-	for pos := 0; pos < t.rows; pos++ {
-		if t.dead[pos] {
-			continue
+	t.forEachChunk(func(cols []colVec, base, rows int) bool {
+		for lp := 0; lp < rows; lp++ {
+			if t.dead[base+lp] {
+				continue
+			}
+			for i := range newCols {
+				newCols[i].appendFrom(&cols[i], lp)
+			}
+			if newPK != nil {
+				buf = appendKeyAt(buf[:0], newCols, t.pkCols, newPos)
+				newPK[string(buf)] = newPos
+			}
+			for _, ix := range t.indexes {
+				buf = appendKeyAt(buf[:0], newCols, ix.cols, newPos)
+				ix.m[string(buf)] = append(ix.m[string(buf)], newPos)
+			}
+			newPos++
 		}
-		for i := range t.cols {
-			newCols[i].appendFrom(&t.cols[i], pos)
-		}
-		newDead = append(newDead, false)
-		if newPK != nil {
-			buf = appendKeyAt(buf[:0], newCols, t.pkCols, newPos)
-			newPK[string(buf)] = newPos
-		}
-		for _, ix := range t.indexes {
-			buf = appendKeyAt(buf[:0], newCols, ix.cols, newPos)
-			ix.m[string(buf)] = append(ix.m[string(buf)], newPos)
-		}
-		newPos++
-	}
-	t.cols = newCols
+		return true
+	})
+	t.dropSealed()
 	t.dead = newDead
 	t.rows = live
 	t.deleted = 0
 	t.pk = newPK
 	t.deadShared = false
+	t.installAll(newCols, live)
 }
 
 // appendFrom appends src's cell at pos without boxing.
@@ -370,21 +381,23 @@ func (t *Table) pkKey(vals []any) (string, bool) {
 	return encodeKey(parts), true
 }
 
-// rowValues materializes the row at pos as a fresh value slice.
+// rowValues materializes the row at global position pos as a fresh
+// value slice.
 func (t *Table) rowValues(pos int) []any {
-	out := make([]any, len(t.cols))
-	for i := range t.cols {
-		out[i] = t.cols[i].value(pos)
+	cols, lp := t.colsAt(pos)
+	out := make([]any, len(cols))
+	for i := range cols {
+		out[i] = cols[i].value(lp)
 	}
 	return out
 }
 
-// appendRow appends a normalized row to the vectors and returns its
-// position.
+// appendRow appends a normalized row to the hot tail and returns its
+// global position.
 func (t *Table) appendRow(vals []any) int {
 	pos := t.rows
-	for i := range t.cols {
-		t.cols[i].appendVal(vals[i])
+	for i := range t.tail {
+		t.tail[i].appendVal(vals[i])
 	}
 	t.dead = append(t.dead, false)
 	t.rows++
@@ -527,16 +540,19 @@ func (t *Table) addToIndexes(vals []any, pos int) {
 // Delete removes rows matching the predicate and returns the count.
 func (t *Table) Delete(where func(Row) bool) int {
 	n := 0
-	end := t.rows
-	for pos := 0; pos < end; pos++ {
-		if t.dead[pos] {
-			continue
+	t.forEachChunk(func(cols []colVec, base, rows int) bool {
+		for lp := 0; lp < rows; lp++ {
+			pos := base + lp
+			if t.dead[pos] {
+				continue
+			}
+			if where(Row{lay: t.lay, cols: cols, pos: lp}) {
+				t.deleteAt(pos)
+				n++
+			}
 		}
-		if where(Row{lay: t.lay, cols: t.cols, pos: pos}) {
-			t.deleteAt(pos)
-			n++
-		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -568,10 +584,8 @@ func (t *Table) Truncate() {
 }
 
 func (t *Table) resetStorage() {
-	t.cols = make([]colVec, len(t.def.Columns))
-	for i, c := range t.def.Columns {
-		t.cols[i] = newColVec(c)
-	}
+	t.dropSealed()
+	t.tail = freshCols(t.def)
 	t.dead = nil
 	t.rows = 0
 	t.deleted = 0
@@ -622,12 +636,13 @@ func (t *Table) ReplaceAllColumns(cd *ColumnData) error {
 			ix.m[string(buf)] = append(ix.m[string(buf)], pos)
 		}
 	}
-	t.cols = cols
+	t.dropSealed()
 	t.dead = make([]bool, cd.Rows)
 	t.rows = cd.Rows
 	t.deleted = 0
 	t.deadShared = false
 	t.pk = newPK
+	t.installAll(cols, cd.Rows)
 	t.markDirty()
 	t.db.logEvent(Event{Kind: EvLoad, Schema: t.schema, Table: t.def.Name, Cols: cd})
 	return nil
@@ -639,7 +654,7 @@ func (t *Table) GetByKey(keyVals ...any) (Row, bool) {
 	if !ok {
 		return Row{}, false
 	}
-	return Row{lay: t.lay, cols: t.cols, pos: pos}, true
+	return t.rowAt(pos), true
 }
 
 // UpdateByKey applies the given column assignments to the row with the
@@ -685,15 +700,17 @@ func (t *Table) UpdateByKey(keyVals []any, set map[string]any) error {
 // uncommitted changes (it reads the writer state, not the published
 // snapshot); use Data().Scan for the lock-free committed view.
 func (t *Table) Scan(fn func(Row) bool) {
-	end := t.rows
-	for pos := 0; pos < end; pos++ {
-		if t.dead[pos] {
-			continue
+	t.forEachChunk(func(cols []colVec, base, rows int) bool {
+		for lp := 0; lp < rows; lp++ {
+			if t.dead[base+lp] {
+				continue
+			}
+			if !fn(Row{lay: t.lay, cols: cols, pos: lp}) {
+				return false
+			}
 		}
-		if !fn(Row{lay: t.lay, cols: t.cols, pos: pos}) {
-			return
-		}
-	}
+		return true
+	})
 }
 
 // ScanIndex scans only rows whose indexed columns equal the given
@@ -719,7 +736,7 @@ func (t *Table) ScanIndex(cols []string, vals []any, fn func(Row) bool) {
 				if t.dead[pos] {
 					continue
 				}
-				if !fn(Row{lay: t.lay, cols: t.cols, pos: pos}) {
+				if !fn(t.rowAt(pos)) {
 					return
 				}
 			}
