@@ -239,6 +239,7 @@ func TestEmitAggBenchJSON(t *testing.T) {
 	out := map[string]any{
 		"go":                    runtime.Version(),
 		"cpus":                  runtime.NumCPU(),
+		"gomaxprocs":            runtime.GOMAXPROCS(0),
 		"facts":                 queryFacts,
 		"benchmarks":            rows,
 		"incremental_speedup_x": incSpeedup,

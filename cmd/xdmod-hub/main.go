@@ -53,6 +53,8 @@ func main() {
 		qcTTL       = flag.String("query-cache-ttl", "", "optional query-cache entry TTL, e.g. 30s (default none)")
 		aggInc      = flag.Bool("agg-incremental", true, "fold replicated inserts into hub aggregates at apply time")
 		aggWorkers  = flag.Int("agg-rebuild-workers", 0, "parallel scan workers for full re-aggregation (0 = one per CPU)")
+		shards      = flag.Int("shards", 0, "aggregation shards per realm (0/1 = unsharded)")
+		shardKey    = flag.String("shard-key", "", "shard routing key: resource or schema (default config/resource)")
 		traceCap    = flag.Int("trace-capacity", 0, "retained spans for /debug/traces (0 = config/default)")
 		scrapeIv    = flag.String("scrape-interval", "", "member telemetry scrape interval, e.g. 15s (default config/15s)")
 		storageBk   = flag.String("storage-backend", "", "segment-store backend: memory or disk (default config/memory)")
@@ -75,6 +77,7 @@ func main() {
 	}
 	applyCacheFlags(&cfg, *qcEnable, *qcBytes, *qcTTL)
 	applyAggFlags(&cfg, *aggInc, *aggWorkers)
+	applyShardingFlags(&cfg, *shards, *shardKey)
 	applyTelemetryFlags(&cfg, *traceCap, *scrapeIv, scrape)
 	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
 	hub, err := core.NewHub(cfg)
@@ -224,6 +227,22 @@ func applyAggFlags(cfg *config.InstanceConfig, incremental bool, workers int) {
 		}
 	})
 	if err := cfg.Aggregation.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyShardingFlags layers the aggregation-sharding knobs over the
+// config file: only flags the operator actually set override it.
+func applyShardingFlags(cfg *config.InstanceConfig, shards int, key string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "shards":
+			cfg.Sharding.Shards = shards
+		case "shard-key":
+			cfg.Sharding.Key = key
+		}
+	})
+	if err := cfg.Sharding.Validate(); err != nil {
 		fatal(err)
 	}
 }

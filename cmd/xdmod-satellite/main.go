@@ -48,6 +48,8 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "segment directory for -storage-backend=disk")
 		hotTail    = flag.Int("hot-tail-rows", 0, "rows buffered per table before sealing a segment (0 = config/default)")
 		maxResid   = flag.Int64("max-resident-bytes", 0, "heap cap for materialized disk segments (0 = config/default)")
+		shards     = flag.Int("shards", 0, "aggregation shards per realm (0/1 = unsharded)")
+		shardKey   = flag.String("shard-key", "", "shard routing key: resource or schema (default config/resource)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -62,6 +64,7 @@ func main() {
 	applyDurabilityFlags(&cfg, *walFsync, *walFsyncIv)
 	applyObsFlags(&cfg, *traceCap)
 	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
+	applyShardingFlags(&cfg, *shards, *shardKey)
 	sat, err := core.NewSatellite(cfg)
 	if err != nil {
 		fatal(err)
@@ -185,6 +188,22 @@ func applyStorageFlags(cfg *config.InstanceConfig, backend, dataDir string, hotT
 		}
 	})
 	if err := cfg.Storage.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyShardingFlags layers the aggregation-sharding knobs over the
+// config file: only flags the operator actually set override it.
+func applyShardingFlags(cfg *config.InstanceConfig, shards int, key string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "shards":
+			cfg.Sharding.Shards = shards
+		case "shard-key":
+			cfg.Sharding.Key = key
+		}
+	})
+	if err := cfg.Sharding.Validate(); err != nil {
 		fatal(err)
 	}
 }

@@ -135,6 +135,7 @@ func TestEmitColumnarBenchJSON(t *testing.T) {
 	out := map[string]any{
 		"go":                       runtime.Version(),
 		"cpus":                     runtime.NumCPU(),
+		"gomaxprocs":               runtime.GOMAXPROCS(0),
 		"facts":                    queryFacts,
 		"benchmarks":               rows,
 		"quiet_chart_p50_ns":       quietP50.Nanoseconds(),

@@ -21,9 +21,15 @@ type Engine struct {
 	db     *warehouse.DB
 	levels map[string]config.AggregationLevels // dimension id -> levels
 
-	// rebuildWorkers caps the number of source schemas Reaggregate
-	// scans concurrently; <= 0 means GOMAXPROCS (see rebuild.go).
+	// rebuildWorkers caps how many workers Reaggregate's work-stealing
+	// pool runs; <= 0 means GOMAXPROCS (see rebuild.go).
 	rebuildWorkers int
+
+	// shards/shardKey partition each realm's aggregation tables into
+	// independent per-schema shards (see shard.go). shards <= 1 keeps
+	// the legacy single "<schema>_agg" table set.
+	shards   int
+	shardKey string
 }
 
 // New creates an engine over db with the given aggregation levels.
@@ -143,15 +149,18 @@ func aggDef(info realm.Info, p Period) warehouse.TableDef {
 	return def
 }
 
-// Setup creates the aggregation tables for every period of a realm.
+// Setup creates the aggregation tables for every period of a realm,
+// one table set per shard.
 func (e *Engine) Setup(info realm.Info) error {
 	if err := info.Validate(); err != nil {
 		return err
 	}
-	s := e.db.EnsureSchema(AggSchema(info))
-	for _, p := range Periods() {
-		if _, err := s.EnsureTable(aggDef(info, p)); err != nil {
-			return err
+	for k := 0; k < e.NumShards(); k++ {
+		s := e.db.EnsureSchema(e.aggSchemaShard(info, k))
+		for _, p := range Periods() {
+			if _, err := s.EnsureTable(aggDef(info, p)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -161,20 +170,6 @@ func (e *Engine) Setup(info realm.Info) error {
 type target struct {
 	period Period
 	tab    *warehouse.Table
-}
-
-// targets resolves the realm's aggregation tables (outside the DB
-// write lock; Table pointers stay valid).
-func (e *Engine) targets(info realm.Info) ([]target, error) {
-	var out []target
-	for _, p := range Periods() {
-		tab, err := e.db.TableIn(AggSchema(info), AggTableName(info.FactTable, p))
-		if err != nil {
-			return nil, fmt.Errorf("aggregate: realm %s not set up for period %s: %w", info.Name, p, err)
-		}
-		out = append(out, target{p, tab})
-	}
-	return out, nil
 }
 
 // dimValue renders one fact row's value for a dimension: categorical
@@ -191,18 +186,21 @@ func (e *Engine) dimValue(d realm.Dimension, r warehouse.Row) string {
 	return "all"
 }
 
-// ApplyFactRow merges one fact row into all period aggregation tables.
-// Aggregation is additive, so newly ingested facts can be folded in
-// incrementally (the paper's daily aggregation of "newly ingested
-// data").
+// ApplyFactRow merges one fact row into all period aggregation tables
+// (of the shard the row routes to). Aggregation is additive, so newly
+// ingested facts can be folded in incrementally (the paper's daily
+// aggregation of "newly ingested data"). Rows of a realm without a
+// resource dimension route as if read from the realm's own schema —
+// callers folding replicated data on source-schema-sharded realms must
+// use ApplyFactRows, which carries the source schema.
 func (e *Engine) ApplyFactRow(info realm.Info, r warehouse.Row) error {
-	targets, err := e.targets(info)
+	st, err := e.shardTargets(info)
 	if err != nil {
 		return err
 	}
 	cols, weights := measureColumns(info)
 	return e.db.Do(func() error {
-		return e.applyLocked(info, targets, cols, weights, r)
+		return e.applyLocked(info, st, e.router(info), info.Schema, cols, weights, r)
 	})
 }
 
@@ -219,9 +217,10 @@ func factTime(info realm.Info, r warehouse.Row) (time.Time, error) {
 	return t, nil
 }
 
-// applyLocked folds one fact row into the resolved targets. Must run
-// while holding the DB write lock.
-func (e *Engine) applyLocked(info realm.Info, targets []target, cols, weights []string, r warehouse.Row) error {
+// applyLocked folds one fact row into the targets of the shard the
+// row routes to. Must run while holding the DB write lock.
+func (e *Engine) applyLocked(info realm.Info, st [][]target, rt shardRouter, sourceSchema string,
+	cols, weights []string, r warehouse.Row) error {
 	mFactsApplied.Inc()
 	t, err := factTime(info, r)
 	if err != nil {
@@ -231,7 +230,7 @@ func (e *Engine) applyLocked(info realm.Info, targets []target, cols, weights []
 	for i, d := range info.Dimensions {
 		dims[i] = e.dimValue(d, r)
 	}
-	for _, tg := range targets {
+	for _, tg := range st[rt.shardOf(sourceSchema, dims)] {
 		pk := tg.period.Key(t)
 		key := make([]any, 0, 1+len(dims))
 		key = append(key, pk)
@@ -321,16 +320,17 @@ func (e *Engine) AggregateSchema(info realm.Info, sourceSchema string) (int, err
 	if err != nil {
 		return 0, err
 	}
-	targets, err := e.targets(info)
+	st, err := e.shardTargets(info)
 	if err != nil {
 		return 0, err
 	}
+	rt := e.router(info)
 	cols, weights := measureColumns(info)
 	n := 0
 	var applyErr error
 	err = e.db.Do(func() error {
 		fact.Scan(func(r warehouse.Row) bool {
-			if applyErr = e.applyLocked(info, targets, cols, weights, r); applyErr != nil {
+			if applyErr = e.applyLocked(info, st, rt, sourceSchema, cols, weights, r); applyErr != nil {
 				return false
 			}
 			n++
@@ -341,18 +341,20 @@ func (e *Engine) AggregateSchema(info realm.Info, sourceSchema string) (int, err
 	return n, err
 }
 
-// Truncate clears a realm's aggregation tables and bumps the warehouse
-// epoch: the aggregates changed, so query-result cache entries computed
-// against the old contents must never be served again.
+// Truncate clears a realm's aggregation tables across every shard. The
+// commit bumps each touched shard schema's epoch, so query-result
+// cache entries computed against the old contents are never served
+// again.
 func (e *Engine) Truncate(info realm.Info) error {
-	targets, err := e.targets(info)
+	st, err := e.shardTargets(info)
 	if err != nil {
 		return err
 	}
-	defer e.db.BumpEpoch()
 	return e.db.Do(func() error {
-		for _, tg := range targets {
-			tg.tab.Truncate()
+		for _, targets := range st {
+			for _, tg := range targets {
+				tg.tab.Truncate()
+			}
 		}
 		return nil
 	})

@@ -120,13 +120,15 @@ type groupFacts struct {
 
 // ApplyFactRows folds positional fact rows (binlog event payloads for
 // sourceSchema's fact table) into all period aggregation tables. The
-// batch is parsed and grouped with no lock held; the write transaction
-// then touches each affected aggregation row once — one GetByKey and
-// one positional upsert per group instead of per fact — while folding
-// the group's facts sequentially to keep float accumulation identical
-// to the old per-row path and to a full rebuild. A row failing
-// validation aborts the fold before any table is touched; the caller
-// must schedule a full rebuild if it cannot tolerate the dropped batch.
+// batch is parsed, routed to shards and grouped with no lock held; one
+// shard-scoped write transaction per touched shard then updates each
+// affected aggregation row once — one GetByKey and one positional
+// upsert per group instead of per fact — while folding the group's
+// facts sequentially to keep float accumulation identical to the old
+// per-row path and to a full rebuild. Untouched shards keep their
+// epochs (and their cached charts). A row failing validation aborts
+// the fold before any table is touched; the caller must schedule a
+// full rebuild if it cannot tolerate the dropped batch.
 func (e *Engine) ApplyFactRows(info realm.Info, sourceSchema string, rows [][]any) (int, error) {
 	if len(rows) == 0 {
 		return 0, nil
@@ -135,22 +137,23 @@ func (e *Engine) ApplyFactRows(info realm.Info, sourceSchema string, rows [][]an
 	if err != nil {
 		return 0, err
 	}
-	targets, err := e.targets(info)
+	st, err := e.shardTargets(info)
 	if err != nil {
 		return 0, err
 	}
+	rt := e.router(info)
 	cols, weights := measureColumns(info)
 	rr, err := e.newRowReader(info, fact.Def(), cols, weights)
 	if err != nil {
 		return 0, fmt.Errorf("aggregate: incremental fold into %s: %w", info.Name, err)
 	}
 
-	// Phase 1, lock-free: parse and group the batch.
+	// Phase 1, lock-free: parse the batch, route each fact to its shard
+	// and group. Shard group maps allocate lazily — a batch from one
+	// satellite typically touches one shard (source-schema routing) or a
+	// few (resource routing).
 	periods := Periods()
-	groups := make([]map[string]*groupFacts, len(periods))
-	for i := range groups {
-		groups[i] = make(map[string]*groupFacts)
-	}
+	groups := make([][]map[string]*groupFacts, rt.shards) // [shard][period]
 	dims := make([]string, len(info.Dimensions))
 	var keyBuf []byte
 	for _, row := range rows {
@@ -183,6 +186,14 @@ func (e *Engine) ApplyFactRows(info realm.Info, sourceSchema string, rows [][]an
 		for i, wp := range rr.wpairs {
 			entry.wvals[i] = cellFloat(row, wp[0]) * cellFloat(row, wp[1])
 		}
+		sg := groups[rt.shardOf(sourceSchema, dims)]
+		if sg == nil {
+			sg = make([]map[string]*groupFacts, len(periods))
+			for i := range sg {
+				sg[i] = make(map[string]*groupFacts)
+			}
+			groups[rt.shardOf(sourceSchema, dims)] = sg
+		}
 		var dimsCopy []string // shared by every period's group of this fact
 		for pi, period := range periods {
 			pk := period.Key(t)
@@ -192,30 +203,37 @@ func (e *Engine) ApplyFactRows(info realm.Info, sourceSchema string, rows [][]an
 				b = append(b, d...)
 			}
 			keyBuf = b
-			g, ok := groups[pi][string(b)]
+			g, ok := sg[pi][string(b)]
 			if !ok {
 				if dimsCopy == nil {
 					dimsCopy = append([]string(nil), dims...)
 				}
 				g = &groupFacts{periodKey: pk, dims: dimsCopy}
-				groups[pi][string(b)] = g
+				sg[pi][string(b)] = g
 			}
 			g.entries = append(g.entries, entry)
 		}
 	}
 
-	// Phase 2: merge into the aggregation tables in one transaction.
+	// Phase 2: merge into each touched shard's aggregation tables, one
+	// shard-scoped transaction per shard (ascending, so concurrent
+	// callers that ever take several shard locks agree on the order).
 	names := newAggColNames(cols, weights)
-	err = e.db.Do(func() error {
-		for pi, tg := range targets {
-			if err := mergeGroupsInto(tg.tab, info, cols, weights, names, groups[pi]); err != nil {
-				return err
-			}
+	for k, sg := range groups {
+		if sg == nil {
+			continue
 		}
-		return nil
-	})
-	if err != nil {
-		return 0, err
+		err = e.db.DoSchema(e.aggSchemaShard(info, k), func() error {
+			for pi, tg := range st[k] {
+				if err := mergeGroupsInto(tg.tab, info, cols, weights, names, sg[pi]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
 	}
 	mIncrementalFacts.Add(uint64(len(rows)))
 	return len(rows), nil

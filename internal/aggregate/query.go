@@ -191,21 +191,67 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 	if req.Period == 0 {
 		req.Period = Month
 	}
+	if e.NumShards() > 1 {
+		return e.queryShards(info, req, metric, groupCol)
+	}
 	td, err := e.db.DataFor(AggSchema(info), AggTableName(info.FactTable, req.Period))
 	if err != nil {
 		return nil, QueryInfo{}, err
 	}
+	cells := map[gp]*cell{}
+	aggCells := map[string]*cell{}
+	hasMeasure := metric.Column != ""
+	hasWeight := metric.WeightColumn != ""
+	scanned := scanAggRows(td, info, req, metric, groupCol, false,
+		func(pk int64, group string, n int64, sum, last, mn, mx, wsum, wden float64, _ []string) {
+			foldCell(cells, aggCells, gp{group, pk}, n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+		})
+	mRowsScanned.Add(uint64(scanned))
+	return buildSeries(metric, cells, aggCells), QueryInfo{RowsScanned: scanned}, nil
+}
+
+// gp keys one timeseries accumulator cell: (group value, period key).
+type gp struct {
+	group string
+	pk    int64
+}
+
+// foldCell folds one aggregation row's values into both the
+// per-(group, period) cell and the group's whole-range aggregate cell.
+func foldCell(cells map[gp]*cell, aggCells map[string]*cell, k gp,
+	n int64, sum, last, mn, mx, wsum, wden float64, hasMeasure, hasWeight bool) {
+	c := cells[k]
+	if c == nil {
+		c = &cell{}
+		cells[k] = c
+	}
+	c.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+	a := aggCells[k.group]
+	if a == nil {
+		a = &cell{}
+		aggCells[k.group] = a
+	}
+	a.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+}
+
+// scanAggRows iterates one aggregation-table snapshot chunk-wise,
+// applying the request's period range and dimension filters, and calls
+// emit for every passing live row with the metric's pre-extracted
+// values. Every column the metric touches is resolved once per
+// contiguous chunk (a cold segment materializes only when the scan
+// reaches it) and the per-row loop reads typed vectors only. When
+// needDims is true, emit's dimVals argument carries the row's full
+// dimension values in info.Dimensions order (the buffer is reused —
+// valid only during the call); the sharded gather uses it to build
+// deterministic merge keys. Returns the live rows visited.
+func scanAggRows(td *warehouse.TableData, info realm.Info, req Request, metric realm.Metric,
+	groupCol string, needDims bool,
+	emit func(pk int64, group string, n int64, sum, last, mn, mx, wsum, wden float64, dimVals []string)) int {
 
 	type dimFilter struct {
 		vals []string
 		want string
 	}
-	type gp struct {
-		group string
-		pk    int64
-	}
-	cells := map[gp]*cell{}
-	aggCells := map[string]*cell{}
 	scanned := 0
 	hasMeasure := metric.Column != ""
 	hasWeight := metric.WeightColumn != ""
@@ -215,10 +261,10 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 		}
 		return v[pos]
 	}
-	// Chunk-wise scan: every column the metric touches is resolved once
-	// per contiguous chunk (a cold segment materializes only when the
-	// scan reaches it), the per-row loop reads typed vectors only, and
-	// the accumulator maps carry across chunk boundaries.
+	var dimVals []string
+	if needDims {
+		dimVals = make([]string, len(info.Dimensions))
+	}
 	for chunk := 0; chunk < td.NumChunks(); chunk++ {
 		ch := td.Chunk(chunk)
 		strCol := func(name string) []string {
@@ -256,6 +302,13 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 		if groupCol != "" {
 			groupV = strCol(groupCol)
 		}
+		var dimVs [][]string
+		if needDims {
+			dimVs = make([][]string, len(info.Dimensions))
+			for i, d := range info.Dimensions {
+				dimVs[i] = strCol("dim_" + d.ID)
+			}
+		}
 		filters := make([]dimFilter, 0, len(req.Filters))
 		for dim, want := range req.Filters {
 			filters = append(filters, dimFilter{vals: strCol("dim_" + dim), want: want})
@@ -290,26 +343,24 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 			if nV != nil {
 				n = nV[pos]
 			}
-			sum, last := at(sumV, pos), at(lastV, pos)
-			mn, mx := at(minV, pos), at(maxV, pos)
-			wsum, wden := at(wsumV, pos), at(wdenV, pos)
-			k := gp{group, pk}
-			c := cells[k]
-			if c == nil {
-				c = &cell{}
-				cells[k] = c
+			if needDims {
+				for i := range dimVs {
+					if dimVs[i] != nil {
+						dimVals[i] = dimVs[i][pos]
+					} else {
+						dimVals[i] = ""
+					}
+				}
 			}
-			c.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
-			a := aggCells[group]
-			if a == nil {
-				a = &cell{}
-				aggCells[group] = a
-			}
-			a.addVals(n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
+			emit(pk, group, n, at(sumV, pos), at(lastV, pos), at(minV, pos), at(maxV, pos),
+				at(wsumV, pos), at(wdenV, pos), dimVals)
 		}
 	}
-	mRowsScanned.Add(uint64(scanned))
+	return scanned
+}
 
+// buildSeries renders the accumulated cells as sorted Series.
+func buildSeries(metric realm.Metric, cells map[gp]*cell, aggCells map[string]*cell) []Series {
 	byGroup := map[string][]Point{}
 	for k, c := range cells {
 		byGroup[k.group] = append(byGroup[k.group], Point{PeriodKey: k.pk, Value: c.value(metric)})
@@ -330,7 +381,7 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 			N:         aggCells[g].n,
 		})
 	}
-	return out, QueryInfo{RowsScanned: scanned}, nil
+	return out
 }
 
 // TopN returns the n groups with the largest aggregate value, largest

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xdmodfed/internal/config"
@@ -283,53 +284,69 @@ func (fr *factReader) timeAt(pos int) (time.Time, error) {
 	return fr.times[pos], nil
 }
 
-// scanPartial folds every live fact row of one snapshot into a fresh
-// partial. Runs lock-free against the immutable snapshot, chunk by
-// chunk: a cold sealed segment is materialized only when the scan
-// reaches it (and is evictable again as soon as the scan moves on), so
-// the scan's resident footprint is one segment plus the backend's
-// budget — never the whole table.
-func (e *Engine) scanPartial(info realm.Info, td *warehouse.TableData, cols, weights []string) (partial, int, error) {
-	f := newFolder()
-	if td.NumRows() == 0 {
-		return f.p, 0, nil
-	}
-	dims := make([]string, len(info.Dimensions))
-	vals := make([]float64, len(cols))
-	wvals := make([]float64, len(weights))
+// scanPartials folds every live fact row of one snapshot into fresh
+// per-shard partials: out[k] holds the groups routing to shard k (nil
+// for shards the caller did not ask for — want nil means all). Runs
+// lock-free against the immutable snapshot, chunk by chunk: a cold
+// sealed segment is materialized only when the scan reaches it (and is
+// evictable again as soon as the scan moves on), so the scan's
+// resident footprint is one segment plus the backend's budget — never
+// the whole table.
+func (e *Engine) scanPartials(info realm.Info, td *warehouse.TableData, sourceSchema string,
+	rt shardRouter, want []bool, cols, weights []string) ([]partial, int, error) {
+
+	folders := make([]*folder, rt.shards)
+	out := make([]partial, rt.shards)
 	n := 0
-	for chunk := 0; chunk < td.NumChunks(); chunk++ {
-		ch := td.Chunk(chunk)
-		if ch.Rows() == 0 {
-			continue
-		}
-		fr, err := e.newFactReader(info, ch, cols, weights)
-		if err != nil {
-			return nil, 0, err
-		}
-		dead := ch.Tombstones()
-		for pos := 0; pos < ch.Rows(); pos++ {
-			if dead[pos] {
+	if td.NumRows() > 0 {
+		dims := make([]string, len(info.Dimensions))
+		vals := make([]float64, len(cols))
+		wvals := make([]float64, len(weights))
+		for chunk := 0; chunk < td.NumChunks(); chunk++ {
+			ch := td.Chunk(chunk)
+			if ch.Rows() == 0 {
 				continue
 			}
-			t, err := fr.timeAt(pos)
+			fr, err := e.newFactReader(info, ch, cols, weights)
 			if err != nil {
 				return nil, 0, err
 			}
-			for i := range fr.dims {
-				dims[i] = fr.dims[i].value(pos)
+			dead := ch.Tombstones()
+			for pos := 0; pos < ch.Rows(); pos++ {
+				if dead[pos] {
+					continue
+				}
+				t, err := fr.timeAt(pos)
+				if err != nil {
+					return nil, 0, err
+				}
+				for i := range fr.dims {
+					dims[i] = fr.dims[i].value(pos)
+				}
+				k := rt.shardOf(sourceSchema, dims)
+				if want != nil && !want[k] {
+					continue
+				}
+				for i := range fr.meas {
+					vals[i] = fr.meas[i].at(pos)
+				}
+				for i := range fr.wpairs {
+					wvals[i] = fr.wpairs[i][0].at(pos) * fr.wpairs[i][1].at(pos)
+				}
+				if folders[k] == nil {
+					folders[k] = newFolder()
+				}
+				folders[k].fold(t, dims, vals, wvals)
+				n++
 			}
-			for i := range fr.meas {
-				vals[i] = fr.meas[i].at(pos)
-			}
-			for i := range fr.wpairs {
-				wvals[i] = fr.wpairs[i][0].at(pos) * fr.wpairs[i][1].at(pos)
-			}
-			f.fold(t, dims, vals, wvals)
-			n++
 		}
 	}
-	return f.p, n, nil
+	for k, f := range folders {
+		if f != nil {
+			out[k] = f.p // nil partials merge (and install) as empty
+		}
+	}
+	return out, n, nil
 }
 
 // buildAggColumns renders one period's merged groups as the columnar
@@ -406,17 +423,49 @@ func buildAggColumns(info realm.Info, p Period, cols, weights []string, groups m
 	return cd
 }
 
-// Reaggregate rebuilds the realm's aggregation tables from the given
-// source schemas, scanning the schemas in parallel. This is the paper's
-// config-change path: "update the appropriate configuration file on the
-// federation hub, then re-aggregate all raw federation data" (§II-C3) —
-// raw data is untouched, so nothing is lost. It is also the fallback
-// whenever the incremental path cannot keep the aggregates current
-// (updates, deletes, truncates, loose reloads).
+// Reaggregate rebuilds the realm's aggregation tables — every shard —
+// from the given source schemas. This is the paper's config-change
+// path: "update the appropriate configuration file on the federation
+// hub, then re-aggregate all raw federation data" (§II-C3) — raw data
+// is untouched, so nothing is lost. It is also the fallback whenever
+// the incremental path cannot keep the aggregates current (updates,
+// deletes, truncates, loose reloads).
 func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, error) {
-	targets, err := e.targets(info)
+	return e.reaggregate(info, sourceSchemas, nil)
+}
+
+// ReaggregateShards rebuilds only the named shards' aggregation
+// tables. A rebuild triggered by a mutation that maps to one shard —
+// a loose reload of one member schema under source-schema routing —
+// pays for that shard alone; the other shards' tables are not touched
+// and their cached charts stay valid.
+func (e *Engine) ReaggregateShards(info realm.Info, sourceSchemas []string, shards []int) (int, error) {
+	return e.reaggregate(info, sourceSchemas, shards)
+}
+
+// reaggregate scans the source schemas with a work-stealing worker
+// pool, merges each shard's per-schema partials in source-schema
+// order (so floating-point accumulation associates exactly like the
+// sequential reference), and installs each shard independently under
+// its own schema's shard lock — there is no shared install lock, so
+// shard installs proceed in parallel with each other and with chart
+// queries against other shards. only selects the shards to rebuild
+// (nil = all).
+func (e *Engine) reaggregate(info realm.Info, sourceSchemas []string, only []int) (int, error) {
+	st, err := e.shardTargets(info)
 	if err != nil {
 		return 0, err
+	}
+	rt := e.router(info)
+	var want []bool // nil = rebuild every shard
+	if only != nil {
+		want = make([]bool, rt.shards)
+		for _, k := range only {
+			if k < 0 || k >= rt.shards {
+				return 0, fmt.Errorf("aggregate: realm %s has no shard %d", info.Name, k)
+			}
+			want[k] = true
+		}
 	}
 	tabs := make([]*warehouse.Table, len(sourceSchemas))
 	for i, s := range sourceSchemas {
@@ -426,25 +475,33 @@ func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, erro
 		}
 		tabs[i] = tab
 	}
+	// Under source-schema routing a whole schema maps to one shard, so
+	// scans of schemas outside the wanted set are skipped entirely; in
+	// resource mode every schema can feed every shard and all scans run
+	// (unwanted rows are dropped after routing, before folding).
+	scanIdx := make([]int, 0, len(tabs))
+	for i := range tabs {
+		if want != nil && rt.bySchema() && !want[rt.shardOfSchema(sourceSchemas[i])] {
+			continue
+		}
+		scanIdx = append(scanIdx, i)
+	}
 	// Capture the published snapshot of every source table inside one
-	// brief read transaction: the lock excludes writers for a few
-	// pointer loads, so the snapshot set is a consistent cut across
-	// schemas even when one write transaction spans several of them.
-	// The scans themselves then run with no lock held at all — chart
-	// queries and replication writes proceed concurrently.
+	// brief read transaction: the shard read locks exclude writers for
+	// a few pointer loads, so the snapshot set is a consistent cut
+	// across schemas even when one write transaction spans several of
+	// them. The scans themselves then run with no lock held at all —
+	// chart queries and replication writes proceed concurrently.
 	facts := make([]*warehouse.TableData, len(tabs))
-	e.db.View(func() error {
+	err = e.db.ViewSchemas(sourceSchemas, func() error {
 		for i, tab := range tabs {
 			facts[i] = tab.Data()
 		}
 		return nil
 	})
-	// The epoch bump happens after the rebuild completes (deferred so
-	// error paths bump too — a failed rebuild may have changed the
-	// tables): any chart query that raced the install read the epoch
-	// before this bump, so its cached result can never be served once
-	// the rebuild is done.
-	defer e.db.BumpEpoch()
+	if err != nil {
+		return 0, err
+	}
 	mRebuilds.Inc()
 	defer mRealmAggSeconds.With(info.Name).ObserveSince(time.Now())
 
@@ -452,54 +509,110 @@ func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, erro
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(facts) {
-		workers = len(facts)
+	if workers > len(scanIdx) {
+		workers = len(scanIdx)
 	}
+	workers = max(workers, 1)
 	cols, weights := measureColumns(info)
-	partials := make([]partial, len(facts))
-	counts := make([]int, len(facts))
-	errs := make([]error, len(facts))
 
-	sem := make(chan struct{}, max(workers, 1))
+	// Scan phase: a work-stealing pool over the per-schema scan tasks.
+	// Workers pull the next unscanned schema from a shared counter, so
+	// one oversized member schema never serializes the tail the way a
+	// fixed split would — the remaining workers drain the other schemas
+	// meanwhile.
+	partials := make([][]partial, len(tabs)) // [schema][shard]
+	counts := make([]int, len(tabs))
+	errs := make([]error, len(tabs))
+	var nextScan atomic.Int64
 	var wg sync.WaitGroup
-	for i := range facts {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			partials[i], counts[i], errs[i] = e.scanPartial(info, facts[i], cols, weights)
-		}(i)
+			for {
+				t := int(nextScan.Add(1)) - 1
+				if t >= len(scanIdx) {
+					return
+				}
+				i := scanIdx[t]
+				partials[i], counts[i], errs[i] = e.scanPartials(info, facts[i], sourceSchemas[i], rt, want, cols, weights)
+			}
+		}()
 	}
 	wg.Wait()
 	total := 0
-	for i, err := range errs {
-		if err != nil {
-			return 0, err
+	for _, i := range scanIdx {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
 		total += counts[i]
 	}
-	merged := make(partial, len(Periods()))
-	for _, p := range partials {
-		merged.merge(p)
-	}
 
-	// Install atomically: one bulk columnar load per aggregation table,
-	// all in one write transaction, so no reader ever sees a half-built
-	// table — and the binlog carries one LOAD event per table instead of
-	// a truncate plus one event per group.
-	err = e.db.Do(func() error {
+	// Merge + install phase: one task per wanted shard, again
+	// work-stealing. Each task merges the shard's per-schema partials
+	// in schema order and installs them into the shard's own schema
+	// under that schema's shard lock — one bulk columnar load per
+	// aggregation table, all periods in one shard transaction, so no
+	// reader ever sees a half-built shard and the binlog carries one
+	// LOAD event per table.
+	installIdx := make([]int, 0, rt.shards)
+	for k := 0; k < rt.shards; k++ {
+		if want == nil || want[k] {
+			installIdx = append(installIdx, k)
+		}
+	}
+	iworkers := min(workers, len(installIdx))
+	ierrs := make([]error, len(installIdx))
+	var nextInstall atomic.Int64
+	var iwg sync.WaitGroup
+	for w := 0; w < max(iworkers, 1); w++ {
+		iwg.Add(1)
+		go func() {
+			defer iwg.Done()
+			for {
+				t := int(nextInstall.Add(1)) - 1
+				if t >= len(installIdx) {
+					return
+				}
+				ierrs[t] = e.installShard(info, installIdx[t], st[installIdx[t]], partials, cols, weights)
+			}
+		}()
+	}
+	iwg.Wait()
+	for _, err := range ierrs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	mFactsApplied.Add(uint64(total))
+	return total, nil
+}
+
+// installShard merges one shard's per-schema partials (in schema
+// order) and installs them as bulk columnar loads under the shard
+// schema's own lock.
+func (e *Engine) installShard(info realm.Info, k int, targets []target, partials [][]partial, cols, weights []string) error {
+	start := time.Now()
+	merged := make(partial, len(Periods()))
+	rows := 0
+	for _, ps := range partials {
+		if ps != nil {
+			merged.merge(ps[k])
+		}
+	}
+	err := e.db.DoSchema(e.aggSchemaShard(info, k), func() error {
 		for _, tg := range targets {
 			cd := buildAggColumns(info, tg.period, cols, weights, merged[tg.period])
+			rows += cd.Rows
 			if err := tg.tab.ReplaceAllColumns(cd); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
-	if err != nil {
-		return 0, err
-	}
-	mFactsApplied.Add(uint64(total))
-	return total, nil
+	shard := strconv.Itoa(k)
+	mShardRebuilds.With(shard).Inc()
+	mShardRebuildSeconds.With(shard).ObserveSince(start)
+	mShardAggRows.With(shard).Set(float64(rows))
+	return err
 }

@@ -1,0 +1,198 @@
+package aggregate
+
+import (
+	"fmt"
+	"strconv"
+
+	"xdmodfed/internal/realm"
+)
+
+// Aggregate-level sharding. A realm's aggregation tables can be
+// partitioned into independent shards, each living in its own
+// warehouse schema ("<realm schema>_agg_s<k>") and therefore — the
+// warehouse shards per schema — owning its own writer lock, epoch
+// counter, COW snapshot chain and segment-store namespace. Rebuilds
+// install per shard with no shared lock, incremental folds touch only
+// the shards their rows route to, and chart queries scatter across the
+// shards a filter touches, merging partial rows in deterministic
+// group-key order.
+//
+// Rows route by the realm's resource dimension (the default): the
+// resource value is part of every aggregation group key, so a group
+// never spans shards and the sharded tables partition the unsharded
+// reference exactly — bit-identical, not approximately. Realms without
+// a resource dimension (and engines configured with key "schema") fall
+// back to hashing the source schema — the satellite a row replicated
+// from — which keeps whole member schemas per shard; there a group CAN
+// span shards (the same period and dimensions on two members), and the
+// scatter/gather merge folds the per-shard partial rows in sorted
+// group-key order, shard-ascending on ties, so results stay
+// deterministic with float accumulation ordered by group key.
+//
+// One shard (the default) reproduces the legacy unsharded layout and
+// behavior exactly, including the "<realm schema>_agg" schema name.
+
+// Shard-key modes.
+const (
+	ShardKeyResource = "resource" // hash the fact's resource dimension value
+	ShardKeySchema   = "schema"   // hash the source (member) schema name
+)
+
+// SetSharding configures how many shards each realm's aggregation
+// tables split into and which key routes rows. shards <= 1 disables
+// sharding (legacy single table set); key "" means ShardKeyResource.
+// Must be called before Setup — the shard schemas are created there.
+func (e *Engine) SetSharding(shards int, key string) error {
+	if shards < 1 {
+		shards = 1
+	}
+	switch key {
+	case "":
+		key = ShardKeyResource
+	case ShardKeyResource, ShardKeySchema:
+	default:
+		return fmt.Errorf("aggregate: unknown shard key %q (want %q or %q)", key, ShardKeyResource, ShardKeySchema)
+	}
+	e.shards, e.shardKey = shards, key
+	return nil
+}
+
+// NumShards returns the configured shard count (at least 1).
+func (e *Engine) NumShards() int {
+	if e.shards < 1 {
+		return 1
+	}
+	return e.shards
+}
+
+// aggSchemaShard names shard k's aggregation schema for a realm. With
+// one shard it is the legacy "<schema>_agg" name, so unsharded engines
+// are layout-compatible with every earlier release.
+func (e *Engine) aggSchemaShard(info realm.Info, k int) string {
+	if e.NumShards() <= 1 {
+		return AggSchema(info)
+	}
+	return AggSchema(info) + "_s" + strconv.Itoa(k)
+}
+
+// AggSchemas returns every aggregation schema of a realm under this
+// engine's sharding — the schemas whose warehouse epochs a chart of
+// the realm depends on (the REST layer tags cached charts with
+// DB.EpochOf over exactly this set).
+func (e *Engine) AggSchemas(info realm.Info) []string {
+	n := e.NumShards()
+	out := make([]string, n)
+	for k := 0; k < n; k++ {
+		out[k] = e.aggSchemaShard(info, k)
+	}
+	return out
+}
+
+// fnv1a hashes a shard-routing key (FNV-1a, 32-bit).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// resourceDimIndex returns the index of the realm's categorical
+// resource dimension in info.Dimensions, or -1 when the realm has none
+// (then the source-schema fallback routes its rows).
+func resourceDimIndex(info realm.Info) int {
+	for i, d := range info.Dimensions {
+		if d.ID == ShardKeyResource && !d.Numeric {
+			return i
+		}
+	}
+	return -1
+}
+
+// shardRouter routes one realm's fact rows to shards. Resolved once
+// per operation, so the per-row path is a hash and a modulus.
+type shardRouter struct {
+	shards int
+	rdi    int // resource dimension index; -1 = route by source schema
+}
+
+func (e *Engine) router(info realm.Info) shardRouter {
+	r := shardRouter{shards: e.NumShards(), rdi: -1}
+	if r.shards > 1 && e.shardKey != ShardKeySchema {
+		r.rdi = resourceDimIndex(info)
+	}
+	return r
+}
+
+// bySchema reports whether every row of one source schema lands in a
+// single shard (the source-schema fallback), which lets scans and
+// dirty tracking skip shards entirely.
+func (r shardRouter) bySchema() bool { return r.shards > 1 && r.rdi < 0 }
+
+// shardOfSchema returns the shard all of sourceSchema's rows route to
+// in source-schema mode.
+func (r shardRouter) shardOfSchema(sourceSchema string) int {
+	if r.shards <= 1 {
+		return 0
+	}
+	return int(fnv1a(sourceSchema) % uint32(r.shards))
+}
+
+// shardOf routes one fact by its rendered dimension values (resource
+// mode) or its source schema (fallback).
+func (r shardRouter) shardOf(sourceSchema string, dims []string) int {
+	if r.shards <= 1 {
+		return 0
+	}
+	if r.rdi >= 0 {
+		return int(fnv1a(dims[r.rdi]) % uint32(r.shards))
+	}
+	return int(fnv1a(sourceSchema) % uint32(r.shards))
+}
+
+// ShardOfResource returns the shard the given resource value routes to
+// for a realm, and whether resource routing applies at all — when it
+// does, a chart filtered on that resource only needs to scatter to the
+// one shard.
+func (e *Engine) ShardOfResource(info realm.Info, resource string) (int, bool) {
+	r := e.router(info)
+	if r.shards <= 1 || r.rdi < 0 {
+		return 0, false
+	}
+	return int(fnv1a(resource) % uint32(r.shards)), true
+}
+
+// ShardsForSourceSchema returns the shards that facts from one source
+// schema can land in: a single shard in source-schema mode, every
+// shard in resource mode. The hub's dirty tracking uses this to mark
+// only the shards a loose reload actually invalidated.
+func (e *Engine) ShardsForSourceSchema(info realm.Info, sourceSchema string) []int {
+	r := e.router(info)
+	if r.bySchema() {
+		return []int{r.shardOfSchema(sourceSchema)}
+	}
+	out := make([]int, r.shards)
+	for k := range out {
+		out[k] = k
+	}
+	return out
+}
+
+// shardTargets resolves every shard's aggregation tables for a realm:
+// out[shard][i] is the shard's table for Periods()[i].
+func (e *Engine) shardTargets(info realm.Info) ([][]target, error) {
+	n := e.NumShards()
+	out := make([][]target, n)
+	for k := 0; k < n; k++ {
+		schema := e.aggSchemaShard(info, k)
+		for _, p := range Periods() {
+			tab, err := e.db.TableIn(schema, AggTableName(info.FactTable, p))
+			if err != nil {
+				return nil, fmt.Errorf("aggregate: realm %s not set up for period %s (shard %d): %w", info.Name, p, k, err)
+			}
+			out[k] = append(out[k], target{p, tab})
+		}
+	}
+	return out, nil
+}

@@ -174,6 +174,43 @@ func (a AggregationConfig) Validate() error {
 	return nil
 }
 
+// Sharding key modes (mirrored by the aggregation engine).
+const (
+	ShardKeyResource = "resource"
+	ShardKeySchema   = "schema"
+)
+
+// ShardingConfig partitions each realm's aggregation tables into
+// independent shards, each with its own warehouse schema, writer lock
+// and epoch counter: rebuilds install one worker per shard with no
+// shared lock, and a write to one shard leaves the other shards'
+// cached charts valid. The zero value means "one shard" — the legacy
+// unsharded layout. Changing the shard count or key requires a full
+// re-aggregation (the shard schemas are laid out at startup).
+type ShardingConfig struct {
+	// Shards is the number of aggregation shards per realm. 0 or 1
+	// disables sharding.
+	Shards int `json:"shards,omitempty"`
+	// Key selects how fact rows route to shards: "resource" (default)
+	// hashes the fact's resource dimension value, which partitions the
+	// aggregate groups exactly; "schema" hashes the source (member)
+	// schema, keeping whole members per shard.
+	Key string `json:"key,omitempty"`
+}
+
+// Validate checks the sharding knobs.
+func (s ShardingConfig) Validate() error {
+	if s.Shards < 0 {
+		return fmt.Errorf("config: sharding shards must not be negative")
+	}
+	switch s.Key {
+	case "", ShardKeyResource, ShardKeySchema:
+		return nil
+	default:
+		return fmt.Errorf("config: unknown sharding key %q (want %q or %q)", s.Key, ShardKeyResource, ShardKeySchema)
+	}
+}
+
 // ReplicationConfig tunes the liveness and fault handling of tight
 // replication. The zero value means "defaults": 5s heartbeats, 64 MiB
 // frame cap, quarantine after 3 consecutive apply failures with a 30s
@@ -500,6 +537,9 @@ type InstanceConfig struct {
 	// Aggregation tunes incremental folding and full-rebuild
 	// parallelism; the zero value enables incremental with defaults.
 	Aggregation AggregationConfig `json:"aggregation,omitempty"`
+	// Sharding partitions each realm's aggregation tables; the zero
+	// value keeps the legacy single table set per realm.
+	Sharding ShardingConfig `json:"sharding,omitempty"`
 	// Replication tunes heartbeat/deadline liveness and the hub's
 	// member quarantine; the zero value uses safe defaults.
 	Replication ReplicationConfig `json:"replication,omitempty"`
@@ -559,6 +599,9 @@ func (c InstanceConfig) Validate() error {
 		return err
 	}
 	if err := c.Aggregation.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sharding.Validate(); err != nil {
 		return err
 	}
 	if err := c.Replication.Validate(); err != nil {

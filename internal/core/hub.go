@@ -53,14 +53,44 @@ func (m Member) Quarantined(t time.Time) bool {
 //     rows may have been missed, so the realm stays dirty.
 //   - folding counts in-flight incremental folds. A rebuild waits for
 //     it to drain so a fold can never re-add facts the rebuild's scan
-//     already counted (or vice versa).
-//   - rebuilding blocks new folds (they mark dirty instead), so a fold
-//     can never land between a rebuild's truncate and its install.
+//     already counted (or vice versa), and EnsureAggregated waits for
+//     it so a reader that has observed replicated raw rows never sees
+//     aggregates from before those rows (a batch registers its fold
+//     here before its raw rows become visible).
+//   - rebuilding blocks new folds (they mark their shards dirty
+//     instead), so a fold can never land between a rebuild's scan and
+//     its install.
+//
+// dirtyShards is tracked per aggregation shard: a non-additive batch
+// or a loose reload dirties only the shards its source schema feeds
+// (every shard under resource routing, one under source-schema
+// routing), and EnsureAggregated rebuilds exactly the dirty shards.
 type realmAggState struct {
-	dirty      bool   // aggregates may not reflect raw data; rebuild needed
-	gen        uint64 // bumped whenever replicated data for this realm lands
-	rebuilding bool   // a full rebuild is in flight
-	folding    int    // in-flight incremental folds
+	dirtyShards map[int]bool // shards whose aggregates may lag raw data
+	gen         uint64       // bumped whenever replicated data for this realm lands
+	rebuilding  bool         // a rebuild is in flight
+	folding     int          // in-flight incremental folds
+}
+
+// dirtyAny reports whether any shard needs a rebuild.
+func (st *realmAggState) dirtyAny() bool { return len(st.dirtyShards) > 0 }
+
+// markDirtyLocked records that the shards fed by sourceSchema may lag
+// the raw data. An empty sourceSchema (unknown origin) dirties every
+// shard. Caller must hold h.mu.
+func (h *Hub) markDirtyLocked(st *realmAggState, info realm.Info, sourceSchema string) {
+	if st.dirtyShards == nil {
+		st.dirtyShards = make(map[int]bool)
+	}
+	if sourceSchema == "" {
+		for k := 0; k < h.Engine.NumShards(); k++ {
+			st.dirtyShards[k] = true
+		}
+		return
+	}
+	for _, k := range h.Engine.ShardsForSourceSchema(info, sourceSchema) {
+		st.dirtyShards[k] = true
+	}
 }
 
 // Hub is a federation hub: an XDMoD instance of its own (it has a
@@ -270,18 +300,66 @@ func (h *Hub) ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, e
 	if err := h.quarantineGate(instance); err != nil {
 		return err
 	}
+	// Classify the batch and register its aggregation work BEFORE the
+	// raw rows become visible: a fold increments folding, a non-additive
+	// batch marks its shards dirty. Any reader that later observes the
+	// replicated raw rows and calls EnsureAggregated therefore either
+	// finds the registration (and waits for the fold / rebuilds the
+	// shard) or the aggregation already done — raw data can never be
+	// ahead of what EnsureAggregated accounts for.
 	deltas := map[string]*realmDelta{}
+	for _, ev := range events {
+		h.classifyEvent(deltas, ev)
+	}
+	var folds, dirtied []*realmDelta
+	h.mu.Lock()
+	for name, d := range deltas {
+		st := h.realmStateLocked(name)
+		st.gen++
+		if d.dirty || h.noIncremental || st.dirtyAny() || st.rebuilding {
+			// Either the batch itself is non-additive, or the realm
+			// already needs (or is getting) a rebuild that will cover
+			// these rows from the raw tables.
+			h.markDirtyLocked(st, d.info, d.schema)
+			dirtied = append(dirtied, d)
+			continue
+		}
+		st.folding++
+		folds = append(folds, d)
+	}
+	h.mu.Unlock()
+	// settle closes out the registrations once the raw apply's outcome
+	// is known: failed folds downgrade to dirty shards (the applied
+	// prefix is covered by a rebuild from the raw tables), and realms
+	// that went dirty bump gen again so a rebuild that scanned mid-apply
+	// can never clear them while missing this batch's rows.
+	settle := func(foldsOK bool) {
+		h.mu.Lock()
+		if !foldsOK {
+			for _, d := range folds {
+				st := h.realmStateLocked(d.info.Name)
+				st.folding--
+				h.markDirtyLocked(st, d.info, d.schema)
+			}
+		}
+		for _, d := range dirtied {
+			h.realmStateLocked(d.info.Name).gen++
+		}
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	}
+
 	// The whole batch lands as one write transaction: one lock
 	// acquisition and one columnar-snapshot publish per touched table.
 	// On failure the applied prefix stays applied (matching the old
-	// per-event behavior), and identity/aggregation bookkeeping covers
-	// exactly that prefix.
+	// per-event behavior), identity bookkeeping covers exactly that
+	// prefix, and the affected realms are rebuilt from the raw tables.
 	applied, err := h.DB.ApplyAll(events)
 	for _, ev := range events[:applied] {
 		h.observeIdentity(instance, ev)
-		h.classifyEvent(deltas, ev)
 	}
 	if err != nil {
+		settle(false)
 		lsn := uint64(0)
 		if applied < len(events) {
 			lsn = events[applied].LSN
@@ -291,6 +369,7 @@ func (h *Hub) ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, e
 		return err
 	}
 	if err := h.Positions.Set(instance, upTo); err != nil {
+		settle(false)
 		return err
 	}
 	mHubApplied.With(instance).Add(uint64(len(events)))
@@ -318,20 +397,6 @@ func (h *Hub) ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, e
 			mMemberQuarantined.With(instance).Set(0)
 		}
 	}
-	var folds []*realmDelta
-	for name, d := range deltas {
-		st := h.realmStateLocked(name)
-		st.gen++
-		if d.dirty || h.noIncremental || st.dirty || st.rebuilding {
-			// Either the batch itself is non-additive, or the realm
-			// already needs (or is getting) a rebuild that will cover
-			// these rows from the raw tables.
-			st.dirty = true
-			continue
-		}
-		st.folding++
-		folds = append(folds, d)
-	}
 	h.mu.Unlock()
 
 	for _, d := range folds {
@@ -345,20 +410,20 @@ func (h *Hub) ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, e
 		st.folding--
 		if err != nil {
 			// The fold may be partial; the raw rows are safely applied,
-			// so a full rebuild restores consistency.
-			st.dirty = true
-			coreLog.Error("incremental fold failed; realm queued for rebuild",
+			// so a rebuild of the schema's shards restores consistency.
+			h.markDirtyLocked(st, d.info, d.schema)
+			coreLog.Error("incremental fold failed; shards queued for rebuild",
 				"instance", instance, "realm", d.info.Name, "err", err)
 		}
 		h.cond.Broadcast()
 		h.mu.Unlock()
 	}
-	if len(events) > 0 {
-		// Bump after the folds so that, once ApplyBatch returns, no
-		// chart query may serve a result computed against the pre-batch
-		// view (raw or aggregated).
-		h.DB.BumpEpoch()
-	}
+	settle(true)
+	// No explicit epoch bump: every commit above (raw apply, fold
+	// installs) bumped its own schema shard's epoch, so once ApplyBatch
+	// returns no chart query can serve a result computed against the
+	// pre-batch view of the schemas this batch touched — while cached
+	// charts of untouched realms stay valid.
 	return nil
 }
 
@@ -543,11 +608,15 @@ func (h *Hub) LoadLooseDump(instance string, r io.Reader) error {
 	}
 	h.mu.Lock()
 	for _, name := range touched {
+		info, _ := h.Registry.Get(name)
 		st := h.realmStateLocked(name)
 		st.gen++
-		st.dirty = true
+		// Only the shards this member's schema feeds go dirty: under
+		// source-schema routing a re-shipped dump costs one shard's
+		// rebuild, and charts over the other shards stay cached. The
+		// load's own commits bumped the raw schema's epoch already.
+		h.markDirtyLocked(st, info, schema)
 	}
-	h.DB.BumpEpoch()
 	if m, ok := h.members[instance]; ok {
 		m.LastBatch = h.now()
 		// LastEvent reflects data age, not load time: /healthz member
@@ -594,12 +663,15 @@ func (h *Hub) memberSchemas(factTable string) []string {
 	return out
 }
 
-// rebuildRealm runs a full rebuild of one realm's aggregation tables
-// from all member schemas plus the hub's own, coordinating with the
-// incremental fold path: it waits for in-flight folds to drain, blocks
-// new folds while running (they mark the realm dirty instead), and
-// only clears the dirty flag when no new data landed mid-rebuild.
-func (h *Hub) rebuildRealm(name string) (int, error) {
+// rebuildRealm rebuilds one realm's aggregation tables from all member
+// schemas plus the hub's own, coordinating with the incremental fold
+// path: it waits for in-flight folds to drain, blocks new folds while
+// running (they mark their shards dirty instead), and only clears the
+// rebuilt shards when no new data landed mid-rebuild. With all=true
+// every shard is rebuilt (the admin / config-change path); with
+// all=false only the currently dirty shards are, so a loose reload of
+// one member schema under source-schema routing pays for its one shard.
+func (h *Hub) rebuildRealm(name string, all bool) (int, error) {
 	info, ok := h.Registry.Get(name)
 	if !ok {
 		return 0, fmt.Errorf("core: hub has no realm %q", name)
@@ -612,20 +684,45 @@ func (h *Hub) rebuildRealm(name string) (int, error) {
 	for st.rebuilding || st.folding > 0 {
 		h.cond.Wait()
 	}
+	var shards []int // nil = all
+	if !all {
+		if !st.dirtyAny() {
+			h.mu.Unlock()
+			return 0, nil
+		}
+		shards = make([]int, 0, len(st.dirtyShards))
+		for k := range st.dirtyShards {
+			shards = append(shards, k)
+		}
+		sort.Ints(shards)
+	}
 	st.rebuilding = true
 	gen0 := st.gen
 	h.mu.Unlock()
 
-	n, err := h.Engine.Reaggregate(info, sources)
+	var n int
+	var err error
+	if shards == nil {
+		n, err = h.Engine.Reaggregate(info, sources)
+	} else {
+		n, err = h.Engine.ReaggregateShards(info, sources, shards)
+	}
 
 	h.mu.Lock()
 	st.rebuilding = false
 	if err != nil {
-		st.dirty = true
+		h.markDirtyLocked(st, info, "")
 	} else if st.gen == gen0 {
-		// No data landed while scanning: the aggregates are current.
-		// Otherwise the realm stays dirty and the next read rebuilds.
-		st.dirty = false
+		// No data landed while scanning: the rebuilt shards are current.
+		// Otherwise everything stays dirty and the next read rebuilds —
+		// a batch that landed mid-scan may or may not be in the result.
+		if shards == nil {
+			st.dirtyShards = nil
+		} else {
+			for _, k := range shards {
+				delete(st.dirtyShards, k)
+			}
+		}
 	}
 	h.cond.Broadcast()
 	h.mu.Unlock()
@@ -649,7 +746,7 @@ func (h *Hub) AggregateFederation() (map[string]int, error) {
 	defer mAggRuns.Inc()
 	counts := map[string]int{}
 	for _, name := range h.Registry.Names() {
-		n, err := h.rebuildRealm(name)
+		n, err := h.rebuildRealm(name, true)
 		if err != nil {
 			return counts, err
 		}
@@ -658,33 +755,63 @@ func (h *Hub) AggregateFederation() (map[string]int, error) {
 	return counts, nil
 }
 
-// EnsureAggregated brings every dirty realm's aggregates current before
-// a read. Realms kept current by the incremental fold cost nothing
-// here. A queue of concurrent callers collapses into a single rebuild:
-// the first one rebuilds the dirty realms, the rest observe a clean
-// hub and return immediately.
+// EnsureAggregated brings every dirty shard's aggregates current
+// before a read. It first waits for in-flight incremental folds to
+// drain: a batch registers its fold before its raw rows become
+// visible, so a reader that polls the raw tables and then calls
+// EnsureAggregated is guaranteed aggregates covering every raw row it
+// saw. Realms kept current by the fold then cost nothing here. A
+// queue of concurrent callers collapses into a single rebuild: the
+// first one rebuilds the dirty shards, the rest observe a clean hub
+// and return immediately.
 func (h *Hub) EnsureAggregated() error {
-	if len(h.dirtyRealms()) == 0 {
+	h.mu.Lock()
+	pending := h.anyFoldingLocked() || h.anyDirtyLocked()
+	h.mu.Unlock()
+	if !pending {
 		return nil
 	}
 	h.ensureMu.Lock()
 	defer h.ensureMu.Unlock()
+	h.mu.Lock()
+	for h.anyFoldingLocked() {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
 	for _, name := range h.dirtyRealms() {
-		if _, err := h.rebuildRealm(name); err != nil {
+		if _, err := h.rebuildRealm(name, false); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// dirtyRealms returns the realms whose aggregates need a rebuild,
+func (h *Hub) anyFoldingLocked() bool {
+	for _, st := range h.realms {
+		if st.folding > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Hub) anyDirtyLocked() bool {
+	for _, st := range h.realms {
+		if st.dirtyAny() {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyRealms returns the realms with shards needing a rebuild,
 // sorted by name.
 func (h *Hub) dirtyRealms() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var out []string
 	for name, st := range h.realms {
-		if st.dirty {
+		if st.dirtyAny() {
 			out = append(out, name)
 		}
 	}

@@ -138,6 +138,9 @@ func NewInstance(cfg config.InstanceConfig) (*Instance, error) {
 		return nil, err
 	}
 	eng.SetRebuildWorkers(cfg.Aggregation.RebuildWorkers)
+	if err := eng.SetSharding(cfg.Sharding.Shards, cfg.Sharding.Key); err != nil {
+		return nil, err
+	}
 
 	reg := realm.NewRegistry()
 	if _, err := jobs.Setup(db); err != nil {

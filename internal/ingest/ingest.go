@@ -108,7 +108,8 @@ func (p *Pipeline) IngestJobRecords(recs []shredder.JobRecord) (Stats, error) {
 		}
 	}
 	if st.Ingested > 0 {
-		p.DB.BumpEpoch() // invalidate cached chart results
+		// The ingest's own commits bumped the touched shards' epochs,
+		// invalidating cached charts for exactly the realms written.
 		// Mark the binlog with this ingest's trace context, so the
 		// replication send and the hub apply join the same trace.
 		p.DB.Binlog().NoteTrace(sp.TraceParent())
@@ -234,7 +235,8 @@ func (p *Pipeline) RebuildCloudSessions(horizon time.Time) error {
 			return err
 		}
 	}
-	p.DB.BumpEpoch() // session table changed even when no engine re-aggregates
+	// The session-table commit bumped its shard's epoch even when no
+	// engine re-aggregates, so cached cloud charts are invalidated.
 	return nil
 }
 
@@ -283,7 +285,6 @@ func (p *Pipeline) IngestStorageSnapshots(snaps []storage.Snapshot) (Stats, erro
 		}
 	}
 	if st.Ingested > 0 {
-		p.DB.BumpEpoch()
 		p.DB.Binlog().NoteTrace(sp.TraceParent())
 	}
 	return st, nil

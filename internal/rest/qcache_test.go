@@ -12,6 +12,7 @@ import (
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/realm/cloud"
 	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/replicate"
 	"xdmodfed/internal/shredder"
@@ -193,6 +194,77 @@ func TestChartCacheHitsAndEpochInvalidation(t *testing.T) {
 	}
 	if st, _ := s.CacheStats(); st.Misses <= missesBefore {
 		t.Fatalf("misses %d -> %d: post-ingest read did not recompute", missesBefore, st.Misses)
+	}
+}
+
+// TestCrossRealmCacheRetention: cached charts are tagged with their
+// own realm's epoch — the combined epoch of the warehouse shards
+// holding that realm's aggregate schemas — so a write to one realm
+// must not evict another realm's cached charts. Regression: the tag
+// used to be the whole-warehouse epoch, and any ingest anywhere
+// flushed every realm's charts.
+func TestCrossRealmCacheRetention(t *testing.T) {
+	in := testInstance(t)
+	s := NewServer(in)
+	srv := s.Handler()
+	token := login(t, srv)
+
+	t0 := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	_, err := in.Pipeline.IngestCloudEvents([]cloud.Event{
+		{VMID: "vm1", Resource: "nimbus", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvStart, Time: t0, Cores: 2, MemoryGB: 4},
+		{VMID: "vm1", Resource: "nimbus", User: "u", Project: "p", InstanceType: "m1",
+			Type: cloud.EvStop, Time: t0.Add(3 * time.Hour), Cores: 2, MemoryGB: 4},
+	}, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cloudPath = "/api/chart?realm=Cloud&metric=cloud_core_time&period=year"
+	const jobsPath = "/api/chart?realm=Jobs&metric=job_count&period=year"
+
+	// Warm both realms' charts: one 2-core VM for 3 hours = 6 core hours.
+	cloudTotal := chartTotal(t, srv, token, cloudPath)
+	if cloudTotal != 6 {
+		t.Fatalf("cloud core hours %v, want 6", cloudTotal)
+	}
+	if total := chartTotal(t, srv, token, jobsPath); total != 20 {
+		t.Fatalf("job count %v, want 20", total)
+	}
+	st0, ok := s.CacheStats()
+	if !ok {
+		t.Fatal("cache disabled; default config must enable it")
+	}
+
+	// A Jobs-realm write: only the Jobs chart's epoch tag may move.
+	end := time.Date(2017, 6, 15, 12, 0, 0, 0, time.UTC)
+	if _, err := in.Pipeline.IngestJobRecords([]shredder.JobRecord{{
+		LocalJobID: 21, User: "u0", Account: "a",
+		Resource: "rush", Queue: "batch", Nodes: 1, Cores: 8,
+		Submit: end.Add(-2 * time.Hour), Start: end.Add(-time.Hour), End: end,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Cloud chart must still come from the cache: same value, no
+	// recompute.
+	if total := chartTotal(t, srv, token, cloudPath); total != cloudTotal {
+		t.Fatalf("cloud core hours after jobs ingest %v, want %v", total, cloudTotal)
+	}
+	st1, _ := s.CacheStats()
+	if st1.Misses != st0.Misses {
+		t.Fatalf("cloud chart recomputed after a Jobs ingest: misses %d -> %d", st0.Misses, st1.Misses)
+	}
+	if st1.Hits <= st0.Hits {
+		t.Fatalf("cloud chart not served from cache: hits %d -> %d", st0.Hits, st1.Hits)
+	}
+
+	// While the written realm still invalidates as before.
+	if total := chartTotal(t, srv, token, jobsPath); total != 21 {
+		t.Fatalf("job count after ingest %v, want 21 (epoch invalidation failed)", total)
+	}
+	if st2, _ := s.CacheStats(); st2.Misses != st1.Misses+1 {
+		t.Fatalf("jobs chart misses %d -> %d, want exactly one recompute", st1.Misses, st2.Misses)
 	}
 }
 

@@ -400,11 +400,13 @@ func parseKey(s string) (int64, error) {
 //
 // Ordering is what makes cached results safe on a hub: any pending
 // replicated data is folded into the hub's aggregates FIRST, and only
-// then is the warehouse epoch read. EnsureAggregated does not bump the
-// epoch itself (Engine.Reaggregate does, before it returns), so an
-// epoch observed here proves the aggregates already reflect every
-// write that preceded it, and the entry stored under it can be served
-// until the next write bumps the epoch.
+// then is the epoch read. The epoch is realm-scoped — the sum of the
+// shard epochs of this realm's aggregate schemas — so a write that
+// only touches another realm leaves this realm's cached charts valid.
+// An epoch observed here proves the realm's aggregates already
+// reflect every write to them that preceded it, and the entry stored
+// under it can be served until the next write to THIS realm bumps one
+// of its shard epochs.
 // The returned QueryStat describes how the query ran — duration, rows
 // scanned, cache outcome, snapshot epoch — and has already been
 // recorded into the RED metrics and the slow-query ring; ctx supplies
@@ -446,7 +448,7 @@ func (s *Server) QuerySeries(ctx context.Context, realmName string, req aggregat
 		finish(err)
 		return res.Series, stat, err
 	}
-	stat.Epoch = s.Instance.DB.Epoch()
+	stat.Epoch = s.realmEpoch(realmName)
 	res, hit, err := s.cache.GetOrCompute(chartKey(realmName, req, rollup, top), stat.Epoch, func() (chartResult, error) {
 		return s.computeSeries(realmName, req, rollup, top)
 	})
@@ -454,6 +456,19 @@ func (s *Server) QuerySeries(ctx context.Context, realmName string, req aggregat
 	stat.RowsScanned = res.RowsScanned
 	finish(err)
 	return res.Series, stat, err
+}
+
+// realmEpoch returns the cache-tag epoch for one realm: the combined
+// epoch of the shard(s) holding that realm's aggregate tables. Writes
+// to other realms' schemas don't move it, so their commits no longer
+// invalidate this realm's cached charts. Unknown realms fall back to
+// the whole-warehouse epoch (the query will fail with a clear error
+// anyway).
+func (s *Server) realmEpoch(realmName string) uint64 {
+	if info, ok := s.Instance.Registry.Get(realmName); ok {
+		return s.Instance.DB.EpochOf(s.Instance.Engine.AggSchemas(info)...)
+	}
+	return s.Instance.DB.Epoch()
 }
 
 // computeSeries is the uncached query path. Its result is stored in

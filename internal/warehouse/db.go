@@ -37,15 +37,19 @@ type DB struct {
 	// on DDL. The inner maps are never mutated after publication.
 	catalog atomic.Pointer[map[string]map[string]*Table]
 
-	// dirty lists tables mutated by the in-flight write transaction
-	// (guarded by mu); commit publishes each and clears the list.
-	dirty []*Table
+	// shards maps each schema to its shard domain — per-schema writer
+	// lock, epoch counter and dirty list (see shard.go). Rebuilt on DDL
+	// like the catalog; shardOrd assigns lock-ordering ranks (guarded
+	// by mu).
+	shards   atomic.Pointer[shardSet]
+	shardOrd int
 
-	// epoch counts warehouse generations for the query-result cache
-	// (internal/qcache): it is bumped whenever data a chart query could
-	// observe changes — a replication batch lands, an ingest commits, or
-	// a re-aggregation completes. A cached result is valid iff the epoch
-	// it was computed under still equals the current one.
+	// epoch is the root of the warehouse generation counter for the
+	// query-result cache (internal/qcache). Commits bump the touched
+	// schemas' shard epochs automatically; the root absorbs global
+	// invalidations (BumpEpoch, schema drops). The DB-wide generation
+	// reported by Epoch is the root plus the sum of all shard epochs,
+	// and EpochOf scopes the sum to the schemas a query actually read.
 	epoch atomic.Uint64
 }
 
@@ -92,6 +96,7 @@ func OpenOptions(name string, opts Options) *DB {
 	}
 	empty := map[string]map[string]*Table{}
 	db.catalog.Store(&empty)
+	db.shards.Store(emptyShardSet)
 	return db
 }
 
@@ -117,14 +122,26 @@ func (db *DB) Name() string { return db.name }
 // Binlog returns the DB's binary log.
 func (db *DB) Binlog() *Binlog { return db.binlog }
 
-// Epoch returns the current warehouse generation.
-func (db *DB) Epoch() uint64 { return db.epoch.Load() }
+// Epoch returns the current warehouse generation: the root epoch plus
+// every schema's shard epoch. Commits bump the epochs of the schemas
+// they touched, so any committed write moves the value; it is monotone
+// across sequential observations.
+func (db *DB) Epoch() uint64 {
+	e := db.epoch.Load()
+	for _, sh := range db.shards.Load().list {
+		e += sh.epoch.Load()
+	}
+	return e
+}
 
-// BumpEpoch advances the warehouse generation, invalidating every
-// query-cache entry computed against earlier generations. Writers call
-// it after their data is visible, so a reader that observed a partial
-// state necessarily read the epoch before the bump and its cached
-// result can never be served afterwards.
+// BumpEpoch advances the root warehouse generation, invalidating every
+// query-cache entry computed against earlier generations — including
+// entries tagged with schema-scoped epochs (EpochOf includes the
+// root). Writers call it after their data is visible, so a reader that
+// observed a partial state necessarily read the epoch before the bump
+// and its cached result can never be served afterwards. Ordinary
+// commits no longer need it (commit bumps the touched schemas' shard
+// epochs itself); it remains for global invalidations.
 func (db *DB) BumpEpoch() uint64 { return db.epoch.Add(1) }
 
 func (db *DB) logEvent(ev Event) {
@@ -134,18 +151,20 @@ func (db *DB) logEvent(ev Event) {
 }
 
 // noteDirty records that t was mutated in the current write
-// transaction. Called (via Table.markDirty) while holding mu.
-func (db *DB) noteDirty(t *Table) { db.dirty = append(db.dirty, t) }
+// transaction on its schema's shard. Called (via Table.markDirty)
+// while holding the lock that owns the table: either mu exclusively or
+// mu shared plus the shard lock.
+func (db *DB) noteDirty(t *Table) { t.shard.dirty = append(t.shard.dirty, t) }
 
 // commitLocked publishes a fresh immutable snapshot for every table the
-// finished transaction touched. Must run while holding mu; after it
-// returns, lock-free readers observe the transaction's effects.
+// finished transaction touched, bumping each touched schema's shard
+// epoch. Must run while holding mu exclusively (global transactions —
+// shard-scoped ones commit via commitShardLocked); after it returns,
+// lock-free readers observe the transaction's effects.
 func (db *DB) commitLocked() {
-	for _, t := range db.dirty {
-		t.publish()
-		t.txnDirty = false
+	for _, sh := range db.shards.Load().list {
+		db.commitShardLocked(sh)
 	}
-	db.dirty = db.dirty[:0]
 }
 
 // rebuildCatalogLocked republishes the lock-free catalog after DDL.
@@ -161,6 +180,17 @@ func (db *DB) rebuildCatalogLocked() {
 	db.catalog.Store(&cat)
 }
 
+// createSchemaLocked installs a fresh schema (and its shard domain),
+// replacing any existing schema of the same name. Caller must hold mu.
+func (db *DB) createSchemaLocked(name string) *Schema {
+	s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
+	db.schemas[name] = s
+	db.ensureShardLocked(name)
+	db.rebuildCatalogLocked()
+	db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
+	return s
+}
+
 // CreateSchema creates a schema; it is an error if it already exists.
 func (db *DB) CreateSchema(name string) (*Schema, error) {
 	db.mu.Lock()
@@ -171,11 +201,7 @@ func (db *DB) CreateSchema(name string) (*Schema, error) {
 	if _, ok := db.schemas[name]; ok {
 		return nil, fmt.Errorf("warehouse: schema %q already exists", name)
 	}
-	s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
-	db.schemas[name] = s
-	db.rebuildCatalogLocked()
-	db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
-	return s, nil
+	return db.createSchemaLocked(name), nil
 }
 
 // EnsureSchema returns the named schema, creating it if needed.
@@ -185,11 +211,7 @@ func (db *DB) EnsureSchema(name string) *Schema {
 	if s, ok := db.schemas[name]; ok {
 		return s
 	}
-	s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
-	db.schemas[name] = s
-	db.rebuildCatalogLocked()
-	db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
-	return s
+	return db.createSchemaLocked(name)
 }
 
 // DropSchema removes a schema and all of its tables.
@@ -200,6 +222,7 @@ func (db *DB) DropSchema(name string) error {
 		return fmt.Errorf("warehouse: schema %q does not exist", name)
 	}
 	delete(db.schemas, name)
+	db.dropShardLocked(name)
 	db.rebuildCatalogLocked()
 	db.logEvent(Event{Kind: EvDropSchema, Schema: name})
 	return nil
@@ -294,10 +317,14 @@ func (db *DB) Do(fn func() error) error {
 	return fn()
 }
 
-// View runs fn while holding the read lock.
+// View runs fn while holding the read lock on the DB and on every
+// shard, so fn observes a consistent cut across all schemas: global
+// writers are excluded by the DB lock, shard-scoped writers by their
+// shard locks. Prefer ViewSchemas when the schemas fn reads are known.
 func (db *DB) View(fn func() error) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	defer db.lockAllShardsRead()()
 	return fn()
 }
 
@@ -355,7 +382,8 @@ func (db *DB) LoadColumns(schema, table string, cd *ColumnData) error {
 	return t.ReplaceAllColumns(cd)
 }
 
-// Scan iterates schema.table under the read lock.
+// Scan iterates schema.table under the read lock (DB plus the table's
+// shard, excluding shard-scoped writers).
 func (db *DB) Scan(schema, table string, fn func(Row) bool) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -363,6 +391,8 @@ func (db *DB) Scan(schema, table string, fn func(Row) bool) error {
 	if err != nil {
 		return err
 	}
+	t.shard.mu.RLock()
+	defer t.shard.mu.RUnlock()
 	t.Scan(fn)
 	return nil
 }
@@ -375,6 +405,8 @@ func (db *DB) Count(schema, table string) int {
 	if err != nil {
 		return 0
 	}
+	t.shard.mu.RLock()
+	defer t.shard.mu.RUnlock()
 	return t.Len()
 }
 
@@ -428,9 +460,18 @@ func (db *DB) Apply(ev Event) error {
 // on. It returns how many events of the prefix were applied, so callers
 // that post-process applied events (identity observation, aggregation
 // classification) can cover exactly the applied prefix on error.
+//
+// A batch of pure row events against existing schemas — the steady
+// state of tight replication — applies as a shard-scoped transaction:
+// only the touched schemas' shard locks are taken, so batches from
+// different members land fully in parallel. Any DDL in the batch (or a
+// schema the catalog has not seen) falls back to the exclusive path.
 func (db *DB) ApplyAll(evs []Event) (int, error) {
 	if len(evs) == 0 {
 		return 0, nil
+	}
+	if n, err, ok := db.applyAllSharded(evs); ok {
+		return n, err
 	}
 	mTxns.Inc()
 	db.mu.Lock()
@@ -444,27 +485,64 @@ func (db *DB) ApplyAll(evs []Event) (int, error) {
 	return len(evs), nil
 }
 
+// applyAllSharded applies a DDL-free batch under the touched schemas'
+// shard locks. ok is false when the batch needs the exclusive path —
+// it carries DDL, or touches a schema that does not exist yet (the
+// exclusive path reproduces the legacy partial-apply error exactly).
+func (db *DB) applyAllSharded(evs []Event) (n int, err error, ok bool) {
+	var schemas []string
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvCreateSchema, EvDropSchema, EvCreateTable:
+			return 0, nil, false
+		}
+		if !seen[ev.Schema] {
+			seen[ev.Schema] = true
+			schemas = append(schemas, ev.Schema)
+		}
+	}
+	mTxns.Inc()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	shards, rerr := db.resolveShards(schemas)
+	if rerr != nil {
+		return 0, nil, false
+	}
+	for _, sh := range shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(shards) - 1; i >= 0; i-- {
+			db.commitShardLocked(shards[i])
+			shards[i].mu.Unlock()
+		}
+	}()
+	for i, ev := range evs {
+		if err := db.applyLocked(ev); err != nil {
+			return i, err, true
+		}
+	}
+	return len(evs), nil, true
+}
+
 func (db *DB) applyLocked(ev Event) error {
 	switch ev.Kind {
 	case EvCreateSchema:
 		if _, ok := db.schemas[ev.Schema]; !ok {
-			db.schemas[ev.Schema] = &Schema{name: ev.Schema, db: db, tables: make(map[string]*Table)}
-			db.rebuildCatalogLocked()
-			db.logEvent(Event{Kind: EvCreateSchema, Schema: ev.Schema})
+			db.createSchemaLocked(ev.Schema)
 		}
 		return nil
 	case EvDropSchema:
 		delete(db.schemas, ev.Schema)
+		db.dropShardLocked(ev.Schema)
 		db.rebuildCatalogLocked()
 		db.logEvent(Event{Kind: EvDropSchema, Schema: ev.Schema})
 		return nil
 	case EvCreateTable:
 		s, ok := db.schemas[ev.Schema]
 		if !ok {
-			s = &Schema{name: ev.Schema, db: db, tables: make(map[string]*Table)}
-			db.schemas[ev.Schema] = s
-			db.rebuildCatalogLocked()
-			db.logEvent(Event{Kind: EvCreateSchema, Schema: ev.Schema})
+			s = db.createSchemaLocked(ev.Schema)
 		}
 		if _, ok := s.tables[ev.Table]; ok {
 			return nil // idempotent: reconnects resend DDL

@@ -52,10 +52,12 @@ func (db *DB) Snapshot(w io.Writer) error {
 }
 
 // SnapshotSchemas writes the named schemas (all when names is nil).
-// The DB read lock is held only long enough to collect the published
-// table snapshots — a few pointer loads — and the (potentially large)
-// encode runs against those immutable snapshots with no lock held, so
-// dumps never stall writers or other readers.
+// The read locks (DB plus every shard, so concurrent shard-scoped
+// writers cannot publish mid-collection) are held only long enough to
+// collect the published table snapshots — a few pointer loads — and
+// the (potentially large) encode runs against those immutable
+// snapshots with no lock held, so dumps never stall writers or other
+// readers.
 func (db *DB) SnapshotSchemas(w io.Writer, names []string) error {
 	defer mSnapshotSeconds.ObserveSince(time.Now())
 	want := map[string]bool{}
@@ -63,6 +65,7 @@ func (db *DB) SnapshotSchemas(w io.Writer, names []string) error {
 		want[n] = true
 	}
 	db.mu.RLock()
+	unlockShards := db.lockAllShardsRead()
 	snap := snapshot{Version: snapshotVersion, Name: db.name, LastLSN: db.binlog.Last()}
 	type pending struct {
 		schema int
@@ -83,6 +86,7 @@ func (db *DB) SnapshotSchemas(w io.Writer, names []string) error {
 		}
 		snap.Schemas = append(snap.Schemas, ss)
 	}
+	unlockShards()
 	db.mu.RUnlock()
 	for _, p := range work {
 		snap.Schemas[p.schema].Tables[p.table].Data = p.td.columnData()
@@ -151,9 +155,7 @@ func (db *DB) RestoreRenamed(r io.Reader, rename map[string]string) (uint64, err
 				name = to
 			}
 		}
-		s := &Schema{name: name, db: db, tables: make(map[string]*Table)}
-		db.schemas[name] = s
-		db.logEvent(Event{Kind: EvCreateSchema, Schema: name})
+		s := db.createSchemaLocked(name)
 		for _, ts := range ss.Tables {
 			t, err := newTable(db, name, ts.Def)
 			if err != nil {

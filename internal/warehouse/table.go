@@ -146,6 +146,7 @@ type Table struct {
 	lay        *layout
 	schema     string
 	db         *DB
+	shard      *shardState // the schema's shard domain (see shard.go)
 	sealed     []*sealedChunk
 	sealedRows int
 	tail       []colVec // positions [sealedRows, rows)
@@ -181,6 +182,10 @@ func newTable(db *DB, schema string, def TableDef) (*Table, error) {
 		lay:    newLayout(d),
 		schema: schema,
 		db:     db,
+		shard:  db.shards.Load().byName[schema],
+	}
+	if t.shard == nil {
+		return nil, fmt.Errorf("warehouse: schema %q has no shard domain", schema)
 	}
 	t.tail = freshCols(d)
 	for _, k := range d.PrimaryKey {

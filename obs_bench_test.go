@@ -130,6 +130,7 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	out := map[string]any{
 		"go":                  runtime.Version(),
 		"cpus":                runtime.NumCPU(),
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
 		"benchmark":           "BenchmarkTelemetryOverhead",
 		"requests_per_round":  perRound,
 		"queries_per_second":  qps,

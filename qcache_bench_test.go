@@ -143,6 +143,8 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 	out := map[string]any{
 		"go":            runtime.Version(),
+		"cpus":          runtime.NumCPU(),
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
 		"benchmarks":    []row{cold, hot, coalesced},
 		"hot_speedup_x": speedup,
 	}

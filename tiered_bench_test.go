@@ -194,6 +194,7 @@ func TestEmitTieredBenchJSON(t *testing.T) {
 	out := map[string]any{
 		"go":                           runtime.Version(),
 		"cpus":                         runtime.NumCPU(),
+		"gomaxprocs":                   runtime.GOMAXPROCS(0),
 		"facts":                        tieredBenchFacts,
 		"max_resident_bytes":           tieredBudget,
 		"disk_segments":                st.Segments,
