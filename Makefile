@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos bench bench-shard check
+.PHONY: build vet test race chaos bench bench-shard bench-load check
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,11 @@ test:
 # layer that drives them all concurrently, the warehouse (WAL follower
 # and fsync timer goroutines) including the tiered segment store under
 # ./internal/warehouse/store (concurrent materialize/evict/drop), and
-# the fault-injection layer.
+# the fault-injection layer. The admission package (token buckets,
+# bounded queue, concurrency limiter) and the load harness that hammers
+# it are raced too — their whole job is concurrent arrival.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/replicate/... ./internal/qcache/... ./internal/aggregate/... ./internal/core/... ./internal/rest/... ./internal/warehouse/... ./internal/faults/...
+	$(GO) test -race ./internal/obs/... ./internal/replicate/... ./internal/qcache/... ./internal/aggregate/... ./internal/core/... ./internal/rest/... ./internal/warehouse/... ./internal/faults/... ./internal/admission/... ./internal/loadgen/...
 
 # Chaos end-to-end: a multi-satellite federation under seeded fault
 # injection (dropped connections, killed senders, torn WAL tails) must
@@ -42,6 +44,15 @@ bench:
 # on smaller hosts the honest numbers are recorded unasserted.
 bench-shard:
 	$(GO) test -run '^TestEmitShardBenchJSON$$' -emit-bench -count 1 -timeout 30m .
+
+# Front-door load bench: emits BENCH_9.json — thousands of concurrent
+# authenticated chart clients against a live federation with admission
+# control on, at 1x/4x/16x of the concurrency cap. Raced, because the
+# point is correct behavior under concurrent overload: every shed must
+# carry a positive Retry-After, admitted p99 must stay within the queue
+# deadline, and the goroutine population must return to baseline.
+bench-load:
+	$(GO) test -race -run '^TestEmitLoadBenchJSON$$' -emit-bench -count 1 -timeout 30m .
 
 # Tier-1 gate: everything CI runs.
 check: build vet test race

@@ -61,6 +61,12 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "segment directory for -storage-backend=disk")
 		hotTail     = flag.Int("hot-tail-rows", 0, "rows buffered per table before sealing a segment (0 = config/default)")
 		maxResid    = flag.Int64("max-resident-bytes", 0, "heap cap for materialized disk segments (0 = config/default)")
+		admEnable   = flag.Bool("admission", false, "enable front-door admission control (rate limits, bounded queue, load shedding)")
+		admGlobal   = flag.Float64("admission-global-rps", 0, "global sustained requests/sec (0 = config/default)")
+		admUser     = flag.Float64("admission-user-rps", 0, "per-user sustained requests/sec (0 = config/default)")
+		admConc     = flag.Int("max-concurrent", 0, "concurrent in-flight API requests past which arrivals queue (0 = config/default)")
+		admQueue    = flag.Int("max-queue", 0, "queued API requests past which arrivals are shed with 429 (0 = config/default)")
+		admWait     = flag.String("queue-timeout", "", "max time a request may wait for a slot, e.g. 2s (default config/2s)")
 		loose       looseFlags
 		scrape      scrapeFlags
 	)
@@ -80,6 +86,7 @@ func main() {
 	applyShardingFlags(&cfg, *shards, *shardKey)
 	applyTelemetryFlags(&cfg, *traceCap, *scrapeIv, scrape)
 	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
+	applyAdmissionFlags(&cfg, *admEnable, *admGlobal, *admUser, *admConc, *admQueue, *admWait)
 	hub, err := core.NewHub(cfg)
 	if err != nil {
 		fatal(err)
@@ -127,7 +134,7 @@ func main() {
 	if hub.Telemetry.Targets() > 0 {
 		go hub.Telemetry.Run(ctx)
 	}
-	srv := &http.Server{Addr: *listen, Handler: rest.NewHubServer(hub).Handler()}
+	srv := rest.NewHTTPServer(*listen, rest.NewHubServer(hub).Handler())
 	go func() {
 		<-ctx.Done()
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -211,6 +218,30 @@ func applyStorageFlags(cfg *config.InstanceConfig, backend, dataDir string, hotT
 		}
 	})
 	if err := cfg.Storage.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyAdmissionFlags layers the front-door admission knobs over the
+// config file: only flags the operator actually set override it.
+func applyAdmissionFlags(cfg *config.InstanceConfig, enable bool, globalRPS, userRPS float64, maxConc, maxQueue int, queueTimeout string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "admission":
+			cfg.Admission.Enabled = enable
+		case "admission-global-rps":
+			cfg.Admission.GlobalRPS = globalRPS
+		case "admission-user-rps":
+			cfg.Admission.UserRPS = userRPS
+		case "max-concurrent":
+			cfg.Admission.MaxConcurrent = maxConc
+		case "max-queue":
+			cfg.Admission.MaxQueue = maxQueue
+		case "queue-timeout":
+			cfg.Admission.QueueTimeout = queueTimeout
+		}
+	})
+	if err := cfg.Admission.Validate(); err != nil {
 		fatal(err)
 	}
 }

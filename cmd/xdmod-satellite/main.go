@@ -50,6 +50,12 @@ func main() {
 		maxResid   = flag.Int64("max-resident-bytes", 0, "heap cap for materialized disk segments (0 = config/default)")
 		shards     = flag.Int("shards", 0, "aggregation shards per realm (0/1 = unsharded)")
 		shardKey   = flag.String("shard-key", "", "shard routing key: resource or schema (default config/resource)")
+		admEnable  = flag.Bool("admission", false, "enable front-door admission control (rate limits, bounded queue, load shedding)")
+		admGlobal  = flag.Float64("admission-global-rps", 0, "global sustained requests/sec (0 = config/default)")
+		admUser    = flag.Float64("admission-user-rps", 0, "per-user sustained requests/sec (0 = config/default)")
+		admConc    = flag.Int("max-concurrent", 0, "concurrent in-flight API requests past which arrivals queue (0 = config/default)")
+		admQueue   = flag.Int("max-queue", 0, "queued API requests past which arrivals are shed with 429 (0 = config/default)")
+		admWait    = flag.String("queue-timeout", "", "max time a request may wait for a slot, e.g. 2s (default config/2s)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -65,6 +71,7 @@ func main() {
 	applyObsFlags(&cfg, *traceCap)
 	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
 	applyShardingFlags(&cfg, *shards, *shardKey)
+	applyAdmissionFlags(&cfg, *admEnable, *admGlobal, *admUser, *admConc, *admQueue, *admWait)
 	sat, err := core.NewSatellite(cfg)
 	if err != nil {
 		fatal(err)
@@ -122,7 +129,7 @@ func main() {
 	}
 	defer sat.StopFederation()
 
-	srv := &http.Server{Addr: *listen, Handler: rest.NewSatelliteServer(sat).Handler()}
+	srv := rest.NewHTTPServer(*listen, rest.NewSatelliteServer(sat).Handler())
 	go func() {
 		<-ctx.Done()
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -140,6 +147,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("warehouse saved to %s\n", *dbPath)
+	}
+}
+
+// applyAdmissionFlags layers the front-door admission knobs over the
+// config file: only flags the operator actually set override it.
+func applyAdmissionFlags(cfg *config.InstanceConfig, enable bool, globalRPS, userRPS float64, maxConc, maxQueue int, queueTimeout string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "admission":
+			cfg.Admission.Enabled = enable
+		case "admission-global-rps":
+			cfg.Admission.GlobalRPS = globalRPS
+		case "admission-user-rps":
+			cfg.Admission.UserRPS = userRPS
+		case "max-concurrent":
+			cfg.Admission.MaxConcurrent = maxConc
+		case "max-queue":
+			cfg.Admission.MaxQueue = maxQueue
+		case "queue-timeout":
+			cfg.Admission.QueueTimeout = queueTimeout
+		}
+	})
+	if err := cfg.Admission.Validate(); err != nil {
+		fatal(err)
 	}
 }
 

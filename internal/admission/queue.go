@@ -1,0 +1,131 @@
+package admission
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Bounded admission queue: at most capacity requests execute
+// concurrently; up to maxWait more wait in FIFO order for a slot.
+// Anything beyond that is refused immediately — the queue's whole
+// point is that overload produces a fast, honest 429, not an unbounded
+// pile of goroutines all holding request state.
+
+// Queue errors. Both mean "shed": ErrQueueFull is an instant refusal,
+// ErrQueueTimeout is a refusal after waiting the full queue deadline.
+var (
+	ErrQueueFull    = errors.New("admission: queue full")
+	ErrQueueTimeout = errors.New("admission: timed out waiting for an execution slot")
+)
+
+// Queue is a concurrency limiter with a bounded FIFO wait list. A
+// released slot is handed directly to the oldest waiter, so waiters
+// are served strictly in arrival order and a released slot can never
+// be stolen by a fresh arrival that should have queued behind them.
+type Queue struct {
+	mu       sync.Mutex
+	capacity int
+	maxWait  int
+	inflight int
+	waiters  *list.List // of chan struct{}; front = oldest
+}
+
+// NewQueue builds a queue admitting capacity concurrent holders with
+// at most maxWait queued behind them. capacity <= 0 panics — an
+// unlimited queue is expressed by not constructing one.
+func NewQueue(capacity, maxWait int) *Queue {
+	if capacity <= 0 {
+		panic("admission: queue capacity must be positive")
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &Queue{capacity: capacity, maxWait: maxWait, waiters: list.New()}
+}
+
+// Acquire obtains an execution slot, waiting in FIFO order while the
+// queue has room and ctx is live. It returns nil when the slot is
+// held (the caller MUST Release exactly once), ErrQueueFull when the
+// wait list is already at its bound, and ErrQueueTimeout when ctx
+// expired before a slot freed up.
+func (q *Queue) Acquire(ctx context.Context) error {
+	q.mu.Lock()
+	if q.inflight < q.capacity {
+		q.inflight++
+		q.mu.Unlock()
+		return nil
+	}
+	if q.waiters.Len() >= q.maxWait {
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+	ch := make(chan struct{})
+	el := q.waiters.PushBack(ch)
+	q.mu.Unlock()
+
+	select {
+	case <-ch:
+		// Slot handed over by Release; inflight already accounts for us.
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-ch:
+			// Release granted us the slot in the race window before we
+			// took the lock; we are shedding anyway, so pass it on.
+			q.mu.Unlock()
+			q.Release()
+		default:
+			q.waiters.Remove(el)
+			q.mu.Unlock()
+		}
+		return ErrQueueTimeout
+	}
+}
+
+// TryAcquire obtains a slot only if one is free right now (no
+// queueing). The caller must Release on success.
+func (q *Queue) TryAcquire() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.inflight < q.capacity {
+		q.inflight++
+		return true
+	}
+	return false
+}
+
+// Release returns a slot, handing it to the oldest waiter when one is
+// queued (the inflight count then stays unchanged: ownership moves).
+// The hand-over channel is closed under the lock so a waiter racing
+// its own cancellation observes either "still queued" or "granted",
+// never a limbo in between that would leak the slot.
+func (q *Queue) Release() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if el := q.waiters.Front(); el != nil {
+		q.waiters.Remove(el)
+		close(el.Value.(chan struct{}))
+		return
+	}
+	if q.inflight <= 0 {
+		panic("admission: Release without a held slot")
+	}
+	q.inflight--
+}
+
+// Inflight reports how many slots are currently held.
+func (q *Queue) Inflight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflight
+}
+
+// Depth reports how many requests are waiting for a slot.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len()
+}

@@ -1,6 +1,7 @@
 package aggregate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -170,6 +171,14 @@ func (e *Engine) Query(info realm.Info, req Request) ([]Series, error) {
 
 // QueryStats is Query plus execution statistics.
 func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, error) {
+	return e.QueryStatsCtx(context.Background(), info, req)
+}
+
+// QueryStatsCtx is QueryStats bounded by a context: the chunk-wise
+// scan checks ctx between chunks and aborts with ctx.Err() once it is
+// canceled, so a disconnected chart client stops consuming CPU (and
+// releases its admission slot) instead of scanning to completion.
+func (e *Engine) QueryStatsCtx(ctx context.Context, info realm.Info, req Request) ([]Series, QueryInfo, error) {
 	defer mQuerySeconds.With(info.Name).ObserveSince(time.Now())
 	metric, ok := info.Metric(req.MetricID)
 	if !ok {
@@ -192,7 +201,7 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 		req.Period = Month
 	}
 	if e.NumShards() > 1 {
-		return e.queryShards(info, req, metric, groupCol)
+		return e.queryShards(ctx, info, req, metric, groupCol)
 	}
 	td, err := e.db.DataFor(AggSchema(info), AggTableName(info.FactTable, req.Period))
 	if err != nil {
@@ -202,11 +211,14 @@ func (e *Engine) QueryStats(info realm.Info, req Request) ([]Series, QueryInfo, 
 	aggCells := map[string]*cell{}
 	hasMeasure := metric.Column != ""
 	hasWeight := metric.WeightColumn != ""
-	scanned := scanAggRows(td, info, req, metric, groupCol, false,
+	scanned, err := scanAggRows(ctx, td, info, req, metric, groupCol, false,
 		func(pk int64, group string, n int64, sum, last, mn, mx, wsum, wden float64, _ []string) {
 			foldCell(cells, aggCells, gp{group, pk}, n, sum, last, mn, mx, wsum, wden, hasMeasure, hasWeight)
 		})
 	mRowsScanned.Add(uint64(scanned))
+	if err != nil {
+		return nil, QueryInfo{RowsScanned: scanned}, err
+	}
 	return buildSeries(metric, cells, aggCells), QueryInfo{RowsScanned: scanned}, nil
 }
 
@@ -244,9 +256,14 @@ func foldCell(cells map[gp]*cell, aggCells map[string]*cell, k gp,
 // dimension values in info.Dimensions order (the buffer is reused —
 // valid only during the call); the sharded gather uses it to build
 // deterministic merge keys. Returns the live rows visited.
-func scanAggRows(td *warehouse.TableData, info realm.Info, req Request, metric realm.Metric,
+//
+// ctx is checked once per chunk — cheap relative to a chunk's row loop
+// but prompt enough that a canceled query stops within one chunk's
+// worth of work; on cancellation the scan returns ctx.Err() with the
+// rows visited so far.
+func scanAggRows(ctx context.Context, td *warehouse.TableData, info realm.Info, req Request, metric realm.Metric,
 	groupCol string, needDims bool,
-	emit func(pk int64, group string, n int64, sum, last, mn, mx, wsum, wden float64, dimVals []string)) int {
+	emit func(pk int64, group string, n int64, sum, last, mn, mx, wsum, wden float64, dimVals []string)) (int, error) {
 
 	type dimFilter struct {
 		vals []string
@@ -266,6 +283,9 @@ func scanAggRows(td *warehouse.TableData, info realm.Info, req Request, metric r
 		dimVals = make([]string, len(info.Dimensions))
 	}
 	for chunk := 0; chunk < td.NumChunks(); chunk++ {
+		if err := ctx.Err(); err != nil {
+			return scanned, err
+		}
 		ch := td.Chunk(chunk)
 		strCol := func(name string) []string {
 			if ci, ok := ch.ColIndex(name); ok {
@@ -356,7 +376,7 @@ func scanAggRows(td *warehouse.TableData, info realm.Info, req Request, metric r
 				at(wsumV, pos), at(wdenV, pos), dimVals)
 		}
 	}
-	return scanned
+	return scanned, nil
 }
 
 // buildSeries renders the accumulated cells as sorted Series.

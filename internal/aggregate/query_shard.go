@@ -1,6 +1,7 @@
 package aggregate
 
 import (
+	"context"
 	"sort"
 	"strconv"
 
@@ -27,15 +28,16 @@ import (
 // shardAggRow is one gathered row: its merge key plus the metric's
 // pre-extracted values.
 type shardAggRow struct {
-	key   string
-	pk    int64
-	group string
-	n     int64
+	key                           string
+	pk                            int64
+	group                         string
+	n                             int64
 	sum, last, mn, mx, wsum, wden float64
 }
 
-// queryShards answers one chart query against a sharded realm.
-func (e *Engine) queryShards(info realm.Info, req Request, metric realm.Metric, groupCol string) ([]Series, QueryInfo, error) {
+// queryShards answers one chart query against a sharded realm. ctx
+// cancellation aborts between chunks of any shard's scan.
+func (e *Engine) queryShards(ctx context.Context, info realm.Info, req Request, metric realm.Metric, groupCol string) ([]Series, QueryInfo, error) {
 	// Scatter set: normally every shard; a filter on the resource
 	// dimension pins resource-routed rows to a single shard, so only
 	// that shard is scanned ("which resource?" drill-downs pay 1/Nth).
@@ -60,7 +62,7 @@ func (e *Engine) queryShards(info realm.Info, req Request, metric realm.Metric, 
 		if err != nil {
 			return nil, QueryInfo{}, err
 		}
-		scanned += scanAggRows(td, info, req, metric, groupCol, true,
+		n, err := scanAggRows(ctx, td, info, req, metric, groupCol, true,
 			func(pk int64, group string, n int64, sum, last, mn, mx, wsum, wden float64, dimVals []string) {
 				b := strconv.AppendInt(keyBuf[:0], pk, 10)
 				for _, d := range dimVals {
@@ -73,6 +75,10 @@ func (e *Engine) queryShards(info realm.Info, req Request, metric realm.Metric, 
 					sum: sum, last: last, mn: mn, mx: mx, wsum: wsum, wden: wden,
 				})
 			})
+		scanned += n
+		if err != nil {
+			return nil, QueryInfo{RowsScanned: scanned}, err
+		}
 		mShardQueries.With(strconv.Itoa(k)).Inc()
 	}
 

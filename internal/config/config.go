@@ -507,6 +507,96 @@ func (t TelemetryConfig) Validate() error {
 	return nil
 }
 
+// AdmissionConfig tunes the REST front door's admission controller
+// (internal/admission): layered token-bucket rate limits (per-user,
+// per-center, global), a concurrency cap with a bounded FIFO queue,
+// load-shedding with Retry-After hints, and stale-chart degradation.
+// Admission is opt-in: the zero value leaves the front door wide open
+// (pre-admission behavior). With Enabled set, every unset knob
+// resolves to the internal/admission defaults.
+type AdmissionConfig struct {
+	// Enabled turns the front-door admission controller on.
+	Enabled bool `json:"enabled,omitempty"`
+
+	// GlobalRPS / GlobalBurst shape the process-wide token bucket.
+	// 0 uses the default (5000/s, burst 2×); negative disables the tier.
+	GlobalRPS   float64 `json:"global_rps,omitempty"`
+	GlobalBurst float64 `json:"global_burst,omitempty"`
+	// CenterRPS / CenterBurst shape each center's (tenant's) bucket.
+	// 0 uses the default (1000/s); negative disables the tier.
+	CenterRPS   float64 `json:"center_rps,omitempty"`
+	CenterBurst float64 `json:"center_burst,omitempty"`
+	// UserRPS / UserBurst shape each authenticated user's bucket.
+	// 0 uses the default (100/s); negative disables the tier.
+	UserRPS   float64 `json:"user_rps,omitempty"`
+	UserBurst float64 `json:"user_burst,omitempty"`
+
+	// Centers maps usernames to center (tenant) names for the
+	// per-center tier. Users not listed are only subject to the user
+	// and global tiers.
+	Centers map[string]string `json:"centers,omitempty"`
+
+	// MaxConcurrent caps requests executing at once; 0 uses the
+	// default (256), negative uncaps (no queue, no concurrency sheds).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// MaxQueue bounds the FIFO wait list; 0 = 4 × MaxConcurrent.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// QueueTimeout is how long a queued request may wait before it is
+	// shed, in Go duration syntax ("2s"). Empty uses the default (2s).
+	QueueTimeout string `json:"queue_timeout,omitempty"`
+	// RetryAfter floors the Retry-After hint carried by shed
+	// responses. Empty uses the default (1s).
+	RetryAfter string `json:"retry_after,omitempty"`
+
+	// DisableStale turns off serving an epoch-stale cached chart
+	// (tagged Warning: 110) when the request would otherwise be shed.
+	DisableStale bool `json:"disable_stale,omitempty"`
+
+	// SessionCacheEntries bounds the verified bearer-token cache;
+	// 0 uses the default (4096), negative disables the cache.
+	SessionCacheEntries int `json:"session_cache_entries,omitempty"`
+	// SessionCacheTTL is how long a verified token stays memoized.
+	// Empty uses the default (1m).
+	SessionCacheTTL string `json:"session_cache_ttl,omitempty"`
+}
+
+// QueueTimeoutDuration parses the queue-timeout knob.
+func (a AdmissionConfig) QueueTimeoutDuration() (time.Duration, error) {
+	return parseDuration("admission queue_timeout", a.QueueTimeout, 2*time.Second)
+}
+
+// RetryAfterDuration parses the retry-after floor.
+func (a AdmissionConfig) RetryAfterDuration() (time.Duration, error) {
+	return parseDuration("admission retry_after", a.RetryAfter, time.Second)
+}
+
+// SessionCacheTTLDuration parses the session-cache TTL knob.
+func (a AdmissionConfig) SessionCacheTTLDuration() (time.Duration, error) {
+	return parseDuration("admission session_cache_ttl", a.SessionCacheTTL, time.Minute)
+}
+
+// Validate checks the admission knobs.
+func (a AdmissionConfig) Validate() error {
+	if a.MaxQueue < 0 {
+		return fmt.Errorf("config: admission max_queue must not be negative")
+	}
+	if _, err := a.QueueTimeoutDuration(); err != nil {
+		return err
+	}
+	if _, err := a.RetryAfterDuration(); err != nil {
+		return err
+	}
+	if _, err := a.SessionCacheTTLDuration(); err != nil {
+		return err
+	}
+	for user, center := range a.Centers {
+		if user == "" || center == "" {
+			return fmt.Errorf("config: admission centers entries need both a user and a center name")
+		}
+	}
+	return nil
+}
+
 // SSOSource names one single-sign-on provider an instance trusts.
 type SSOSource struct {
 	Name     string `json:"name"`     // e.g. "shibboleth", "globus", "keycloak", "ldap"
@@ -555,6 +645,9 @@ type InstanceConfig struct {
 	// Telemetry configures hub-side scraping of member /metrics and
 	// /healthz; the zero value scrapes nothing.
 	Telemetry TelemetryConfig `json:"telemetry,omitempty"`
+	// Admission configures front-door rate limits, quotas and the
+	// bounded admission queue; the zero value disables admission.
+	Admission AdmissionConfig `json:"admission,omitempty"`
 }
 
 // Validate checks the whole instance configuration.
@@ -617,6 +710,9 @@ func (c InstanceConfig) Validate() error {
 		return err
 	}
 	if err := c.Telemetry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Admission.Validate(); err != nil {
 		return err
 	}
 	return nil

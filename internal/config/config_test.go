@@ -43,6 +43,14 @@ func TestValidateRejections(t *testing.T) {
 		}},
 		{"bad hub mode", func(c *InstanceConfig) { c.Hubs[0].Mode = "snail-mail" }},
 		{"missing hub addr", func(c *InstanceConfig) { c.Hubs[0].HubAddr = "" }},
+		{"bad admission queue timeout", func(c *InstanceConfig) { c.Admission.QueueTimeout = "soon" }},
+		{"negative admission queue timeout", func(c *InstanceConfig) { c.Admission.QueueTimeout = "-1s" }},
+		{"bad admission retry after", func(c *InstanceConfig) { c.Admission.RetryAfter = "later" }},
+		{"bad admission session ttl", func(c *InstanceConfig) { c.Admission.SessionCacheTTL = "1 parsec" }},
+		{"negative admission queue", func(c *InstanceConfig) { c.Admission.MaxQueue = -1 }},
+		{"anonymous admission center", func(c *InstanceConfig) {
+			c.Admission.Centers = map[string]string{"": "ccr"}
+		}},
 	}
 	for _, tc := range cases {
 		c := validInstance()
@@ -181,5 +189,28 @@ func TestLevelsLookup(t *testing.T) {
 	c := validInstance()
 	if _, ok := c.Levels("nope"); ok {
 		t.Error("unknown dimension should report !ok")
+	}
+}
+
+func TestAdmissionConfigDurations(t *testing.T) {
+	var a AdmissionConfig
+	if d, err := a.QueueTimeoutDuration(); err != nil || d.Seconds() != 2 {
+		t.Fatalf("zero queue timeout: %v %v", d, err)
+	}
+	if d, err := a.RetryAfterDuration(); err != nil || d.Seconds() != 1 {
+		t.Fatalf("zero retry after: %v %v", d, err)
+	}
+	if d, err := a.SessionCacheTTLDuration(); err != nil || d.Minutes() != 1 {
+		t.Fatalf("zero session ttl: %v %v", d, err)
+	}
+	a = AdmissionConfig{QueueTimeout: "500ms", RetryAfter: "3s", SessionCacheTTL: "10s"}
+	if d, _ := a.QueueTimeoutDuration(); d.Milliseconds() != 500 {
+		t.Fatalf("queue timeout: %v", d)
+	}
+	if d, _ := a.RetryAfterDuration(); d.Seconds() != 3 {
+		t.Fatalf("retry after: %v", d)
+	}
+	if d, _ := a.SessionCacheTTLDuration(); d.Seconds() != 10 {
+		t.Fatalf("session ttl: %v", d)
 	}
 }

@@ -228,6 +228,17 @@ func (in *Instance) QueryStats(realmName string, req aggregate.Request) ([]aggre
 	return in.Engine.QueryStats(info, req)
 }
 
+// QueryStatsCtx is QueryStats bounded by a context: cancellation
+// aborts the aggregation scan between chunks, so a chart client that
+// disconnects (or is shed mid-queue) stops consuming the warehouse.
+func (in *Instance) QueryStatsCtx(ctx context.Context, realmName string, req aggregate.Request) ([]aggregate.Series, aggregate.QueryInfo, error) {
+	info, ok := in.Registry.Get(realmName)
+	if !ok {
+		return nil, aggregate.QueryInfo{}, aggregate.BadRequestf("core: instance %s has no realm %q", in.Config.Name, realmName)
+	}
+	return in.Engine.QueryStatsCtx(ctx, info, req)
+}
+
 // AggregateAll (re)aggregates every realm from the instance's own raw
 // data — the daily aggregation run.
 func (in *Instance) AggregateAll() error {

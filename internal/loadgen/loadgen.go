@@ -1,0 +1,210 @@
+// Package loadgen is an in-process load harness for the front-door
+// admission stack: it drives many concurrent authenticated clients
+// against a live instance's REST API with a seeded arrival process and
+// reports what the front door did — how much was admitted, served
+// stale, or shed, and the latency distribution of what got through.
+// The root-level bench (make bench-load) uses it to prove the
+// admission invariants hold at 1x/4x/16x overload; its own unit tests
+// exercise it against synthetic handlers.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Options configures one load run. Every worker is an independent
+// closed-loop client: think (exponential, seeded), pick a path
+// (seeded), request, classify, repeat.
+type Options struct {
+	BaseURL string
+	// Token is sent as a bearer token when non-empty.
+	Token string
+	// Paths are the request targets; each worker picks uniformly per
+	// request with its seeded generator.
+	Paths []string
+	// Workers is the number of concurrent clients.
+	Workers int
+	// Requests is issued per worker, so offered load = Workers*Requests.
+	Requests int
+	// ThinkMean is the mean of the exponential inter-request think
+	// time; zero means hammer with no pause.
+	ThinkMean time.Duration
+	// Seed makes the arrival process and path choices reproducible;
+	// worker i derives its generator from Seed+i.
+	Seed int64
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// Report is the outcome of one load run. Offered always equals
+// Admitted+Stale+Shed+Errors: every request is classified exactly once.
+type Report struct {
+	Workers int `json:"workers"`
+	Offered int `json:"offered"`
+	// Admitted counts fresh 200s — requests that made it through the
+	// full admission stack to a live computation.
+	Admitted int `json:"admitted"`
+	// Stale counts 200s carrying the Warning: 110 header — shed
+	// requests degraded to a cached result instead of a 429.
+	Stale int `json:"stale"`
+	// Shed counts well-formed 429s (positive integer Retry-After). A
+	// 429 without a usable Retry-After is an Error: shedding without
+	// telling clients when to return is a bug, not load management.
+	Shed int `json:"shed"`
+	// Errors counts transport failures, unexpected statuses and
+	// malformed sheds.
+	Errors int `json:"errors"`
+	// ShedRate is Shed/Offered.
+	ShedRate    float64 `json:"shed_rate"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// GoodputRPS is useful responses (Admitted+Stale) per second of
+	// wall clock.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// Latency percentiles (milliseconds) over useful responses.
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// MinRetryAfterSeconds is the smallest Retry-After seen on a shed;
+	// zero when nothing was shed.
+	MinRetryAfterSeconds int `json:"min_retry_after_seconds"`
+	// FirstError preserves one example failure for diagnostics.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// workerResult is one worker's tally, merged after the run.
+type workerResult struct {
+	admitted, stale, shed, errors int
+	latencies                     []time.Duration
+	minRetryAfter                 int
+	firstErr                      string
+}
+
+// Run executes the load described by opts and reports the outcome.
+func Run(opts Options) (Report, error) {
+	if opts.Workers <= 0 || opts.Requests <= 0 {
+		return Report{}, fmt.Errorf("loadgen: Workers and Requests must be positive")
+	}
+	if len(opts.Paths) == 0 {
+		return Report{}, fmt.Errorf("loadgen: at least one path is required")
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	results := make([]workerResult, opts.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runWorker(client, opts, rand.New(rand.NewSource(opts.Seed+int64(w))))
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{Workers: opts.Workers, Offered: opts.Workers * opts.Requests, WallSeconds: wall.Seconds()}
+	var latencies []time.Duration
+	for _, r := range results {
+		rep.Admitted += r.admitted
+		rep.Stale += r.stale
+		rep.Shed += r.shed
+		rep.Errors += r.errors
+		latencies = append(latencies, r.latencies...)
+		if r.minRetryAfter > 0 && (rep.MinRetryAfterSeconds == 0 || r.minRetryAfter < rep.MinRetryAfterSeconds) {
+			rep.MinRetryAfterSeconds = r.minRetryAfter
+		}
+		if rep.FirstError == "" {
+			rep.FirstError = r.firstErr
+		}
+	}
+	rep.ShedRate = float64(rep.Shed) / float64(rep.Offered)
+	if rep.WallSeconds > 0 {
+		rep.GoodputRPS = float64(rep.Admitted+rep.Stale) / rep.WallSeconds
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50Millis = percentileMillis(latencies, 50)
+	rep.P95Millis = percentileMillis(latencies, 95)
+	rep.P99Millis = percentileMillis(latencies, 99)
+	return rep, nil
+}
+
+// runWorker is one closed-loop client: think, request, classify.
+func runWorker(client *http.Client, opts Options, rng *rand.Rand) workerResult {
+	var res workerResult
+	for i := 0; i < opts.Requests; i++ {
+		if opts.ThinkMean > 0 {
+			time.Sleep(time.Duration(rng.ExpFloat64() * float64(opts.ThinkMean)))
+		}
+		path := opts.Paths[rng.Intn(len(opts.Paths))]
+		req, err := http.NewRequest("GET", opts.BaseURL+path, nil)
+		if err != nil {
+			res.fail(err.Error())
+			continue
+		}
+		if opts.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+opts.Token)
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			res.fail(err.Error())
+			continue
+		}
+		elapsed := time.Since(t0)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK && resp.Header.Get("Warning") != "":
+			res.stale++
+			res.latencies = append(res.latencies, elapsed)
+		case resp.StatusCode == http.StatusOK:
+			res.admitted++
+			res.latencies = append(res.latencies, elapsed)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil || secs < 1 {
+				res.fail(fmt.Sprintf("429 with unusable Retry-After %q", resp.Header.Get("Retry-After")))
+				continue
+			}
+			res.shed++
+			if res.minRetryAfter == 0 || secs < res.minRetryAfter {
+				res.minRetryAfter = secs
+			}
+		default:
+			res.fail(fmt.Sprintf("unexpected status %d on %s", resp.StatusCode, path))
+		}
+	}
+	return res
+}
+
+func (r *workerResult) fail(msg string) {
+	r.errors++
+	if r.firstErr == "" {
+		r.firstErr = msg
+	}
+}
+
+// percentileMillis returns the nearest-rank p'th percentile of sorted,
+// in milliseconds; zero when empty.
+func percentileMillis(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n), 1-based
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1].Nanoseconds()) / 1e6
+}

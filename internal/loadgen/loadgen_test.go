@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	// A deterministic front door: /ok admits, /stale degrades, /shed
+	// sheds properly, /bad sheds without a usable Retry-After.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	})
+	mux.HandleFunc("/stale", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Warning", `110 - "Response is Stale"`)
+		w.Write([]byte("{}"))
+	})
+	mux.HandleFunc("/shed", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	mux.HandleFunc("/bad", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests) // no Retry-After: a bug
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		path  string
+		check func(Report) bool
+		want  string
+	}{
+		{"/ok", func(r Report) bool { return r.Admitted == r.Offered && r.Errors == 0 }, "all admitted"},
+		{"/stale", func(r Report) bool { return r.Stale == r.Offered && r.Admitted == 0 }, "all stale"},
+		{"/shed", func(r Report) bool {
+			return r.Shed == r.Offered && r.ShedRate == 1 && r.MinRetryAfterSeconds == 2
+		}, "all shed with Retry-After 2"},
+		{"/bad", func(r Report) bool { return r.Errors == r.Offered && r.Shed == 0 }, "malformed sheds are errors"},
+	} {
+		rep, err := Run(Options{BaseURL: srv.URL, Paths: []string{tc.path}, Workers: 4, Requests: 5, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Offered != 20 {
+			t.Fatalf("%s: offered %d, want 20", tc.path, rep.Offered)
+		}
+		if got := rep.Admitted + rep.Stale + rep.Shed + rep.Errors; got != rep.Offered {
+			t.Fatalf("%s: classified %d of %d requests", tc.path, got, rep.Offered)
+		}
+		if !tc.check(rep) {
+			t.Fatalf("%s: want %s, got %+v", tc.path, tc.want, rep)
+		}
+	}
+}
+
+func TestRunTokenAndArrivalProcess(t *testing.T) {
+	var authed atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") == "Bearer tok" {
+			authed.Add(1)
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+	start := time.Now()
+	rep, err := Run(Options{
+		BaseURL: srv.URL, Token: "tok", Paths: []string{"/a", "/b"},
+		Workers: 2, Requests: 10, Seed: 42, ThinkMean: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(authed.Load()) != rep.Offered {
+		t.Fatalf("%d requests carried the token, want %d", authed.Load(), rep.Offered)
+	}
+	// 20 exponential think pauses with a 2ms mean can't finish instantly.
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("arrival process did not pause at all")
+	}
+	if rep.P50Millis <= 0 || rep.P99Millis < rep.P50Millis {
+		t.Fatalf("nonsense percentiles: %+v", rep)
+	}
+}
+
+func TestPercentileMillis(t *testing.T) {
+	var sorted []time.Duration
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	}
+	for _, tc := range []struct{ p, want int }{{50, 50}, {95, 95}, {99, 99}, {100, 100}} {
+		if got := percentileMillis(sorted, tc.p); got != float64(tc.want) {
+			t.Fatalf("p%d = %v, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentileMillis(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(Options{Paths: []string{"/x"}}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := Run(Options{Workers: 1, Requests: 1}); err == nil {
+		t.Fatal("no paths accepted")
+	}
+}

@@ -56,6 +56,7 @@ type Stats struct {
 	Coalesced uint64 // lookups that joined an in-flight fill
 	Fills     uint64 // underlying computations performed
 	Evictions uint64 // entries evicted for capacity
+	StaleHits uint64 // epoch-stale entries served via PeekStale (degraded)
 	Entries   int    // live entries
 	Bytes     int64  // accounted bytes held
 }
@@ -95,15 +96,15 @@ type Cache[V any] struct {
 	shards   []shard[V]
 	sizeOf   func(V) int
 
-	hits, misses, coalesced, fills, evictions atomic.Uint64
-	entries                                   atomic.Int64
-	bytes                                     atomic.Int64
+	hits, misses, coalesced, fills, evictions, staleHits atomic.Uint64
+	entries                                              atomic.Int64
+	bytes                                                atomic.Int64
 
 	// pre-resolved obs handles (one label lookup at construction, not
 	// per request)
-	mHits, mMisses, mCoalesced, mEvictions *obs.Counter
-	mEntries, mBytes                       *obs.Gauge
-	mFill                                  *obs.Histogram
+	mHits, mMisses, mCoalesced, mEvictions, mStale *obs.Counter
+	mEntries, mBytes                               *obs.Gauge
+	mFill                                          *obs.Histogram
 }
 
 // New builds a cache. sizeOf estimates the retained bytes of one value
@@ -132,6 +133,7 @@ func New[V any](cfg Config, sizeOf func(V) int) *Cache[V] {
 		mMisses:    mMissesVec.With(cfg.Name),
 		mCoalesced: mCoalescedVec.With(cfg.Name),
 		mEvictions: mEvictionsVec.With(cfg.Name),
+		mStale:     mStaleVec.With(cfg.Name),
 		mEntries:   mEntriesVec.With(cfg.Name),
 		mBytes:     mBytesVec.With(cfg.Name),
 		mFill:      mFillVec.With(cfg.Name),
@@ -216,6 +218,37 @@ func (c *Cache[V]) GetOrCompute(key string, epoch uint64, fill func() (V, error)
 	return v, false, err
 }
 
+// PeekStale returns key's cached value regardless of epoch, for
+// graceful degradation: when the front door sheds a chart request it
+// may instead serve the last computed result, clearly tagged as stale
+// (HTTP Warning: 110). The TTL, if configured, is still honored — an
+// entry past its age bound is not served even as a degraded answer —
+// and the entry is NOT promoted in the LRU (a shed request should not
+// keep a stale entry warm). epoch reports the epoch the value was
+// computed under so callers can say how stale it is.
+//
+// Note the interplay with GetOrCompute: an admitted request that finds
+// a stale-epoch entry removes and recomputes it, so stale entries only
+// survive while the front door is refusing the recomputation — exactly
+// the overload window PeekStale exists for.
+func (c *Cache[V]) PeekStale(key string) (v V, epoch uint64, ok bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, found := sh.entries[key]
+	if !found {
+		return v, 0, false
+	}
+	e := el.Value.(*entry[V])
+	if c.ttl > 0 && time.Since(e.storedAt) > c.ttl {
+		c.removeLocked(sh, el)
+		return v, 0, false
+	}
+	c.staleHits.Add(1)
+	c.mStale.Inc()
+	return e.val, e.epoch, true
+}
+
 // storeLocked inserts or replaces key's entry and evicts from the cold
 // end while over the shard's capacity. Caller holds sh.mu.
 func (c *Cache[V]) storeLocked(sh *shard[V], key string, v V, epoch uint64) {
@@ -284,6 +317,7 @@ func (c *Cache[V]) Stats() Stats {
 		Coalesced: c.coalesced.Load(),
 		Fills:     c.fills.Load(),
 		Evictions: c.evictions.Load(),
+		StaleHits: c.staleHits.Load(),
 		Entries:   int(c.entries.Load()),
 		Bytes:     c.bytes.Load(),
 	}

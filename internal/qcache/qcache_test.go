@@ -230,3 +230,44 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		t.Fatalf("accounting went negative: %+v", st)
 	}
 }
+
+func TestPeekStale(t *testing.T) {
+	c := fixedCache(t, 1<<20, 0)
+	if _, _, ok := c.PeekStale("k"); ok {
+		t.Fatal("peek on empty cache reported a value")
+	}
+	mustGet(t, c, "k", 1, 42)
+	// Fresh entry peeks too (the caller decides whether to use it).
+	if v, ep, ok := c.PeekStale("k"); !ok || v != 42 || ep != 1 {
+		t.Fatalf("fresh peek: v=%d ep=%d ok=%v", v, ep, ok)
+	}
+	// After an epoch bump GetOrCompute would recompute, but under shed
+	// nothing does — PeekStale still serves the epoch-1 value and
+	// reports which epoch it came from.
+	if v, ep, ok := c.PeekStale("k"); !ok || v != 42 || ep != 1 {
+		t.Fatalf("stale peek: v=%d ep=%d ok=%v", v, ep, ok)
+	}
+	if st := c.Stats(); st.StaleHits != 2 {
+		t.Fatalf("StaleHits = %d, want 2", st.StaleHits)
+	}
+	// An admitted recompute at the new epoch replaces the entry; the
+	// peek then reflects the fresh epoch.
+	mustGet(t, c, "k", 2, 77)
+	if v, ep, ok := c.PeekStale("k"); !ok || v != 77 || ep != 2 {
+		t.Fatalf("post-recompute peek: v=%d ep=%d ok=%v", v, ep, ok)
+	}
+}
+
+func TestPeekStaleHonorsTTL(t *testing.T) {
+	c := fixedCache(t, 1<<20, 10*time.Millisecond)
+	mustGet(t, c, "k", 1, 42)
+	time.Sleep(25 * time.Millisecond)
+	// Past the TTL even a degraded serve is refused, and the dead
+	// entry is reaped.
+	if _, _, ok := c.PeekStale("k"); ok {
+		t.Fatal("TTL-expired entry served as stale")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("expired entry not reaped: %+v", st)
+	}
+}

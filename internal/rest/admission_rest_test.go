@@ -1,0 +1,277 @@
+package rest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/auth"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/shredder"
+)
+
+// admissionServer builds a server over the standard test instance with
+// the given admission knobs enabled.
+func admissionServer(t *testing.T, ac config.AdmissionConfig) (*Server, *core.Instance) {
+	t.Helper()
+	in := testInstance(t)
+	ac.Enabled = true
+	in.Config.Admission = ac
+	if err := in.Config.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(in), in
+}
+
+func TestUserQuotaShedsWith429AndRetryAfter(t *testing.T) {
+	s, _ := admissionServer(t, config.AdmissionConfig{
+		UserRPS: 0.001, UserBurst: 1, // one request, then a long refill
+		CenterRPS: -1, GlobalRPS: -1, MaxConcurrent: -1,
+	})
+	srv := s.Handler()
+	token := login(t, srv)
+	if rec := get(t, srv, token, "/api/chart?realm=Jobs&metric=total_cpu_hours"); rec.Code != http.StatusOK {
+		t.Fatalf("first chart: %d %s", rec.Code, rec.Body)
+	}
+	rec := get(t, srv, token, "/api/realms")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", rec.Code)
+	}
+	secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want positive integer", rec.Header().Get("Retry-After"))
+	}
+	var body map[string]string
+	json.Unmarshal(rec.Body.Bytes(), &body)
+	if body["reason"] != "quota_user" {
+		t.Fatalf("shed body %v", body)
+	}
+}
+
+func TestAnonRoutesPayGlobalRate(t *testing.T) {
+	s, _ := admissionServer(t, config.AdmissionConfig{
+		GlobalRPS: 0.001, GlobalBurst: 1,
+		CenterRPS: -1, UserRPS: -1, MaxConcurrent: -1,
+	})
+	srv := s.Handler()
+	if rec := get(t, srv, "", "/api/version"); rec.Code != http.StatusOK {
+		t.Fatalf("first version: %d", rec.Code)
+	}
+	rec := get(t, srv, "", "/api/version")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second version: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// Liveness endpoints are never gated: /healthz answers at full shed.
+	if rec := get(t, srv, "", "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz under shed: %d", rec.Code)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	s, _ := admissionServer(t, config.AdmissionConfig{
+		GlobalRPS: -1, CenterRPS: -1, UserRPS: -1,
+		MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: "50ms",
+	})
+	srv := s.Handler()
+	token := login(t, srv)
+	// Occupy the only slot and the only queue seat out-of-band; the
+	// HTTP request then finds the queue full and sheds instantly.
+	hold := s.Admission().Admit(context.Background(), "x", "")
+	if !hold.Admitted {
+		t.Fatalf("holder: %+v", hold)
+	}
+	defer hold.Release()
+	waiting := make(chan struct{})
+	go func() {
+		defer close(waiting)
+		d := s.Admission().Admit(context.Background(), "y", "")
+		d.Release()
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Admission().Stats().QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := get(t, srv, token, "/api/realms")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full request: %d, want 429", rec.Code)
+	}
+	var body map[string]string
+	json.Unmarshal(rec.Body.Bytes(), &body)
+	if body["reason"] != "queue_full" {
+		t.Fatalf("shed body %v", body)
+	}
+	<-waiting
+}
+
+func TestStaleChartServedUnderShed(t *testing.T) {
+	s, in := admissionServer(t, config.AdmissionConfig{
+		UserRPS: 0.001, UserBurst: 1,
+		CenterRPS: -1, GlobalRPS: -1, MaxConcurrent: -1,
+	})
+	srv := s.Handler()
+	token := login(t, srv)
+	const path = "/api/chart?realm=Jobs&metric=total_cpu_hours&period=year"
+	first := get(t, srv, token, path)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first chart: %d %s", first.Code, first.Body)
+	}
+	// New data bumps the epoch: the cached entry is now stale, and an
+	// ADMITTED request would recompute it. This one is shed instead —
+	// and degrades to the stale entry rather than erroring.
+	end := time.Date(2018, 6, 10, 12, 0, 0, 0, time.UTC)
+	if _, err := in.Pipeline.IngestJobRecords([]shredder.JobRecord{{
+		LocalJobID: 999, User: "u0", Account: "a", Resource: "rush", Queue: "batch",
+		Nodes: 1, Cores: 8, Submit: end.Add(-3 * time.Hour), Start: end.Add(-2 * time.Hour), End: end,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, srv, token, path)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shed chart: %d, want stale 200 (%s)", rec.Code, rec.Body)
+	}
+	if w := rec.Header().Get("Warning"); w != `110 - "Response is Stale"` {
+		t.Fatalf("Warning header %q", w)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("stale response missing Retry-After")
+	}
+	if rec.Body.String() != first.Body.String() {
+		t.Fatalf("stale body differs from original:\n%s\nvs\n%s", rec.Body, first.Body)
+	}
+	st, _ := s.CacheStats()
+	if st.StaleHits == 0 {
+		t.Fatal("stale serve not counted")
+	}
+	// A non-chart route still sheds plainly.
+	if rec := get(t, srv, token, "/api/realms"); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("non-chart shed: %d", rec.Code)
+	}
+}
+
+func TestStaleDisabledSheds(t *testing.T) {
+	s, _ := admissionServer(t, config.AdmissionConfig{
+		UserRPS: 0.001, UserBurst: 1,
+		CenterRPS: -1, GlobalRPS: -1, MaxConcurrent: -1,
+		DisableStale: true,
+	})
+	srv := s.Handler()
+	token := login(t, srv)
+	const path = "/api/chart?realm=Jobs&metric=total_cpu_hours"
+	if rec := get(t, srv, token, path); rec.Code != http.StatusOK {
+		t.Fatalf("first chart: %d", rec.Code)
+	}
+	if rec := get(t, srv, token, path); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("disable_stale shed: %d, want 429", rec.Code)
+	}
+}
+
+func TestCenterQuotaTenantIsolation(t *testing.T) {
+	s, in := admissionServer(t, config.AdmissionConfig{
+		UserRPS: -1, GlobalRPS: -1, MaxConcurrent: -1,
+		CenterRPS: 0.001, CenterBurst: 1,
+		Centers: map[string]string{"admin": "ccr", "peer": "xsede"},
+	})
+	in.Auth.Vault().Create(auth.User{Username: "peer", Role: auth.RoleUser}, "hunter2hunter2")
+	srv := s.Handler()
+	token := login(t, srv)
+	if rec := get(t, srv, token, "/api/realms"); rec.Code != http.StatusOK {
+		t.Fatalf("first ccr request: %d", rec.Code)
+	}
+	rec := get(t, srv, token, "/api/realms")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second ccr request: %d, want 429", rec.Code)
+	}
+	var body map[string]string
+	json.Unmarshal(rec.Body.Bytes(), &body)
+	if body["reason"] != "quota_center" {
+		t.Fatalf("shed body %v", body)
+	}
+	// A user from another center is unaffected by ccr's exhausted quota.
+	peerTok := loginAs(t, srv, "peer", "hunter2hunter2")
+	if rec := get(t, srv, peerTok, "/api/realms"); rec.Code != http.StatusOK {
+		t.Fatalf("xsede request throttled by ccr quota: %d", rec.Code)
+	}
+}
+
+func TestSessionCacheServesAndLogoutInvalidates(t *testing.T) {
+	in := testInstance(t)
+	s := NewServer(in) // admission off; session cache on by default
+	if s.sessions == nil {
+		t.Fatal("session cache not built by default")
+	}
+	srv := s.Handler()
+	token := login(t, srv)
+	for i := 0; i < 3; i++ {
+		if rec := get(t, srv, token, "/api/realms"); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d", i, rec.Code)
+		}
+	}
+	hits, misses := s.sessions.Stats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("session cache hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	// Logout through the API must invalidate the memoized verification.
+	req := httptest.NewRequest("POST", "/api/auth/logout", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("logout: %d", rec.Code)
+	}
+	if rec := get(t, srv, token, "/api/realms"); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("post-logout request: %d, want 401", rec.Code)
+	}
+}
+
+// A client that disconnects mid-request must not leave its admission
+// slot held: the canceled context aborts the query and the deferred
+// release runs as the handler unwinds.
+func TestCanceledRequestReleasesAdmission(t *testing.T) {
+	s, _ := admissionServer(t, config.AdmissionConfig{
+		GlobalRPS: -1, CenterRPS: -1, UserRPS: -1,
+		MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: "100ms",
+	})
+	srv := s.Handler()
+	token := login(t, srv)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // client gone before the handler runs
+	req := httptest.NewRequest("GET", "/api/chart?realm=Jobs&metric=total_cpu_hours", nil).WithContext(ctx)
+	req.Header.Set("Authorization", "Bearer "+token)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("canceled chart: %d, want 500", rec.Code)
+	}
+	if st := s.Admission().Stats(); st.Inflight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("admission leaked after cancel: %+v", st)
+	}
+	// The slot is immediately reusable.
+	if rec := get(t, srv, token, "/api/chart?realm=Jobs&metric=total_cpu_hours"); rec.Code != http.StatusOK {
+		t.Fatalf("follow-up chart: %d (%s)", rec.Code, rec.Body)
+	}
+}
+
+func TestAdmissionDisabledIsWideOpen(t *testing.T) {
+	s := NewServer(testInstance(t))
+	if s.Admission() != nil {
+		t.Fatal("controller built with admission disabled")
+	}
+	srv := s.Handler()
+	token := login(t, srv)
+	for i := 0; i < 50; i++ {
+		if rec := get(t, srv, token, "/api/realms"); rec.Code != http.StatusOK {
+			t.Fatalf("request %d throttled with admission off: %d", i, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package rest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEveryAPIRouteGoesThroughAdmission statically checks that every
+// /api/ route registration wraps its handler in one of the admission-
+// aware middlewares: requireAuth / requireRole (full tier stack) or
+// admitAnon (global rate only, for unauthenticated routes). A new
+// route registered bare would silently bypass the front door — this
+// vet turns that mistake into a test failure naming the route.
+//
+// Liveness and diagnostics (/metrics, /healthz, /debug/*) are exempt
+// by construction: only /api/ patterns are inspected, because probes
+// and dashboards must keep answering at full shed.
+func TestEveryAPIRouteGoesThroughAdmission(t *testing.T) {
+	admissionAware := []string{"requireAuth", "requireRole", "admitAnon"}
+
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	routes := 0
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, file, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "handle" {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			pattern, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.Contains(pattern, "/api/") {
+				return true
+			}
+			routes++
+			handlerSrc := string(src[call.Args[2].Pos()-f.FileStart : call.Args[2].End()-f.FileStart])
+			for _, mw := range admissionAware {
+				if strings.Contains(handlerSrc, mw) {
+					return true
+				}
+			}
+			pos := fset.Position(call.Pos())
+			t.Errorf("%s:%d: route %q registered without admission middleware (wrap in %s)",
+				pos.Filename, pos.Line, pattern, strings.Join(admissionAware, ", "))
+			return true
+		})
+	}
+	// Guard the guard: if the registration idiom changes and the scan
+	// stops seeing routes, fail loudly instead of vacuously passing.
+	if routes < 10 {
+		t.Fatalf("only %d /api/ routes found; the vet's pattern matching is broken", routes)
+	}
+}

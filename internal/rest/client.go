@@ -5,22 +5,49 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/core"
+	"xdmodfed/internal/obs"
 )
+
+// mClientRetries counts request attempts the client retried after a
+// 429 shed.
+var mClientRetries = obs.Default.Counter("xdmodfed_rest_client_retries_total",
+	"REST client attempts retried after a 429 load-shed response.")
 
 // Client is a typed HTTP client for the XDMoD REST API — what
 // downstream tooling (report schedulers, loose-federation shippers,
-// dashboards) programs against.
+// dashboards) programs against. When the server sheds a request
+// (429), the client honors its Retry-After and retries a bounded
+// number of times with jittered delays, so well-behaved tooling backs
+// off exactly as fast as the front door asks it to.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 	token   string
+
+	// MaxAttempts bounds tries per request including the first;
+	// 0 uses DefaultMaxAttempts, 1 disables retries.
+	MaxAttempts int
+	// MaxRetryDelay caps a single Retry-After wait so a hostile or
+	// confused server cannot park the client for minutes; 0 uses
+	// DefaultMaxRetryDelay.
+	MaxRetryDelay time.Duration
+	// sleep is swappable for tests.
+	sleep func(time.Duration)
 }
+
+// Client retry defaults.
+const (
+	DefaultMaxAttempts   = 3
+	DefaultMaxRetryDelay = 10 * time.Second
+)
 
 // NewClient creates a client for the instance at baseURL.
 func NewClient(baseURL string) *Client {
@@ -111,30 +138,89 @@ func (c *Client) UploadLooseDump(instance string, dump io.Reader) error {
 	return c.do("POST", path, dump, nil)
 }
 
-// do executes one request, decoding a JSON body into out when non-nil.
+// do executes one request, decoding a JSON body into out when
+// non-nil. The body is buffered once so a shed attempt (429) can be
+// replayed after honoring the server's Retry-After.
 func (c *Client) do(method, path string, body io.Reader, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = io.ReadAll(body); err != nil {
+			return err
+		}
+	}
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	for attempt := 1; ; attempt++ {
+		retryable, err := c.doOnce(method, path, payload, out)
+		if err == nil || !retryable || attempt >= attempts {
+			return err
+		}
+		mClientRetries.Inc()
+	}
+}
+
+// doOnce performs one HTTP round trip. On a 429 it sleeps out the
+// (capped, jittered) Retry-After and reports retryable=true; every
+// other failure is terminal.
+func (c *Client) doOnce(method, path string, payload []byte, out any) (retryable bool, err error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
 	req, err := http.NewRequest(method, c.BaseURL+path, body)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		c.waitRetryAfter(resp.Header.Get("Retry-After"))
+		return true, fmt.Errorf("rest: %s %s: status %d (shed)", method, path, resp.StatusCode)
+	}
 	if resp.StatusCode >= 400 {
 		var e errorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("rest: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+			return false, fmt.Errorf("rest: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("rest: %s %s: status %d", method, path, resp.StatusCode)
+		return false, fmt.Errorf("rest: %s %s: status %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
-		return nil
+		return false, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return false, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// waitRetryAfter sleeps for the server's Retry-After hint — capped,
+// then spread uniformly over [d/2, d] (the replication layer's jitter
+// shape) so a fleet of shed clients does not return in lockstep.
+func (c *Client) waitRetryAfter(header string) {
+	d := time.Second
+	if secs, err := strconv.Atoi(header); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if cap := c.MaxRetryDelay; cap <= 0 {
+		if d > DefaultMaxRetryDelay {
+			d = DefaultMaxRetryDelay
+		}
+	} else if d > cap {
+		d = cap
+	}
+	half := d / 2
+	d = half + time.Duration(rand.Int63n(int64(d-half)+1))
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
 }

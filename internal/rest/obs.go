@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"xdmodfed/internal/admission"
 	"xdmodfed/internal/obs"
 )
 
@@ -79,7 +80,7 @@ func (s *Server) registerObsHandlers(mux *http.ServeMux) {
 	s.handle(mux, "GET /healthz", s.handleHealthz)
 	s.handle(mux, "GET /debug/traces", s.handleTraces)
 	s.handle(mux, "GET /debug/slowlog", s.handleSlowlog)
-	s.handle(mux, "GET /api/federation/telemetry", s.handleFederationTelemetry)
+	s.handle(mux, "GET /api/federation/telemetry", s.admitAnon(s.handleFederationTelemetry))
 	if s.Instance.Config.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -139,6 +140,10 @@ type healthzResponse struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Members       []memberHealth `json:"members,omitempty"`
 	Senders       []senderHealth `json:"senders,omitempty"`
+	// Admission reports front-door queue occupancy when admission
+	// control is enabled. /healthz itself is never gated on admission:
+	// liveness probes must answer even at full shed.
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 type memberHealth struct {
@@ -178,6 +183,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Role:          role,
 		Version:       s.Instance.Config.Version,
 		UptimeSeconds: now.Sub(s.started).Seconds(),
+	}
+	if s.admit != nil {
+		st := s.admit.Stats()
+		resp.Admission = &st
 	}
 	if s.Hub != nil {
 		for _, m := range s.Hub.Status().Members {

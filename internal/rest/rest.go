@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"xdmodfed/internal/admission"
 	"xdmodfed/internal/aggregate"
 	"xdmodfed/internal/auth"
 	"xdmodfed/internal/chart"
@@ -37,6 +38,18 @@ type Server struct {
 
 	// slow is the bounded slow-query ring behind GET /debug/slowlog.
 	slow *slowLog
+
+	// admit is the front-door admission controller; nil unless the
+	// instance config enables admission.
+	admit *admission.Controller
+	// centers maps usernames to center (tenant) names for the
+	// per-center admission tier.
+	centers map[string]string
+	// staleOK allows serving an epoch-stale cached chart (Warning: 110)
+	// instead of shedding, when the cache holds one.
+	staleOK bool
+	// sessions memoizes verified bearer tokens; nil when disabled.
+	sessions *auth.SessionCache
 
 	started time.Time
 }
@@ -76,6 +89,7 @@ func newServer(in *core.Instance) *Server {
 		threshold = 0
 	}
 	s.slow = newSlowLog(oc.SlowQueryCapacity, threshold)
+	s.setupAdmission(in.Config.Admission)
 	return s
 }
 
@@ -100,10 +114,10 @@ func NewSatelliteServer(sat *core.Satellite) *Server {
 // Handler returns the HTTP mux for the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	s.handle(mux, "POST /api/auth/login", s.handleLogin)
-	s.handle(mux, "POST /api/auth/sso", s.handleSSO)
-	s.handle(mux, "POST /api/auth/logout", s.handleLogout)
-	s.handle(mux, "GET /api/version", s.handleVersion)
+	s.handle(mux, "POST /api/auth/login", s.admitAnon(s.handleLogin))
+	s.handle(mux, "POST /api/auth/sso", s.admitAnon(s.handleSSO))
+	s.handle(mux, "POST /api/auth/logout", s.admitAnon(s.handleLogout))
+	s.handle(mux, "GET /api/version", s.admitAnon(s.handleVersion))
 	s.handle(mux, "GET /api/realms", s.requireAuth(s.handleRealms))
 	s.handle(mux, "GET /api/chart", s.requireAuth(s.handleChart))
 	s.handle(mux, "GET /api/jobs/{resource}/{id}", s.requireAuth(s.handleJobViewer))
@@ -138,7 +152,10 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 // requireAuth enforces sign-on: "users must sign on to XDMoD to use
-// most of its advanced features" (paper §II-D).
+// most of its advanced features" (paper §II-D). Verified tokens are
+// memoized in a bounded TTL cache (invalidated on logout) so repeated
+// requests skip the vault, and the authenticated request then passes
+// through the admission controller when one is configured.
 func (s *Server) requireAuth(next func(http.ResponseWriter, *http.Request, auth.Session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h := r.Header.Get("Authorization")
@@ -147,13 +164,30 @@ func (s *Server) requireAuth(next func(http.ResponseWriter, *http.Request, auth.
 			writeErr(w, http.StatusUnauthorized, fmt.Errorf("missing bearer token"))
 			return
 		}
-		sess, err := s.Instance.Auth.Validate(strings.TrimPrefix(h, prefix))
+		sess, err := s.validateToken(strings.TrimPrefix(h, prefix))
 		if err != nil {
 			writeErr(w, http.StatusUnauthorized, err)
 			return
 		}
+		if s.admit != nil {
+			d := s.admit.Admit(r.Context(), sess.Username, s.centers[sess.Username])
+			if !d.Admitted {
+				s.shedOrDegrade(w, r, d)
+				return
+			}
+			defer d.Release()
+		}
 		next(w, r, sess)
 	}
+}
+
+// validateToken resolves a bearer token through the session cache when
+// one is configured, falling back to the authenticator.
+func (s *Server) validateToken(token string) (auth.Session, error) {
+	if s.sessions != nil {
+		return s.sessions.Validate(token)
+	}
+	return s.Instance.Auth.Validate(token)
 }
 
 type loginRequest struct {
@@ -168,9 +202,14 @@ type loginResponse struct {
 	Via      string `json:"via"`
 }
 
+// maxAuthBodyBytes bounds login and SSO request bodies: credentials
+// and assertions are small, and an unauthenticated POST must not be
+// able to buffer an arbitrarily large body.
+const maxAuthBodyBytes = 1 << 20
+
 func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 	var req loginRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAuthBodyBytes)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -184,7 +223,7 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSSO(w http.ResponseWriter, r *http.Request) {
 	var assertion auth.Assertion
-	if err := json.NewDecoder(r.Body).Decode(&assertion); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAuthBodyBytes)).Decode(&assertion); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -199,7 +238,13 @@ func (s *Server) handleSSO(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
 	h := r.Header.Get("Authorization")
 	if strings.HasPrefix(h, "Bearer ") {
-		s.Instance.Auth.Logout(strings.TrimPrefix(h, "Bearer "))
+		token := strings.TrimPrefix(h, "Bearer ")
+		s.Instance.Auth.Logout(token)
+		// The memoized verification must die with the session, or the
+		// cache would serve a logged-out token until its TTL lapsed.
+		if s.sessions != nil {
+			s.sessions.Invalidate(token)
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
@@ -276,67 +321,13 @@ type pointResponse struct {
 //	    &top=3&format=json|csv|svg|text
 func (s *Server) handleChart(w http.ResponseWriter, r *http.Request, _ auth.Session) {
 	q := r.URL.Query()
-	realmName := q.Get("realm")
-	if realmName == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("realm parameter required"))
-		return
-	}
-	req := aggregate.Request{
-		MetricID: q.Get("metric"),
-		GroupBy:  q.Get("group_by"),
-		Period:   aggregate.Month,
-	}
-	if p := q.Get("period"); p != "" {
-		period, err := aggregate.Parse(p)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		req.Period = period
-	}
-	var err error
-	if req.StartKey, err = parseKey(q.Get("start")); err != nil {
+	p, err := s.parseChartRequest(q)
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.EndKey, err = parseKey(q.Get("end")); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	for key, vals := range q {
-		if dim, ok := strings.CutPrefix(key, "filter."); ok && len(vals) > 0 {
-			if req.Filters == nil {
-				req.Filters = map[string]string{}
-			}
-			req.Filters[dim] = vals[0]
-		}
-	}
 
-	// rollup=<level> regroups a by-PI result through the instance's
-	// institutional hierarchy (decanal unit / department / PI group).
-	// Parsed before querying so the cache key covers the full
-	// post-processed result.
-	rollup := q.Get("rollup")
-	if rollup != "" {
-		if s.Instance.Hierarchy == nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("this instance has no hierarchy configured"))
-			return
-		}
-		if req.GroupBy != "pi" {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("rollup requires group_by=pi"))
-			return
-		}
-	}
-	top := 0
-	if topStr := q.Get("top"); topStr != "" {
-		top, err = strconv.Atoi(topStr)
-		if err != nil || top < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid top parameter %q", topStr))
-			return
-		}
-	}
-
-	series, stat, err := s.QuerySeries(r.Context(), realmName, req, rollup, top)
+	series, stat, err := s.QuerySeries(r.Context(), p.realm, p.req, p.rollup, p.top)
 	if err != nil {
 		// A malformed request (unknown realm, metric, dimension…) is the
 		// client's fault; anything else — aggregation-table corruption,
@@ -352,23 +343,16 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request, _ auth.Sess
 
 	title := q.Get("title")
 	if title == "" {
-		title = realmName + ": " + req.MetricID
+		title = p.realm + ": " + p.req.MetricID
 	}
-	ch := chart.New(title, q.Get("subtitle"), req.MetricID, req.Period, series)
+	ch := chart.New(title, q.Get("subtitle"), p.req.MetricID, p.req.Period, series)
 	switch q.Get("format") {
 	case "", "json":
-		resp := chartResponse{Realm: realmName, Metric: req.MetricID, Period: req.Period.String()}
+		var explain *QueryStat
 		if q.Get("explain") == "1" {
-			resp.Explain = &stat
+			explain = &stat
 		}
-		for _, ser := range series {
-			sr := seriesResponse{Group: ser.Group, Aggregate: ser.Aggregate, N: ser.N}
-			for _, pt := range ser.Points {
-				sr.Points = append(sr.Points, pointResponse{Period: req.Period.Label(pt.PeriodKey), Key: pt.PeriodKey, Value: pt.Value})
-			}
-			resp.Series = append(resp.Series, sr)
-		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, chartJSONResponse(p, series, explain))
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
 		fmt.Fprint(w, ch.CSV())
@@ -443,14 +427,14 @@ func (s *Server) QuerySeries(ctx context.Context, realmName string, req aggregat
 		}
 	}
 	if s.cache == nil {
-		res, err := s.computeSeries(realmName, req, rollup, top)
+		res, err := s.computeSeries(ctx, realmName, req, rollup, top)
 		stat.RowsScanned = res.RowsScanned
 		finish(err)
 		return res.Series, stat, err
 	}
 	stat.Epoch = s.realmEpoch(realmName)
 	res, hit, err := s.cache.GetOrCompute(chartKey(realmName, req, rollup, top), stat.Epoch, func() (chartResult, error) {
-		return s.computeSeries(realmName, req, rollup, top)
+		return s.computeSeries(ctx, realmName, req, rollup, top)
 	})
 	stat.Cache = map[bool]string{true: "hit", false: "miss"}[hit]
 	stat.RowsScanned = res.RowsScanned
@@ -472,9 +456,11 @@ func (s *Server) realmEpoch(realmName string) uint64 {
 }
 
 // computeSeries is the uncached query path. Its result is stored in
-// (and shared through) the cache, so callers must not mutate it.
-func (s *Server) computeSeries(realmName string, req aggregate.Request, rollup string, top int) (chartResult, error) {
-	series, info, err := s.Instance.QueryStats(realmName, req)
+// (and shared through) the cache, so callers must not mutate it. ctx
+// cancellation (a disconnected or shed client) aborts the aggregation
+// scan between chunks.
+func (s *Server) computeSeries(ctx context.Context, realmName string, req aggregate.Request, rollup string, top int) (chartResult, error) {
+	series, info, err := s.Instance.QueryStatsCtx(ctx, realmName, req)
 	if err != nil {
 		return chartResult{}, err
 	}
