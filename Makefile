@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos bench bench-shard bench-load check
+.PHONY: build vet test race chaos bench bench-shard bench-load bench-pushdown check
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ race:
 # converge bit-identical to a fault-free control run. Always raced.
 # See docs/robustness.md for the failure model and failpoint catalog.
 chaos:
-	$(GO) test -race -run TestChaosFederationConvergence -count 1 -v .
+	$(GO) test -race -run 'TestChaos(FederationConvergence|PushdownConvergence)' -count 1 -v .
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 20000x .
@@ -53,6 +53,14 @@ bench-shard:
 # deadline, and the goroutine population must return to baseline.
 bench-load:
 	$(GO) test -race -run '^TestEmitLoadBenchJSON$$' -emit-bench -count 1 -timeout 30m .
+
+# Aggregation pushdown: emits BENCH_10.json — hub aggregation CPU and
+# replication wire bytes for a 20k-fact member replicated as raw facts
+# vs as pushed-down partial-aggregate deltas. The emitter first checks
+# the two modes render bit-identical charts, then fails unless
+# pushdown cuts both hub CPU and wire bytes by at least 5x.
+bench-pushdown:
+	$(GO) test -run '^TestEmitPushdownBenchJSON$$' -emit-bench -count 1 -timeout 30m .
 
 # Tier-1 gate: everything CI runs.
 check: build vet test race

@@ -20,6 +20,7 @@ import (
 	"xdmodfed/internal/config"
 	"xdmodfed/internal/core"
 	"xdmodfed/internal/faults"
+	"xdmodfed/internal/realm"
 	"xdmodfed/internal/realm/jobs"
 	"xdmodfed/internal/replicate"
 	"xdmodfed/internal/shredder"
@@ -310,4 +311,167 @@ func waitUntil(t *testing.T, limit time.Duration, cond func() bool, msg string) 
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatal(msg)
+}
+
+// chaosPushSatCfg is a chaos satellite whose aggregation levels match
+// the hub's: aggregation pushdown is only granted on an exact levels
+// digest, so a pushdown chaos site must bin exactly like the hub does.
+func chaosPushSatCfg(name, resource string) config.InstanceConfig {
+	cfg := chaosSatCfg(name, resource)
+	cfg.AggregationLevels = []config.AggregationLevels{
+		config.HubWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+	}
+	return cfg
+}
+
+// TestChaosPushdownConvergence runs the chaos harness against a
+// pushdown sender: connections drop randomly mid-delta-flush, the
+// sender is killed and restarted between ingest phases, and every
+// reconnect re-negotiates and re-ships a reset snapshot. The pushdown
+// hub must converge to charts bit-identical to a fault-free control
+// hub fed the same binlog as raw facts.
+func TestChaosPushdownConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e is not a -short test")
+	}
+
+	reg := faults.New(43)
+	reg.Enable(faults.ConnReadDrop, 0.05)
+	reg.Enable(faults.ConnWriteDrop, 0.05)
+
+	hubCfg := chaosHubCfg("fedhub")
+	hubCfg.Replication = config.ReplicationConfig{HeartbeatInterval: "100ms"}
+	hub, err := core.NewHub(hubCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Faults = reg
+	addr, err := hub.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	control, err := core.NewHub(chaosHubCfg("fedhub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const site, resource = "siteP", "clusterP"
+	if err := hub.Register(site); err != nil {
+		t.Fatal(err)
+	}
+	if err := control.Register(site); err != nil {
+		t.Fatal(err)
+	}
+	sat, err := core.NewSatellite(chaosPushSatCfg(site, resource))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosIngest(t, sat, resource, 60, 1)
+
+	info, ok := sat.Registry.Get("Jobs")
+	if !ok {
+		t.Fatal("no Jobs realm")
+	}
+	newSender := func() *replicate.Sender {
+		// A fresh folder per sender run mimics a process restart: all
+		// in-memory fold state is lost and rebuilt from the snapshot.
+		pf, err := replicate.NewPushdownFolder(sat.Engine, []realm.Info{info},
+			replicate.Filter{}, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &replicate.Sender{
+			Instance: site, Version: core.Version,
+			DB: sat.DB, Rewriter: jobsRewriter(site), BatchSize: 8,
+			Pushdown: pf,
+		}
+	}
+
+	converged := func() bool {
+		head := sat.DB.Binlog().Last()
+		for _, m := range hub.Status().Members {
+			if m.Name == site {
+				return m.Mode == "pushdown" && m.Position == head && m.DeltaCovered == head
+			}
+		}
+		return false
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Phase 1: run under connection faults until the first snapshot
+	// converges (likely across several reconnects, each re-shipping a
+	// reset delta).
+	actx, akill := context.WithCancel(ctx)
+	done1 := make(chan struct{})
+	sender1 := newSender()
+	go func() { defer close(done1); sender1.RunWithRetry(actx, addr, time.Millisecond) }()
+	waitUntil(t, 60*time.Second, converged, "pushdown never converged under faults")
+
+	// Phase 2: kill the sender mid-stream, ingest while it is down
+	// (deltas now stale), restart with a fresh process-like folder: the
+	// reset-on-connect handshake must re-converge without double
+	// counting the facts already covered by the snapshot.
+	akill()
+	<-done1
+	chaosIngest(t, sat, resource, 35, 3000)
+	done2 := make(chan struct{})
+	sender2 := newSender()
+	go func() { defer close(done2); sender2.RunWithRetry(ctx, addr, time.Millisecond) }()
+	waitUntil(t, 60*time.Second, converged, "pushdown never re-converged after sender restart")
+
+	if reg.Injected() == 0 {
+		t.Error("fault registry injected nothing; chaos run was fault-free")
+	}
+	if got := hub.DB.Count("fed_"+site, jobs.FactTable); got != 0 {
+		t.Errorf("pushdown chaos hub materialized %d raw fact rows", got)
+	}
+
+	// Control: the whole binlog applied as raw facts, no faults.
+	last := sat.DB.Binlog().Last()
+	evs, err := sat.DB.Binlog().ReadFrom(0, int(last)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := jobsRewriter(site)
+	var out []warehouse.Event
+	for _, ev := range evs {
+		if rewritten, ok := rw.Process(ev); ok {
+			out = append(out, rewritten)
+		}
+	}
+	if err := control.ApplyBatch(site, last, out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both hubs rebuild from scratch — the chaos hub from the member's
+	// partial aggregates, the control from raw facts — and their charts
+	// must agree bit for bit.
+	if _, err := hub.AggregateFederation(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.AggregateFederation(); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []aggregate.Request{
+		{MetricID: jobs.MetricNumJobs, GroupBy: jobs.DimResource, Period: aggregate.Year},
+		{MetricID: jobs.MetricWallHours, GroupBy: jobs.DimQueue, Period: aggregate.Month},
+		{MetricID: jobs.MetricCPUHours, GroupBy: jobs.DimUser, Period: aggregate.Quarter},
+	} {
+		got, err := hub.Query("Jobs", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := control.Query("Jobs", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("pushdown chart %s/%s diverged under faults:\nchaos:   %+v\ncontrol: %+v",
+				req.MetricID, req.GroupBy, got, want)
+		}
+	}
 }

@@ -67,6 +67,8 @@ func main() {
 		admConc     = flag.Int("max-concurrent", 0, "concurrent in-flight API requests past which arrivals queue (0 = config/default)")
 		admQueue    = flag.Int("max-queue", 0, "queued API requests past which arrivals are shed with 429 (0 = config/default)")
 		admWait     = flag.String("queue-timeout", "", "max time a request may wait for a slot, e.g. 2s (default config/2s)")
+		repMode     = flag.String("replication-mode", "", "validate the replication mode knob: facts or pushdown (satellites choose; the hub grants offers it can merge)")
+		pdFlush     = flag.String("pushdown-flush-interval", "", "delta flush pacing recorded in config, e.g. 2s")
 		loose       looseFlags
 		scrape      scrapeFlags
 	)
@@ -87,6 +89,7 @@ func main() {
 	applyTelemetryFlags(&cfg, *traceCap, *scrapeIv, scrape)
 	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
 	applyAdmissionFlags(&cfg, *admEnable, *admGlobal, *admUser, *admConc, *admQueue, *admWait)
+	applyReplicationFlags(&cfg, *repMode, *pdFlush)
 	hub, err := core.NewHub(cfg)
 	if err != nil {
 		fatal(err)
@@ -162,6 +165,22 @@ func applyCacheFlags(cfg *config.InstanceConfig, enable bool, maxBytes int64, tt
 		}
 	})
 	if err := cfg.QueryCache.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyReplicationFlags layers the replication-mode knobs over the
+// config file: only flags the operator actually set override it.
+func applyReplicationFlags(cfg *config.InstanceConfig, mode, pushdownFlush string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "replication-mode":
+			cfg.Replication.Mode = mode
+		case "pushdown-flush-interval":
+			cfg.Replication.PushdownFlushInterval = pushdownFlush
+		}
+	})
+	if err := cfg.Replication.Validate(); err != nil {
 		fatal(err)
 	}
 }

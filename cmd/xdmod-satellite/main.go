@@ -56,6 +56,8 @@ func main() {
 		admConc    = flag.Int("max-concurrent", 0, "concurrent in-flight API requests past which arrivals queue (0 = config/default)")
 		admQueue   = flag.Int("max-queue", 0, "queued API requests past which arrivals are shed with 429 (0 = config/default)")
 		admWait    = flag.String("queue-timeout", "", "max time a request may wait for a slot, e.g. 2s (default config/2s)")
+		repMode    = flag.String("replication-mode", "", "tight replication payload: facts or pushdown (default config/facts)")
+		pdFlush    = flag.String("pushdown-flush-interval", "", "delta flush pacing for -replication-mode=pushdown, e.g. 2s")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -72,6 +74,7 @@ func main() {
 	applyStorageFlags(&cfg, *storageBk, *dataDir, *hotTail, *maxResid)
 	applyShardingFlags(&cfg, *shards, *shardKey)
 	applyAdmissionFlags(&cfg, *admEnable, *admGlobal, *admUser, *admConc, *admQueue, *admWait)
+	applyReplicationFlags(&cfg, *repMode, *pdFlush)
 	sat, err := core.NewSatellite(cfg)
 	if err != nil {
 		fatal(err)
@@ -170,6 +173,22 @@ func applyAdmissionFlags(cfg *config.InstanceConfig, enable bool, globalRPS, use
 		}
 	})
 	if err := cfg.Admission.Validate(); err != nil {
+		fatal(err)
+	}
+}
+
+// applyReplicationFlags layers the replication-mode knobs over the
+// config file: only flags the operator actually set override it.
+func applyReplicationFlags(cfg *config.InstanceConfig, mode, pushdownFlush string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "replication-mode":
+			cfg.Replication.Mode = mode
+		case "pushdown-flush-interval":
+			cfg.Replication.PushdownFlushInterval = pushdownFlush
+		}
+	})
+	if err := cfg.Replication.Validate(); err != nil {
 		fatal(err)
 	}
 }

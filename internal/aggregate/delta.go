@@ -1,0 +1,639 @@
+package aggregate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"time"
+
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/warehouse"
+)
+
+// Aggregation pushdown: the mergeable partial-aggregate delta.
+//
+// A Delta is the unit of aggregation state that crosses the federation
+// wire when a satellite replicates partial aggregates instead of raw
+// facts (replication mode "pushdown"). It is the same running state the
+// fold path keeps per aggregation group — count, sum, min, max, the
+// last value by newest timestamp (sum_last), and the weighted-sum
+// products — held per period bin, so satellite-side folding and
+// hub-side merging share one implementation (the accRow fold below)
+// and the pushdown ≡ fact-replication equivalence is structural, not
+// coincidental.
+//
+// Bit-exactness contract: a satellite folds its committed facts
+// sequentially, in binlog (= fact-table row) order, with exactly the
+// per-fact semantics of a full rebuild's scan. Because fold state is
+// per group and a group never spans shards, the hub can load a
+// member's cumulative bins from its pagg tables (see pagg.go), route
+// them to shards, and merge them in source order exactly where a
+// fact-mode rebuild would have merged the member's scanned partial —
+// the float accumulation order is identical, so the resulting
+// aggregation tables are row-bit-identical to fact replication.
+//
+// Deltas carry cumulative bin values with replace-on-apply semantics:
+// a re-sent delta is idempotent, and a sender restart simply re-folds
+// from its fact-table snapshot and ships a Reset delta (see
+// replicate's pushdown folder), so crash recovery needs no delta-level
+// positions.
+
+// accRow is one partially aggregated group: the same running state
+// mergeAggRow keeps in the aggregation table, held in memory while a
+// rebuild scans (and inside a Delta while it crosses the wire).
+// Measure slices are indexed by the realm's measureColumns order
+// (sums/mins/maxs/lasts by cols, wsums by weights).
+type accRow struct {
+	periodKey int64
+	dims      []string
+	n         int64
+	lastTS    float64
+	sums      []float64
+	mins      []float64
+	maxs      []float64
+	lasts     []float64
+	wsums     []float64
+}
+
+// newAccRow seeds a group's accumulator from its first fact. The
+// caller may reuse dims, vals and wvals; they are copied.
+func newAccRow(periodKey int64, dims []string, ts float64, vals, wvals []float64) *accRow {
+	return &accRow{
+		periodKey: periodKey,
+		dims:      append([]string(nil), dims...),
+		n:         1,
+		lastTS:    ts,
+		sums:      append([]float64(nil), vals...),
+		mins:      append([]float64(nil), vals...),
+		maxs:      append([]float64(nil), vals...),
+		lasts:     append([]float64(nil), vals...),
+		wsums:     append([]float64(nil), wvals...),
+	}
+}
+
+// fold adds one fact to the accumulator with exactly the semantics of
+// mergeAggRow: counts and sums add, min/max compare, and last_* follow
+// the newest timestamp with ties won by the later fold. This is THE
+// fold; the rebuild scan, the incremental batch fold and the pushdown
+// delta folder all call it.
+func (acc *accRow) fold(ts float64, vals, wvals []float64) {
+	newer := ts >= acc.lastTS
+	acc.n++
+	if newer {
+		acc.lastTS = ts
+	}
+	for i, v := range vals {
+		acc.sums[i] += v
+		if v < acc.mins[i] {
+			acc.mins[i] = v
+		}
+		if v > acc.maxs[i] {
+			acc.maxs[i] = v
+		}
+		if newer {
+			acc.lasts[i] = v
+		}
+	}
+	for i, w := range wvals {
+		acc.wsums[i] += w
+	}
+}
+
+// mergeFrom folds another accumulator of the same group into acc.
+// last_* timestamp ties are won by the merged-in side, matching a
+// sequential scan where b's facts arrive after acc's — callers must
+// merge in source order.
+func (acc *accRow) mergeFrom(b *accRow) {
+	acc.n += b.n
+	newer := b.lastTS >= acc.lastTS
+	if newer {
+		acc.lastTS = b.lastTS
+	}
+	for i := range acc.sums {
+		acc.sums[i] += b.sums[i]
+		if b.mins[i] < acc.mins[i] {
+			acc.mins[i] = b.mins[i]
+		}
+		if b.maxs[i] > acc.maxs[i] {
+			acc.maxs[i] = b.maxs[i]
+		}
+		if newer {
+			acc.lasts[i] = b.lasts[i]
+		}
+	}
+	for i := range acc.wsums {
+		acc.wsums[i] += b.wsums[i]
+	}
+}
+
+// partial accumulates one source schema's facts, per period.
+type partial map[Period]map[string]*accRow
+
+// merge folds another partial into p. Call in source-schema order:
+// last_* timestamp ties are won by the later-merged schema, matching a
+// sequential scan over the schemas.
+func (p partial) merge(other partial) {
+	for period, groups := range other {
+		dst := p[period]
+		if dst == nil {
+			p[period] = groups
+			continue
+		}
+		for key, b := range groups {
+			a, ok := dst[key]
+			if !ok {
+				dst[key] = b
+				continue
+			}
+			a.mergeFrom(b)
+		}
+	}
+}
+
+// groupKey renders the group key — period key plus NUL-joined
+// dimension values — into buf, returning the extended buffer. Every
+// path that probes or sorts groups uses this one rendering.
+func groupKey(buf []byte, periodKey int64, dims []string) []byte {
+	b := strconv.AppendInt(buf[:0], periodKey, 10)
+	for _, d := range dims {
+		b = append(b, 0)
+		b = append(b, d...)
+	}
+	return b
+}
+
+// folder folds facts into a partial. The group key is rendered into a
+// reused byte buffer, so the per-fact map probe allocates nothing; the
+// key is only materialized as a string when a new group is created.
+// With dirty tracking enabled (the pushdown delta folder), every
+// touched group key is additionally recorded per period so a flush can
+// ship only the bins changed since the previous one.
+type folder struct {
+	periods []Period
+	p       partial
+	groups  []map[string]*accRow // indexed like periods
+	dirty   []map[string]bool    // nil unless trackDirty was called
+	keyBuf  []byte
+}
+
+func newFolder() *folder {
+	periods := Periods()
+	f := &folder{periods: periods, p: make(partial, len(periods)),
+		groups: make([]map[string]*accRow, len(periods))}
+	for i, period := range periods {
+		g := make(map[string]*accRow)
+		f.p[period] = g
+		f.groups[i] = g
+	}
+	return f
+}
+
+// trackDirty enables per-period touched-key recording.
+func (f *folder) trackDirty() {
+	f.dirty = make([]map[string]bool, len(f.periods))
+	for i := range f.dirty {
+		f.dirty[i] = make(map[string]bool)
+	}
+}
+
+// fold folds one fact into every period's accumulator.
+// The caller may reuse dims, vals and wvals between calls.
+func (f *folder) fold(t time.Time, dims []string, vals, wvals []float64) {
+	ts := float64(t.UnixNano()) / 1e9
+	for i, period := range f.periods {
+		pk := period.Key(t)
+		b := groupKey(f.keyBuf, pk, dims)
+		f.keyBuf = b
+		g := f.groups[i]
+		acc, ok := g[string(b)] // compiler elides the string conversion
+		if !ok {
+			g[string(b)] = newAccRow(pk, dims, ts, vals, wvals)
+		} else {
+			acc.fold(ts, vals, wvals)
+		}
+		if f.dirty != nil {
+			f.dirty[i][string(b)] = true
+		}
+	}
+}
+
+// Bin is one aggregation group's partial-aggregate state as it crosses
+// the wire: the exported form of accRow. Measure slices are indexed by
+// the realm's measureColumns order. Values are cumulative — the hub
+// replaces its stored bin, it never adds.
+type Bin struct {
+	PeriodKey int64
+	Dims      []string
+	N         int64
+	LastTS    float64
+	Sums      []float64
+	Mins      []float64
+	Maxs      []float64
+	Lasts     []float64
+	WSums     []float64
+}
+
+// PeriodBins is one period's bins, sorted by group key so the gob wire
+// encoding of a Delta is stable (two flushes of identical state encode
+// to identical bytes).
+type PeriodBins struct {
+	Period string
+	Bins   []Bin
+}
+
+// Delta is a mergeable partial-aggregate update for one realm,
+// shipped from a satellite to its hub in pushdown replication mode.
+// Reset deltas carry the complete fold of the satellite's live fact
+// table (the hub discards its previous bins for the member first);
+// incremental deltas carry only bins touched since the last flush,
+// with cumulative values. CoveredLSN is the satellite binlog position
+// through which the realm's fact events are folded in — the delta
+// supersedes raw fact replication up to that LSN, and the hub reports
+// Position−CoveredLSN as the member's delta lag.
+type Delta struct {
+	Realm      string
+	Reset      bool
+	CoveredLSN uint64
+	Periods    []PeriodBins
+}
+
+// Rows returns the number of bins the delta carries.
+func (d Delta) Rows() int {
+	n := 0
+	for _, pb := range d.Periods {
+		n += len(pb.Bins)
+	}
+	return n
+}
+
+// binOf copies one accumulator into its wire form.
+func binOf(acc *accRow) Bin {
+	return Bin{
+		PeriodKey: acc.periodKey,
+		Dims:      append([]string(nil), acc.dims...),
+		N:         acc.n,
+		LastTS:    acc.lastTS,
+		Sums:      append([]float64(nil), acc.sums...),
+		Mins:      append([]float64(nil), acc.mins...),
+		Maxs:      append([]float64(nil), acc.maxs...),
+		Lasts:     append([]float64(nil), acc.lasts...),
+		WSums:     append([]float64(nil), acc.wsums...),
+	}
+}
+
+// accOf copies one wire bin back into an accumulator.
+func accOf(b Bin) *accRow {
+	return &accRow{
+		periodKey: b.PeriodKey,
+		dims:      append([]string(nil), b.Dims...),
+		n:         b.N,
+		lastTS:    b.LastTS,
+		sums:      append([]float64(nil), b.Sums...),
+		mins:      append([]float64(nil), b.Mins...),
+		maxs:      append([]float64(nil), b.Maxs...),
+		lasts:     append([]float64(nil), b.Lasts...),
+		wsums:     append([]float64(nil), b.WSums...),
+	}
+}
+
+// toPartial converts a delta's bins back into the in-memory partial
+// form the rebuild/install path works with.
+func (d Delta) toPartial() (partial, error) {
+	p := make(partial, len(d.Periods))
+	var buf []byte
+	for _, pb := range d.Periods {
+		period, err := Parse(pb.Period)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: delta for realm %s: %w", d.Realm, err)
+		}
+		g := make(map[string]*accRow, len(pb.Bins))
+		for _, b := range pb.Bins {
+			buf = groupKey(buf, b.PeriodKey, b.Dims)
+			g[string(buf)] = accOf(b)
+		}
+		p[period] = g
+	}
+	return p, nil
+}
+
+// MergeDeltas merges b into a (a's bins are updated in place,
+// semantically; a new Delta is returned). Merge order matters exactly
+// as it does for source schemas in a rebuild: last_* timestamp ties
+// are won by b. This is the operation a hub-of-hubs tier would apply
+// to roll regional deltas upward; it shares the accRow merge with the
+// rebuild's partial merge.
+func MergeDeltas(a, b Delta) (Delta, error) {
+	if a.Realm != b.Realm {
+		return Delta{}, fmt.Errorf("aggregate: cannot merge deltas of realms %q and %q", a.Realm, b.Realm)
+	}
+	pa, err := a.toPartial()
+	if err != nil {
+		return Delta{}, err
+	}
+	pb, err := b.toPartial()
+	if err != nil {
+		return Delta{}, err
+	}
+	pa.merge(pb)
+	out := Delta{Realm: a.Realm, Reset: a.Reset && b.Reset, CoveredLSN: max(a.CoveredLSN, b.CoveredLSN)}
+	for _, period := range Periods() {
+		groups := pa[period]
+		if groups == nil {
+			continue
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		bins := make([]Bin, 0, len(keys))
+		for _, k := range keys {
+			bins = append(bins, binOf(groups[k]))
+		}
+		out.Periods = append(out.Periods, PeriodBins{Period: period.String(), Bins: bins})
+	}
+	return out, nil
+}
+
+// MergeableRealm reports whether every metric of a realm uses an
+// aggregate function with a correct partial-aggregate merge rule:
+// sum/count/min/max are additive or comparable, avg rides as
+// sum+count, and sum_last merges by newest last_ts exactly like the
+// rebuild's source-order scan. A realm with any other function must
+// replicate raw facts — the satellite forces fact mode for it with a
+// startup warning rather than ever merging wrong.
+func MergeableRealm(info realm.Info) error {
+	for _, m := range info.Metrics {
+		switch m.Func {
+		case warehouse.AggSum, warehouse.AggCount, warehouse.AggAvg,
+			warehouse.AggMin, warehouse.AggMax, warehouse.AggSumLast:
+		default:
+			return fmt.Errorf("aggregate: realm %s metric %q uses aggregate function %d with no partial-aggregate merge rule",
+				info.Name, m.ID, m.Func)
+		}
+	}
+	return nil
+}
+
+// LevelsDigest fingerprints the engine's aggregation-levels
+// configuration. Pushdown bins are rendered with the satellite's
+// levels, so the hub only grants pushdown to a satellite whose digest
+// matches its own — a federation that deliberately aggregates members
+// differently (paper §II-C3) falls back to fact replication for them.
+func (e *Engine) LevelsDigest() string {
+	ids := make([]string, 0, len(e.levels))
+	for id := range e.levels {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h := fnv.New64a()
+	for _, id := range ids {
+		l := e.levels[id]
+		fmt.Fprintf(h, "%s|%s", id, l.Unit)
+		for _, b := range l.Buckets {
+			fmt.Fprintf(h, "|%s:%g:%g", b.Label, b.Min, b.Max)
+		}
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DeltaFolder folds one realm's committed facts into a cumulative
+// partial on the satellite, producing Deltas on flush. It is owned by
+// a single replication sender goroutine; it is not safe for concurrent
+// use.
+//
+// The folder's state is always a prefix fold of the realm's fact
+// table in row order: Reset re-folds from a consistent snapshot of the
+// live table (capturing the binlog position the snapshot covers), and
+// FoldRows appends facts in arrival order. Facts whose LSN is at or
+// below Covered() are already in the fold and must not be folded
+// again.
+type DeltaFolder struct {
+	e             *Engine
+	info          realm.Info
+	cols, weights []string
+	rr            *rowReader
+	f             *folder
+	covered       uint64
+	resetPending  bool // next flush must carry Reset (fresh snapshot fold)
+	dims          []string
+	vals, wvals   []float64
+}
+
+// NewDeltaFolder builds a pushdown folder for one realm over the
+// engine's warehouse and aggregation levels. The realm's fact table
+// must exist (Setup ran).
+func (e *Engine) NewDeltaFolder(info realm.Info) (*DeltaFolder, error) {
+	if err := MergeableRealm(info); err != nil {
+		return nil, err
+	}
+	fact, err := e.db.TableIn(info.Schema, info.FactTable)
+	if err != nil {
+		return nil, err
+	}
+	cols, weights := measureColumns(info)
+	rr, err := e.newRowReader(info, fact.Def(), cols, weights)
+	if err != nil {
+		return nil, err
+	}
+	f := newFolder()
+	f.trackDirty()
+	return &DeltaFolder{
+		e: e, info: info, cols: cols, weights: weights, rr: rr, f: f,
+		dims: make([]string, len(info.Dimensions)),
+		vals: make([]float64, len(cols)), wvals: make([]float64, len(weights)),
+	}, nil
+}
+
+// Realm returns the folder's realm name.
+func (df *DeltaFolder) Realm() string { return df.info.Name }
+
+// Covered returns the binlog LSN through which the realm's fact events
+// are folded in.
+func (df *DeltaFolder) Covered() uint64 { return df.covered }
+
+// SetCovered advances the covered position (facts up to lsn have been
+// offered to the folder).
+func (df *DeltaFolder) SetCovered(lsn uint64) {
+	if lsn > df.covered {
+		df.covered = lsn
+	}
+}
+
+// ResetPending reports whether the next flush will carry a Reset (a
+// Reset ran since the last flush).
+func (df *DeltaFolder) ResetPending() bool { return df.resetPending }
+
+// Dirty reports whether any bins changed since the last flush.
+func (df *DeltaFolder) Dirty() bool {
+	if df.resetPending {
+		return true
+	}
+	for _, d := range df.f.dirty {
+		if len(d) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FoldRows folds positional fact rows (binlog insert payloads for the
+// realm's fact table, in arrival order) into the cumulative partial.
+// The rows must already reflect the route's filtering (the sender
+// folds the rewriter's output).
+func (df *DeltaFolder) FoldRows(rows [][]any) error {
+	rr := df.rr
+	for _, row := range rows {
+		if len(row) != rr.ncols {
+			return fmt.Errorf("aggregate: pushdown fold into %s: row has %d values, table has %d columns",
+				df.info.Name, len(row), rr.ncols)
+		}
+		t, ok := row[rr.timeIdx].(time.Time)
+		if !ok {
+			return fmt.Errorf("aggregate: pushdown fold into %s: time column %q is %T, want time.Time",
+				df.info.Name, rr.timeCol, row[rr.timeIdx])
+		}
+		for i, d := range rr.dims {
+			if !d.numeric {
+				df.dims[i] = cellString(row, d.idx)
+			} else if d.hasLevels {
+				df.dims[i] = d.levels(cellFloat(row, d.idx))
+			} else {
+				df.dims[i] = "all"
+			}
+		}
+		for i, mi := range rr.meas {
+			df.vals[i] = cellFloat(row, mi)
+		}
+		for i, wp := range rr.wpairs {
+			df.wvals[i] = cellFloat(row, wp[0]) * cellFloat(row, wp[1])
+		}
+		df.f.fold(t, df.dims, df.vals, df.wvals)
+	}
+	return nil
+}
+
+// Reset discards the fold and rebuilds it from a consistent snapshot
+// of the realm's live fact table, capturing the binlog position the
+// snapshot covers (every fact event at or below it is in the fold;
+// later events must still be offered via FoldRows). Rows whose
+// resource column value is in excludeResources are skipped, mirroring
+// the replication rewriter's filter, so the fold matches exactly what
+// fact replication would have shipped. Returns the rows folded.
+func (df *DeltaFolder) Reset(excludeResources map[string]bool, resourceColumn string) (int, error) {
+	tab, err := df.e.db.TableIn(df.info.Schema, df.info.FactTable)
+	if err != nil {
+		return 0, err
+	}
+	var td *warehouse.TableData
+	var covered uint64
+	err = df.e.db.ViewSchemas([]string{df.info.Schema}, func() error {
+		// Both captures happen under the schema's read lock: a fact
+		// commit (table mutation + binlog append) is atomic with respect
+		// to this view, so the snapshot holds exactly the fact events at
+		// or below covered.
+		td = tab.Data()
+		covered = df.e.db.Binlog().Last()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resourceColumn == "" {
+		resourceColumn = "resource"
+	}
+	fresh := newFolder()
+	fresh.trackDirty()
+	n := 0
+	if td.NumRows() > 0 {
+		for chunk := 0; chunk < td.NumChunks(); chunk++ {
+			ch := td.Chunk(chunk)
+			if ch.Rows() == 0 {
+				continue
+			}
+			fr, err := df.e.newFactReader(df.info, ch, df.cols, df.weights)
+			if err != nil {
+				return 0, err
+			}
+			var res []string
+			if len(excludeResources) > 0 {
+				if ci, ok := ch.ColIndex(resourceColumn); ok {
+					res = ch.StringCol(ci)
+				}
+			}
+			dead := ch.Tombstones()
+			for pos := 0; pos < ch.Rows(); pos++ {
+				if dead[pos] {
+					continue
+				}
+				if res != nil && pos < len(res) && excludeResources[res[pos]] {
+					continue
+				}
+				t, err := fr.timeAt(pos)
+				if err != nil {
+					return 0, err
+				}
+				for i := range fr.dims {
+					df.dims[i] = fr.dims[i].value(pos)
+				}
+				for i := range fr.meas {
+					df.vals[i] = fr.meas[i].at(pos)
+				}
+				for i := range fr.wpairs {
+					df.wvals[i] = fr.wpairs[i][0].at(pos) * fr.wpairs[i][1].at(pos)
+				}
+				fresh.fold(t, df.dims, df.vals, df.wvals)
+				n++
+			}
+		}
+	}
+	// The dirty marks of the snapshot fold are irrelevant: the Reset
+	// flush ships every bin.
+	for i := range fresh.dirty {
+		fresh.dirty[i] = make(map[string]bool)
+	}
+	df.f = fresh
+	df.covered = covered
+	df.resetPending = true
+	return n, nil
+}
+
+// Flush emits the delta accumulated since the previous flush: every
+// bin after a Reset, only the touched bins otherwise, always with
+// cumulative values. It returns ok=false when there is nothing to
+// ship. Flushing clears the dirty marks immediately — a failed send is
+// recovered by the sender's reconnect Reset, not by replaying flushes.
+func (df *DeltaFolder) Flush() (Delta, bool) {
+	if !df.Dirty() {
+		return Delta{}, false
+	}
+	d := Delta{Realm: df.info.Name, Reset: df.resetPending, CoveredLSN: df.covered}
+	for i, period := range df.f.periods {
+		groups := df.f.groups[i]
+		var keys []string
+		if df.resetPending {
+			keys = make([]string, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+		} else {
+			keys = make([]string, 0, len(df.f.dirty[i]))
+			for k := range df.f.dirty[i] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		bins := make([]Bin, 0, len(keys))
+		for _, k := range keys {
+			if acc := groups[k]; acc != nil {
+				bins = append(bins, binOf(acc))
+			}
+		}
+		d.Periods = append(d.Periods, PeriodBins{Period: period.String(), Bins: bins})
+		df.f.dirty[i] = make(map[string]bool)
+	}
+	df.resetPending = false
+	return d, true
+}

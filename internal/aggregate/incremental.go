@@ -315,26 +315,7 @@ func mergeGroupsInto(tab *warehouse.Table, info realm.Info, cols, weights []stri
 			entries = entries[1:]
 		}
 		for _, e := range entries {
-			newer := e.ts >= acc.lastTS
-			acc.n++
-			if newer {
-				acc.lastTS = e.ts
-			}
-			for i, v := range e.vals {
-				acc.sums[i] += v
-				if v < acc.mins[i] {
-					acc.mins[i] = v
-				}
-				if v > acc.maxs[i] {
-					acc.maxs[i] = v
-				}
-				if newer {
-					acc.lasts[i] = v
-				}
-			}
-			for i, w := range e.wvals {
-				acc.wsums[i] += w
-			}
+			acc.fold(e.ts, e.vals, e.wvals)
 		}
 		ci := 0
 		buf[ci] = g.periodKey

@@ -38,4 +38,30 @@ var (
 	mShardQueries = obs.Default.CounterVec("xdmodfed_shard_queries_total",
 		"Chart-query scatter reads served by each shard.",
 		"shard")
+
+	// Aggregation pushdown (see delta.go / pagg.go). The role label
+	// separates the satellite side ("sent": deltas flushed onto the
+	// wire) from the hub side ("applied": deltas installed into pagg
+	// tables) so one federation node exposes both when it plays both
+	// parts in a multi-tier topology.
+	mPushdownDeltas = obs.Default.CounterVec("xdmodfed_pushdown_deltas_total",
+		"Partial-aggregate deltas, by role (sent by a satellite folder / applied into hub pagg tables).",
+		"role")
+	mPushdownDeltaRows = obs.Default.CounterVec("xdmodfed_pushdown_delta_rows_total",
+		"Partial-aggregate bins carried by pushdown deltas, by role.",
+		"role")
+	mPushdownBytes = obs.Default.CounterVec("xdmodfed_pushdown_bytes_total",
+		"Wire bytes of encoded pushdown deltas, by role.",
+		"role")
+	mPushdownMergeSeconds = obs.Default.Gauge("xdmodfed_pushdown_merge_seconds_total",
+		"Cumulative seconds spent installing pushdown deltas into pagg tables.")
 )
+
+// NotePushdownSent records the satellite side of the pushdown metrics:
+// one flush's delta count, bin count and encoded wire size. Called by
+// the replication sender after the hub acknowledges the flush.
+func NotePushdownSent(deltas, rows, bytes int) {
+	mPushdownDeltas.With("sent").Add(uint64(deltas))
+	mPushdownDeltaRows.With("sent").Add(uint64(rows))
+	mPushdownBytes.With("sent").Add(uint64(bytes))
+}

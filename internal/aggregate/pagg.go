@@ -1,0 +1,325 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/warehouse"
+)
+
+// Partial-aggregate (pagg) tables: the hub-side durable home of a
+// pushdown member's replicated bins. One table per realm period lives
+// in the member's fed_<instance> schema, with exactly the aggregation
+// table's column layout (aggDef), keyed by period_key + dimensions.
+// Applying a delta replaces bins — incremental deltas upsert the bins
+// they carry (cumulative values), reset deltas replace the whole table
+// set — so delta application is idempotent and needs no positions.
+// A realm rebuild then loads a pushdown member's partial straight from
+// these tables (paggPartials) instead of re-scanning replicated facts,
+// and merges it in source order exactly where the fact scan's partial
+// would have merged.
+//
+// The presence of pagg tables in a member schema is also the durable
+// record that the member replicates in pushdown mode: the hub's
+// rebuild source selection and the handshake's mode-switch guard both
+// key off it.
+
+// PaggTableName names the partial-aggregate table for a fact table +
+// period ("jobfact_pagg_by_day").
+func PaggTableName(fact string, p Period) string {
+	return fmt.Sprintf("%s_pagg_by_%s", fact, p)
+}
+
+// paggDef is the aggregation-table layout under the pagg name: the
+// pagg table is the member's partial in table form.
+func paggDef(info realm.Info, p Period) warehouse.TableDef {
+	def := aggDef(info, p)
+	def.Name = PaggTableName(info.FactTable, p)
+	return def
+}
+
+// HasPagg reports whether schema holds replicated partial-aggregate
+// tables for the realm.
+func (e *Engine) HasPagg(info realm.Info, schema string) bool {
+	s := e.db.Schema(schema)
+	return s != nil && s.Table(PaggTableName(info.FactTable, Day)) != nil
+}
+
+// paggTables resolves a member schema's pagg tables, indexed like
+// Periods(); entries are nil when absent.
+func (e *Engine) paggTables(info realm.Info, schema string) []*warehouse.Table {
+	out := make([]*warehouse.Table, len(Periods()))
+	s := e.db.Schema(schema)
+	if s == nil {
+		return out
+	}
+	for i, p := range Periods() {
+		out[i] = s.Table(PaggTableName(info.FactTable, p))
+	}
+	return out
+}
+
+// ApplyDelta installs one member's delta into its pagg tables under
+// schema (fed_<instance>), creating them on first use. Bins replace:
+// an incremental delta upserts each carried bin, a reset delta
+// replaces every period table with exactly the carried bins. Returns
+// the sorted list of aggregation shards the carried bins route to
+// (the caller marks those dirty; for a reset the caller must instead
+// treat the whole source schema as dirty, since bins may also have
+// disappeared) and the number of bins applied.
+func (e *Engine) ApplyDelta(info realm.Info, schema string, d Delta) ([]int, int, error) {
+	start := time.Now()
+	cols, weights := measureColumns(info)
+	p, err := d.toPartial()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, pb := range d.Periods {
+		for _, b := range pb.Bins {
+			if len(b.Dims) != len(info.Dimensions) ||
+				len(b.Sums) != len(cols) || len(b.Mins) != len(cols) ||
+				len(b.Maxs) != len(cols) || len(b.Lasts) != len(cols) ||
+				len(b.WSums) != len(weights) {
+				return nil, 0, fmt.Errorf("aggregate: delta bin for realm %s does not match the realm's shape (%d dims, %d measures, %d weights)",
+					d.Realm, len(info.Dimensions), len(cols), len(weights))
+			}
+		}
+	}
+	s := e.db.EnsureSchema(schema)
+	tabs := make(map[Period]*warehouse.Table, len(Periods()))
+	for _, period := range Periods() {
+		tab, err := s.EnsureTable(paggDef(info, period))
+		if err != nil {
+			return nil, 0, err
+		}
+		tabs[period] = tab
+	}
+	rt := e.router(info)
+	touched := map[int]bool{}
+	rows := 0
+	err = e.db.DoSchema(schema, func() error {
+		if d.Reset {
+			for _, period := range Periods() {
+				cd := buildAggColumns(info, period, cols, weights, p[period])
+				rows += cd.Rows
+				if err := tabs[period].ReplaceAllColumns(cd); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		nd := len(info.Dimensions)
+		buf := make([]any, 1+nd+2+4*len(cols)+len(weights))
+		for _, period := range Periods() {
+			groups := p[period]
+			if len(groups) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys) // deterministic upsert (and binlog) order
+			for _, k := range keys {
+				acc := groups[k]
+				ci := 0
+				buf[ci] = acc.periodKey
+				ci++
+				for _, dim := range acc.dims {
+					buf[ci] = dim
+					ci++
+				}
+				buf[ci] = acc.n
+				ci++
+				buf[ci] = acc.lastTS
+				ci++
+				for i := range cols {
+					buf[ci] = acc.sums[i]
+					buf[ci+1] = acc.mins[i]
+					buf[ci+2] = acc.maxs[i]
+					buf[ci+3] = acc.lasts[i]
+					ci += 4
+				}
+				for i := range weights {
+					buf[ci] = acc.wsums[i]
+					ci++
+				}
+				if err := tabs[period].UpsertRow(buf[:ci]); err != nil {
+					return err
+				}
+				rows++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, groups := range p {
+		for _, acc := range groups {
+			touched[rt.shardOf(schema, acc.dims)] = true
+		}
+	}
+	shards := make([]int, 0, len(touched))
+	for k := range touched {
+		shards = append(shards, k)
+	}
+	sort.Ints(shards)
+	mPushdownDeltas.With("applied").Inc()
+	mPushdownDeltaRows.With("applied").Add(uint64(rows))
+	mPushdownMergeSeconds.Add(time.Since(start).Seconds())
+	return shards, rows, nil
+}
+
+// Install merges the delta into an engine's warehouse: the hub-side
+// half of the pushdown pipeline (the satellite-side half is
+// DeltaFolder.Flush). See Engine.ApplyDelta.
+func (d Delta) Install(e *Engine, info realm.Info, schema string) ([]int, int, error) {
+	return e.ApplyDelta(info, schema, d)
+}
+
+// paggReader resolves one pagg-table chunk's columns. Layout errors
+// are real errors — the hub created these tables itself.
+type paggReader struct {
+	pks                            []int64
+	dims                           [][]string
+	ns                             []int64
+	lastTS                         numCol
+	sums, mins, maxs, lasts, wsums []numCol
+}
+
+func newPaggReader(info realm.Info, ch warehouse.ColChunk, names *aggColNames) (*paggReader, error) {
+	intsOf := func(name string) ([]int64, error) {
+		ci, ok := ch.ColIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("aggregate: pagg table missing column %q", name)
+		}
+		v := ch.IntCol(ci)
+		if v == nil {
+			return nil, fmt.Errorf("aggregate: pagg column %q is not an integer column", name)
+		}
+		return v, nil
+	}
+	pr := &paggReader{}
+	var err error
+	if pr.pks, err = intsOf("period_key"); err != nil {
+		return nil, err
+	}
+	if pr.ns, err = intsOf("n"); err != nil {
+		return nil, err
+	}
+	pr.lastTS = numColOf(ch, "last_ts")
+	pr.dims = make([][]string, len(info.Dimensions))
+	for i, d := range info.Dimensions {
+		ci, ok := ch.ColIndex("dim_" + d.ID)
+		if !ok {
+			return nil, fmt.Errorf("aggregate: pagg table missing column %q", "dim_"+d.ID)
+		}
+		strs := ch.StringCol(ci)
+		if strs == nil {
+			return nil, fmt.Errorf("aggregate: pagg column %q is not a string column", "dim_"+d.ID)
+		}
+		pr.dims[i] = strs
+	}
+	mk := func(cols []string) []numCol {
+		out := make([]numCol, len(cols))
+		for i, c := range cols {
+			out[i] = numColOf(ch, c)
+		}
+		return out
+	}
+	pr.sums = mk(names.sums)
+	pr.mins = mk(names.mins)
+	pr.maxs = mk(names.maxs)
+	pr.lasts = mk(names.lasts)
+	pr.wsums = mk(names.wsums)
+	return pr, nil
+}
+
+// accAt reconstructs one stored bin as a fresh accumulator (fresh
+// slices: the rebuild's merge mutates accumulators in place).
+func (pr *paggReader) accAt(pos int) *accRow {
+	acc := &accRow{
+		periodKey: pr.pks[pos],
+		dims:      make([]string, len(pr.dims)),
+		n:         pr.ns[pos],
+		lastTS:    pr.lastTS.at(pos),
+		sums:      make([]float64, len(pr.sums)),
+		mins:      make([]float64, len(pr.mins)),
+		maxs:      make([]float64, len(pr.maxs)),
+		lasts:     make([]float64, len(pr.lasts)),
+		wsums:     make([]float64, len(pr.wsums)),
+	}
+	for i := range pr.dims {
+		acc.dims[i] = pr.dims[i][pos]
+	}
+	for i := range pr.sums {
+		acc.sums[i] = pr.sums[i].at(pos)
+		acc.mins[i] = pr.mins[i].at(pos)
+		acc.maxs[i] = pr.maxs[i].at(pos)
+		acc.lasts[i] = pr.lasts[i].at(pos)
+	}
+	for i := range pr.wsums {
+		acc.wsums[i] = pr.wsums[i].at(pos)
+	}
+	return acc
+}
+
+// paggPartials loads a pushdown member's replicated bins into
+// per-shard partials: the pushdown counterpart of scanPartials, with
+// identical routing and want-filter semantics but no fact scan at all
+// — the member already folded its facts. Returns the number of bins
+// loaded.
+func (e *Engine) paggPartials(info realm.Info, pds []*warehouse.TableData, schema string,
+	rt shardRouter, want []bool, cols, weights []string) ([]partial, int, error) {
+
+	out := make([]partial, rt.shards)
+	n := 0
+	periods := Periods()
+	names := newAggColNames(cols, weights)
+	var keyBuf []byte
+	for pi, period := range periods {
+		if pds == nil || pds[pi] == nil {
+			continue
+		}
+		td := pds[pi]
+		if td.NumRows() == 0 {
+			continue
+		}
+		for chunk := 0; chunk < td.NumChunks(); chunk++ {
+			ch := td.Chunk(chunk)
+			if ch.Rows() == 0 {
+				continue
+			}
+			pr, err := newPaggReader(info, ch, names)
+			if err != nil {
+				return nil, 0, err
+			}
+			dead := ch.Tombstones()
+			for pos := 0; pos < ch.Rows(); pos++ {
+				if dead[pos] {
+					continue
+				}
+				acc := pr.accAt(pos)
+				k := rt.shardOf(schema, acc.dims)
+				if want != nil && !want[k] {
+					continue
+				}
+				if out[k] == nil {
+					out[k] = make(partial, len(periods))
+				}
+				g := out[k][period]
+				if g == nil {
+					g = make(map[string]*accRow)
+					out[k][period] = g
+				}
+				keyBuf = groupKey(keyBuf, acc.periodKey, acc.dims)
+				g[string(keyBuf)] = acc
+				n++
+			}
+		}
+	}
+	return out, n, nil
+}

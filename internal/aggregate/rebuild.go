@@ -24,141 +24,10 @@ import (
 // in a single write transaction, so readers never observe a half-built
 // table and writers are only blocked for the install, not the scans.
 
-// accRow is one partially aggregated group: the same running state
-// mergeAggRow keeps in the aggregation table, held in memory while a
-// rebuild scans. Measure slices are indexed by the realm's
-// measureColumns order (sums/mins/maxs/lasts by cols, wsums by
-// weights).
-type accRow struct {
-	periodKey int64
-	dims      []string
-	n         int64
-	lastTS    float64
-	sums      []float64
-	mins      []float64
-	maxs      []float64
-	lasts     []float64
-	wsums     []float64
-}
-
-// partial accumulates one source schema's facts, per period.
-type partial map[Period]map[string]*accRow
-
-// folder folds facts into a partial. The group key — period key plus
-// NUL-joined dimension values — is rendered into a reused byte buffer,
-// so the per-fact map probe allocates nothing; the key is only
-// materialized as a string when a new group is created.
-type folder struct {
-	periods []Period
-	p       partial
-	groups  []map[string]*accRow // indexed like periods
-	keyBuf  []byte
-}
-
-func newFolder() *folder {
-	periods := Periods()
-	f := &folder{periods: periods, p: make(partial, len(periods)),
-		groups: make([]map[string]*accRow, len(periods))}
-	for i, period := range periods {
-		g := make(map[string]*accRow)
-		f.p[period] = g
-		f.groups[i] = g
-	}
-	return f
-}
-
-// fold folds one fact into every period's accumulator with exactly the
-// semantics of mergeAggRow: counts and sums add, min/max compare, and
-// last_* follow the newest timestamp with ties won by the later fold.
-// The caller may reuse dims, vals and wvals between calls.
-func (f *folder) fold(t time.Time, dims []string, vals, wvals []float64) {
-	ts := float64(t.UnixNano()) / 1e9
-	for i, period := range f.periods {
-		pk := period.Key(t)
-		b := strconv.AppendInt(f.keyBuf[:0], pk, 10)
-		for _, d := range dims {
-			b = append(b, 0)
-			b = append(b, d...)
-		}
-		f.keyBuf = b
-		g := f.groups[i]
-		acc, ok := g[string(b)] // compiler elides the string conversion
-		if !ok {
-			g[string(b)] = &accRow{
-				periodKey: pk,
-				dims:      append([]string(nil), dims...),
-				n:         1,
-				lastTS:    ts,
-				sums:      append([]float64(nil), vals...),
-				mins:      append([]float64(nil), vals...),
-				maxs:      append([]float64(nil), vals...),
-				lasts:     append([]float64(nil), vals...),
-				wsums:     append([]float64(nil), wvals...),
-			}
-			continue
-		}
-		newer := ts >= acc.lastTS
-		acc.n++
-		if newer {
-			acc.lastTS = ts
-		}
-		for i, v := range vals {
-			acc.sums[i] += v
-			if v < acc.mins[i] {
-				acc.mins[i] = v
-			}
-			if v > acc.maxs[i] {
-				acc.maxs[i] = v
-			}
-			if newer {
-				acc.lasts[i] = v
-			}
-		}
-		for i, w := range wvals {
-			acc.wsums[i] += w
-		}
-	}
-}
-
-// merge folds another partial into p. Call in source-schema order:
-// last_* timestamp ties are won by the later-merged schema, matching a
-// sequential scan over the schemas.
-func (p partial) merge(other partial) {
-	for period, groups := range other {
-		dst := p[period]
-		if dst == nil {
-			p[period] = groups
-			continue
-		}
-		for key, b := range groups {
-			a, ok := dst[key]
-			if !ok {
-				dst[key] = b
-				continue
-			}
-			a.n += b.n
-			newer := b.lastTS >= a.lastTS
-			if newer {
-				a.lastTS = b.lastTS
-			}
-			for i := range a.sums {
-				a.sums[i] += b.sums[i]
-				if b.mins[i] < a.mins[i] {
-					a.mins[i] = b.mins[i]
-				}
-				if b.maxs[i] > a.maxs[i] {
-					a.maxs[i] = b.maxs[i]
-				}
-				if newer {
-					a.lasts[i] = b.lasts[i]
-				}
-			}
-			for i := range a.wsums {
-				a.wsums[i] += b.wsums[i]
-			}
-		}
-	}
-}
+// The fold state itself — accRow, partial, folder — lives in delta.go:
+// it is the same structure a pushdown Delta carries across the wire,
+// and sharing one implementation is what makes the pushdown ≡
+// fact-replication equivalence structural.
 
 // numCol reads one numeric column of a snapshot, widening integers the
 // way Row.Float does; absent or non-numeric columns read as zero, and
@@ -423,15 +292,41 @@ func buildAggColumns(info realm.Info, p Period, cols, weights []string, groups m
 	return cd
 }
 
+// Source identifies one input to a realm rebuild: a schema holding
+// either the realm's raw fact table (Pushdown false — the hub scans
+// and folds every live row) or a pushdown member's replicated
+// partial-aggregate tables (Pushdown true — the hub loads the member's
+// cumulative bins from its pagg tables, see pagg.go, and merges them
+// where the fact scan's partial would have merged). Both kinds produce
+// one partial per source, merged in source order, so mixing them in a
+// federation keeps the rebuild bit-identical to all-facts.
+type Source struct {
+	Schema   string
+	Pushdown bool
+}
+
+func factSources(schemas []string) []Source {
+	out := make([]Source, len(schemas))
+	for i, s := range schemas {
+		out[i] = Source{Schema: s}
+	}
+	return out
+}
+
 // Reaggregate rebuilds the realm's aggregation tables — every shard —
-// from the given source schemas. This is the paper's config-change
+// from the given fact source schemas. This is the paper's config-change
 // path: "update the appropriate configuration file on the federation
 // hub, then re-aggregate all raw federation data" (§II-C3) — raw data
 // is untouched, so nothing is lost. It is also the fallback whenever
 // the incremental path cannot keep the aggregates current (updates,
 // deletes, truncates, loose reloads).
 func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, error) {
-	return e.reaggregate(info, sourceSchemas, nil)
+	return e.reaggregate(info, factSources(sourceSchemas), nil)
+}
+
+// ReaggregateFrom is Reaggregate over mixed fact/pushdown sources.
+func (e *Engine) ReaggregateFrom(info realm.Info, sources []Source) (int, error) {
+	return e.reaggregate(info, sources, nil)
 }
 
 // ReaggregateShards rebuilds only the named shards' aggregation
@@ -440,7 +335,12 @@ func (e *Engine) Reaggregate(info realm.Info, sourceSchemas []string) (int, erro
 // pays for that shard alone; the other shards' tables are not touched
 // and their cached charts stay valid.
 func (e *Engine) ReaggregateShards(info realm.Info, sourceSchemas []string, shards []int) (int, error) {
-	return e.reaggregate(info, sourceSchemas, shards)
+	return e.reaggregate(info, factSources(sourceSchemas), shards)
+}
+
+// ReaggregateShardsFrom is ReaggregateShards over mixed sources.
+func (e *Engine) ReaggregateShardsFrom(info realm.Info, sources []Source, shards []int) (int, error) {
+	return e.reaggregate(info, sources, shards)
 }
 
 // reaggregate scans the source schemas with a work-stealing worker
@@ -451,7 +351,7 @@ func (e *Engine) ReaggregateShards(info realm.Info, sourceSchemas []string, shar
 // shard installs proceed in parallel with each other and with chart
 // queries against other shards. only selects the shards to rebuild
 // (nil = all).
-func (e *Engine) reaggregate(info realm.Info, sourceSchemas []string, only []int) (int, error) {
+func (e *Engine) reaggregate(info realm.Info, sources []Source, only []int) (int, error) {
 	st, err := e.shardTargets(info)
 	if err != nil {
 		return 0, err
@@ -467,9 +367,18 @@ func (e *Engine) reaggregate(info realm.Info, sourceSchemas []string, only []int
 			want[k] = true
 		}
 	}
-	tabs := make([]*warehouse.Table, len(sourceSchemas))
-	for i, s := range sourceSchemas {
-		tab, err := e.db.TableIn(s, info.FactTable)
+	sourceSchemas := make([]string, len(sources))
+	for i, s := range sources {
+		sourceSchemas[i] = s.Schema
+	}
+	tabs := make([]*warehouse.Table, len(sources))       // fact sources
+	paggTabs := make([][]*warehouse.Table, len(sources)) // pushdown sources, indexed like Periods()
+	for i, s := range sources {
+		if s.Pushdown {
+			paggTabs[i] = e.paggTables(info, s.Schema)
+			continue
+		}
+		tab, err := e.db.TableIn(s.Schema, info.FactTable)
 		if err != nil {
 			return 0, err
 		}
@@ -479,8 +388,8 @@ func (e *Engine) reaggregate(info realm.Info, sourceSchemas []string, only []int
 	// scans of schemas outside the wanted set are skipped entirely; in
 	// resource mode every schema can feed every shard and all scans run
 	// (unwanted rows are dropped after routing, before folding).
-	scanIdx := make([]int, 0, len(tabs))
-	for i := range tabs {
+	scanIdx := make([]int, 0, len(sources))
+	for i := range sources {
 		if want != nil && rt.bySchema() && !want[rt.shardOfSchema(sourceSchemas[i])] {
 			continue
 		}
@@ -492,10 +401,24 @@ func (e *Engine) reaggregate(info realm.Info, sourceSchemas []string, only []int
 	// across schemas even when one write transaction spans several of
 	// them. The scans themselves then run with no lock held at all —
 	// chart queries and replication writes proceed concurrently.
-	facts := make([]*warehouse.TableData, len(tabs))
+	facts := make([]*warehouse.TableData, len(sources))
+	paggData := make([][]*warehouse.TableData, len(sources))
 	err = e.db.ViewSchemas(sourceSchemas, func() error {
 		for i, tab := range tabs {
-			facts[i] = tab.Data()
+			if tab != nil {
+				facts[i] = tab.Data()
+			}
+		}
+		for i, pts := range paggTabs {
+			if pts == nil {
+				continue
+			}
+			paggData[i] = make([]*warehouse.TableData, len(pts))
+			for pi, pt := range pts {
+				if pt != nil {
+					paggData[i][pi] = pt.Data()
+				}
+			}
 		}
 		return nil
 	})
@@ -519,10 +442,11 @@ func (e *Engine) reaggregate(info realm.Info, sourceSchemas []string, only []int
 	// Workers pull the next unscanned schema from a shared counter, so
 	// one oversized member schema never serializes the tail the way a
 	// fixed split would — the remaining workers drain the other schemas
-	// meanwhile.
-	partials := make([][]partial, len(tabs)) // [schema][shard]
-	counts := make([]int, len(tabs))
-	errs := make([]error, len(tabs))
+	// meanwhile. A pushdown source does no fact scan at all: its
+	// partial loads straight from the member's replicated bins.
+	partials := make([][]partial, len(sources)) // [source][shard]
+	counts := make([]int, len(sources))
+	errs := make([]error, len(sources))
 	var nextScan atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -535,7 +459,11 @@ func (e *Engine) reaggregate(info realm.Info, sourceSchemas []string, only []int
 					return
 				}
 				i := scanIdx[t]
-				partials[i], counts[i], errs[i] = e.scanPartials(info, facts[i], sourceSchemas[i], rt, want, cols, weights)
+				if sources[i].Pushdown {
+					partials[i], counts[i], errs[i] = e.paggPartials(info, paggData[i], sourceSchemas[i], rt, want, cols, weights)
+				} else {
+					partials[i], counts[i], errs[i] = e.scanPartials(info, facts[i], sourceSchemas[i], rt, want, cols, weights)
+				}
 			}
 		}()
 	}

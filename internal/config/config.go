@@ -235,14 +235,24 @@ type ReplicationConfig struct {
 	// QuarantineMaxBackoff caps the doubling. Empty uses the default
 	// (10m).
 	QuarantineMaxBackoff string `json:"quarantine_max_backoff,omitempty"`
+	// Mode selects what a satellite's tight routes ship: "facts"
+	// replicates raw fact events bit-identically (the reference mode),
+	// "pushdown" folds mergeable realms into partial-aggregate deltas
+	// on the satellite and ships those instead (unmergeable realms fall
+	// back to facts with a startup warning). Empty means "facts".
+	Mode string `json:"mode,omitempty"`
+	// PushdownFlushInterval paces incremental delta flushes in pushdown
+	// mode. Go duration syntax. Empty uses the default (2s).
+	PushdownFlushInterval string `json:"pushdown_flush_interval,omitempty"`
 }
 
 // Replication knob defaults.
 const (
-	DefaultHeartbeatInterval    = 5 * time.Second
-	DefaultQuarantineThreshold  = 3
-	DefaultQuarantineBackoff    = 30 * time.Second
-	DefaultQuarantineMaxBackoff = 10 * time.Minute
+	DefaultHeartbeatInterval     = 5 * time.Second
+	DefaultQuarantineThreshold   = 3
+	DefaultQuarantineBackoff     = 30 * time.Second
+	DefaultQuarantineMaxBackoff  = 10 * time.Minute
+	DefaultPushdownFlushInterval = 2 * time.Second
 )
 
 // parseDuration parses an optional duration knob.
@@ -275,6 +285,14 @@ func (r ReplicationConfig) QuarantineMaxBackoffDuration() (time.Duration, error)
 	return parseDuration("replication quarantine_max_backoff", r.QuarantineMaxBackoff, DefaultQuarantineMaxBackoff)
 }
 
+// PushdownFlushDuration parses the pushdown flush-interval knob.
+func (r ReplicationConfig) PushdownFlushDuration() (time.Duration, error) {
+	return parseDuration("replication pushdown_flush_interval", r.PushdownFlushInterval, DefaultPushdownFlushInterval)
+}
+
+// PushdownEnabled reports whether the replication mode is "pushdown".
+func (r ReplicationConfig) PushdownEnabled() bool { return r.Mode == "pushdown" }
+
 // Threshold resolves the quarantine threshold: default when 0,
 // disabled (0) when negative.
 func (r ReplicationConfig) Threshold() int {
@@ -299,6 +317,14 @@ func (r ReplicationConfig) Validate() error {
 		return err
 	}
 	if _, err := r.QuarantineMaxBackoffDuration(); err != nil {
+		return err
+	}
+	switch r.Mode {
+	case "", "facts", "pushdown":
+	default:
+		return fmt.Errorf("config: unknown replication mode %q (want %q or %q)", r.Mode, "facts", "pushdown")
+	}
+	if _, err := r.PushdownFlushDuration(); err != nil {
 		return err
 	}
 	return nil

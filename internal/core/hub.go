@@ -29,6 +29,23 @@ type Member struct {
 	Batches   int
 	Events    int
 
+	// Replication mode: "" until the member first replicates, then
+	// "facts", "pushdown" (aggregation pushdown granted) or "loose".
+	Mode string
+	// Pushdown bookkeeping: applied delta frames, the bins they
+	// carried, the binlog position the newest delta covers, and when
+	// the last one landed.
+	Deltas       int
+	DeltaRows    int
+	DeltaCovered uint64
+	LastDelta    time.Time
+
+	// pushFacts is the set of realm fact tables the member's current
+	// pushdown grant covers; fact inserts on these tables are never
+	// folded incrementally (the pagg tables are the realm's source).
+	// Replaced wholesale at each negotiation, under Hub.mu.
+	pushFacts map[string]bool
+
 	// Circuit-breaker state: a member whose batches repeatedly fail to
 	// apply is quarantined (connections bounced with a retry-after)
 	// instead of poisoning the apply loop for everyone.
@@ -267,6 +284,154 @@ func (h *Hub) Resume(instance string) (uint64, error) {
 	return h.Positions.Get(instance), nil
 }
 
+// NegotiatePushdown implements replicate.PushdownSink: it vets a
+// connecting member's aggregation-pushdown offer. A grant requires the
+// satellite's aggregation levels to match the hub's exactly (bins
+// rendered with different levels would not merge meaningfully) and
+// every offered realm to be mergeable; a miss on either declines
+// softly and the connection replicates raw facts. The reverse switch
+// is guarded hard: a member that previously pushed partial aggregates
+// (its schema holds pagg tables) may not silently reconnect in facts
+// mode — the stale hub-side bins would keep feeding rebuilds — so the
+// handshake is rejected until the operator resyncs the member.
+func (h *Hub) NegotiatePushdown(instance string, req replicate.PushdownRequest) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.members[instance]
+	if !ok {
+		return fmt.Errorf("core: instance %q is not a registered member", instance)
+	}
+	schema := replicate.HubSchema(instance)
+	if !req.Enabled {
+		for _, name := range h.Registry.Names() {
+			info, _ := h.Registry.Get(name)
+			if h.Engine.HasPagg(info, schema) {
+				return fmt.Errorf(
+					"core: member %q previously replicated realm %q as partial aggregates; reconnecting in facts mode requires a resync (drop schema %s first)",
+					instance, name, schema)
+			}
+		}
+		m.Mode = "facts"
+		m.pushFacts = nil
+		return nil
+	}
+	if hd := h.Engine.LevelsDigest(); req.LevelsDigest != hd {
+		return fmt.Errorf("%w: aggregation levels differ (hub %s, satellite %s)",
+			replicate.ErrPushdownDeclined, hd, req.LevelsDigest)
+	}
+	facts := make(map[string]bool, len(req.Realms))
+	for _, name := range req.Realms {
+		info, ok := h.Registry.Get(name)
+		if !ok {
+			return fmt.Errorf("%w: hub has no realm %q", replicate.ErrPushdownDeclined, name)
+		}
+		if err := aggregate.MergeableRealm(info); err != nil {
+			return fmt.Errorf("%w: %v", replicate.ErrPushdownDeclined, err)
+		}
+		facts[info.FactTable] = true
+	}
+	// The mode-switch guard applies per realm: pagg residue for a realm
+	// missing from the new grant would keep feeding rebuilds stale bins.
+	for _, name := range h.Registry.Names() {
+		info, _ := h.Registry.Get(name)
+		if !facts[info.FactTable] && h.Engine.HasPagg(info, schema) {
+			return fmt.Errorf(
+				"core: member %q previously replicated realm %q as partial aggregates; dropping it from the pushdown grant requires a resync (drop schema %s first)",
+				instance, name, schema)
+		}
+	}
+	m.Mode = "pushdown"
+	m.pushFacts = facts
+	coreLog.Info("aggregation pushdown granted",
+		"federation", h.Config.Name, "instance", instance, "realms", req.Realms)
+	return nil
+}
+
+// pushdownFactsFor returns the member's granted pushdown fact tables
+// (nil when none). The map is replaced wholesale at negotiation and
+// never mutated, so reading it without the lock afterwards is safe.
+func (h *Hub) pushdownFactsFor(instance string) map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if m, ok := h.members[instance]; ok {
+		return m.pushFacts
+	}
+	return nil
+}
+
+// ApplyDeltas implements replicate.PushdownSink: a granted member's
+// partial-aggregate deltas land in its pagg tables (the durable,
+// idempotent bin store) and the touched aggregation shards are marked
+// dirty for rebuild — a reset delta dirties every shard its schema
+// feeds, since bins may also have disappeared. Like ApplyBatch, each
+// realm bumps its generation after the apply so a rebuild that was
+// scanning mid-apply can never clear the dirty marks while missing
+// these bins.
+func (h *Hub) ApplyDeltas(ctx context.Context, instance string, upTo uint64, deltas []aggregate.Delta) error {
+	sctx, sp := obs.StartSpan(ctx, "hub.ApplyDeltas")
+	sp.SetAttr("instance", instance)
+	defer sp.End()
+	if err := h.quarantineGate(instance); err != nil {
+		return err
+	}
+	schema := replicate.HubSchema(instance)
+	granted := h.pushdownFactsFor(instance)
+	rows := 0
+	var covered uint64
+	for _, d := range deltas {
+		info, ok := h.Registry.Get(d.Realm)
+		if !ok {
+			return fmt.Errorf("core: hub has no realm %q", d.Realm)
+		}
+		if !granted[info.FactTable] {
+			return fmt.Errorf("core: realm %q is not pushdown-granted for member %q", d.Realm, instance)
+		}
+		_, dsp := obs.StartSpan(sctx, "hub.ApplyDelta")
+		dsp.SetAttr("realm", d.Realm)
+		shards, n, err := h.Engine.ApplyDelta(info, schema, d)
+		dsp.End()
+		h.mu.Lock()
+		st := h.realmStateLocked(d.Realm)
+		st.gen++
+		switch {
+		case err != nil || d.Reset:
+			h.markDirtyLocked(st, info, schema)
+		default:
+			if st.dirtyShards == nil {
+				st.dirtyShards = make(map[int]bool)
+			}
+			for _, k := range shards {
+				st.dirtyShards[k] = true
+			}
+		}
+		h.cond.Broadcast()
+		h.mu.Unlock()
+		if err != nil {
+			coreLog.Error("pushdown delta apply failed",
+				"instance", instance, "realm", d.Realm, "err", err)
+			h.noteApplyFailure(instance, err)
+			return err
+		}
+		rows += n
+		if d.CoveredLSN > covered {
+			covered = d.CoveredLSN
+		}
+	}
+	h.mu.Lock()
+	if m, ok := h.members[instance]; ok {
+		m.Deltas += len(deltas)
+		m.DeltaRows += rows
+		if covered > m.DeltaCovered {
+			m.DeltaCovered = covered
+		}
+		now := h.now()
+		m.LastDelta = now
+		m.LastBatch = now
+	}
+	h.mu.Unlock()
+	return nil
+}
+
 // realmDelta classifies one batch's effect on a single realm.
 type realmDelta struct {
 	info   realm.Info
@@ -308,7 +473,14 @@ func (h *Hub) ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, e
 	// shard) or the aggregation already done — raw data can never be
 	// ahead of what EnsureAggregated accounts for.
 	deltas := map[string]*realmDelta{}
+	pushFacts := h.pushdownFactsFor(instance)
 	for _, ev := range events {
+		if pushFacts[ev.Table] {
+			// Pushdown-granted realm: its bins arrive as deltas and live
+			// in the pagg tables; a stray raw fact event must never be
+			// folded on top (the rows still land verbatim below).
+			continue
+		}
 		h.classifyEvent(deltas, ev)
 	}
 	var folds, dirtied []*realmDelta
@@ -618,6 +790,7 @@ func (h *Hub) LoadLooseDump(instance string, r io.Reader) error {
 		h.markDirtyLocked(st, info, schema)
 	}
 	if m, ok := h.members[instance]; ok {
+		m.Mode = "loose"
 		m.LastBatch = h.now()
 		// LastEvent reflects data age, not load time: /healthz member
 		// freshness must expose a member shipping week-old dumps.
@@ -650,17 +823,22 @@ func (h *Hub) newestFactTime(schema string, info realm.Info) time.Time {
 	return newest
 }
 
-// memberSchemas returns the fed_<instance> schemas that exist and hold
-// the given fact table.
-func (h *Hub) memberSchemas(factTable string) []string {
-	var out []string
+// realmSources returns one realm's rebuild sources: the hub's own
+// schema (facts) plus, per member in name order, either the member's
+// pagg tables (pushdown — the hub never holds those raw facts) or its
+// replicated fact table when present. Pagg presence wins: it is the
+// durable record that the member replicates in pushdown mode.
+func (h *Hub) realmSources(info realm.Info) []aggregate.Source {
+	sources := []aggregate.Source{{Schema: info.Schema}} // hub's own monitored resources, if any
 	for _, m := range h.Members() {
 		schemaName := replicate.HubSchema(m.Name)
-		if s := h.DB.Schema(schemaName); s != nil && s.Table(factTable) != nil {
-			out = append(out, schemaName)
+		if h.Engine.HasPagg(info, schemaName) {
+			sources = append(sources, aggregate.Source{Schema: schemaName, Pushdown: true})
+		} else if s := h.DB.Schema(schemaName); s != nil && s.Table(info.FactTable) != nil {
+			sources = append(sources, aggregate.Source{Schema: schemaName})
 		}
 	}
-	return out
+	return sources
 }
 
 // rebuildRealm rebuilds one realm's aggregation tables from all member
@@ -676,8 +854,7 @@ func (h *Hub) rebuildRealm(name string, all bool) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("core: hub has no realm %q", name)
 	}
-	sources := []string{info.Schema} // hub's own monitored resources, if any
-	sources = append(sources, h.memberSchemas(info.FactTable)...)
+	sources := h.realmSources(info)
 
 	h.mu.Lock()
 	st := h.realmStateLocked(name)
@@ -703,9 +880,9 @@ func (h *Hub) rebuildRealm(name string, all bool) (int, error) {
 	var n int
 	var err error
 	if shards == nil {
-		n, err = h.Engine.Reaggregate(info, sources)
+		n, err = h.Engine.ReaggregateFrom(info, sources)
 	} else {
-		n, err = h.Engine.ReaggregateShards(info, sources, shards)
+		n, err = h.Engine.ReaggregateShardsFrom(info, sources, shards)
 	}
 
 	h.mu.Lock()

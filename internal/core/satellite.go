@@ -298,19 +298,24 @@ func NewSatellite(cfg config.InstanceConfig) (*Satellite, error) {
 	return &Satellite{Instance: in}, nil
 }
 
-// rewriterFor builds the replication rewriter for one hub route.
-func (s *Satellite) rewriterFor(route config.HubRoute) (*replicate.Rewriter, error) {
-	include := map[string]bool{}
+// routeRealms resolves a hub route's realm names.
+func (s *Satellite) routeRealms(route config.HubRoute) []string {
 	realms := route.IncludeRealms
 	if len(realms) == 0 {
 		// Paper §II-C1: "the initial release of the federation module
 		// replicates only the HPC Jobs realm data".
 		realms = []string{"Jobs"}
 	}
-	for _, r := range realms {
+	return realms
+}
+
+// filterFor builds the replication filter for one hub route.
+func (s *Satellite) filterFor(route config.HubRoute) (replicate.Filter, error) {
+	include := map[string]bool{}
+	for _, r := range s.routeRealms(route) {
 		tables := FederatedTablesFor(r)
 		if tables == nil {
-			return nil, fmt.Errorf("core: route to %s includes unknown realm %q", route.HubAddr, r)
+			return replicate.Filter{}, fmt.Errorf("core: route to %s includes unknown realm %q", route.HubAddr, r)
 		}
 		for _, t := range tables {
 			include[t] = true
@@ -325,15 +330,62 @@ func (s *Satellite) rewriterFor(route config.HubRoute) (*replicate.Rewriter, err
 	}
 	f := replicate.Filter{IncludeTables: include, ExcludeResources: exclude}
 	if err := f.Validate(); err != nil {
+		return replicate.Filter{}, err
+	}
+	return f, nil
+}
+
+// rewriterFor builds the replication rewriter for one hub route.
+func (s *Satellite) rewriterFor(route config.HubRoute) (*replicate.Rewriter, error) {
+	f, err := s.filterFor(route)
+	if err != nil {
 		return nil, err
 	}
 	return replicate.NewRewriter(s.Config.Name, f), nil
+}
+
+// pushdownFolderFor builds one route's aggregation-pushdown folder
+// over the route's mergeable realms. An unmergeable realm is never
+// silently pushed down — it falls back to raw fact replication with a
+// startup warning. Returns nil (no error) when no realm qualifies.
+func (s *Satellite) pushdownFolderFor(route config.HubRoute, flushInterval time.Duration) (*replicate.PushdownFolder, error) {
+	f, err := s.filterFor(route)
+	if err != nil {
+		return nil, err
+	}
+	var infos []realm.Info
+	for _, name := range s.routeRealms(route) {
+		info, ok := s.Registry.Get(name)
+		if !ok {
+			continue // federates tables without a queryable realm; ship raw
+		}
+		if err := aggregate.MergeableRealm(info); err != nil {
+			coreLog.Warn("realm is not mergeable; replicating its raw facts instead of pushing down",
+				"realm", name, "hub", route.HubAddr, "err", err)
+			continue
+		}
+		infos = append(infos, info)
+	}
+	if len(infos) == 0 {
+		coreLog.Warn("no mergeable realms on route; aggregation pushdown disabled, replicating raw facts",
+			"hub", route.HubAddr)
+		return nil, nil
+	}
+	return replicate.NewPushdownFolder(s.Engine, infos, f, flushInterval)
 }
 
 // StartFederation starts one tight-replication sender per configured
 // tight hub route. Loose routes are served by DumpForRoute instead.
 // Senders reconnect with backoff and stop when ctx is cancelled.
 func (s *Satellite) StartFederation(ctx context.Context) error {
+	pushdown := s.Config.Replication.PushdownEnabled()
+	var flushInterval time.Duration
+	if pushdown {
+		var err error
+		if flushInterval, err = s.Config.Replication.PushdownFlushDuration(); err != nil {
+			return err
+		}
+	}
 	for _, route := range s.Config.Hubs {
 		if route.Mode != "tight" {
 			continue
@@ -348,12 +400,28 @@ func (s *Satellite) StartFederation(ctx context.Context) error {
 			DB:       s.DB,
 			Rewriter: rw,
 		}
+		if pushdown {
+			if sender.Pushdown, err = s.pushdownFolderFor(route, flushInterval); err != nil {
+				return err
+			}
+		}
 		cctx, cancel := context.WithCancel(ctx)
 		s.mu.Lock()
 		s.cancels = append(s.cancels, cancel)
 		s.senders = append(s.senders, sender)
 		s.mu.Unlock()
-		go sender.RunWithRetry(cctx, route.HubAddr, 0)
+		hubAddr := route.HubAddr
+		go func() {
+			// RunWithRetry only returns on clean shutdown or a permanent
+			// handshake rejection (version mismatch, unregistered member,
+			// the pushdown mode-switch guard demanding a resync). The
+			// sender will never retry past a rejection, so without this
+			// line the route would die with nothing in the logs.
+			if err := sender.RunWithRetry(cctx, hubAddr, 0); err != nil {
+				coreLog.Error("replication route stopped permanently",
+					"instance", s.Config.Name, "hub", hubAddr, "err", err)
+			}
+		}()
 	}
 	return nil
 }

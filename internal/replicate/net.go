@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xdmodfed/internal/aggregate"
 	"xdmodfed/internal/faults"
 	"xdmodfed/internal/obs"
 	"xdmodfed/internal/warehouse"
@@ -81,6 +82,16 @@ type hello struct {
 	// (obs traceparent). Optional: gob omits the zero value, so old
 	// peers interoperate and an empty string means "no trace".
 	Trace string
+	// Pushdown offers aggregation pushdown for PushdownRealms: the
+	// satellite folds those realms' facts into partial-aggregate deltas
+	// instead of shipping them raw (see pushdown.go). LevelsDigest
+	// fingerprints the satellite's aggregation levels; the hub declines
+	// the offer on a mismatch. All three fields are zero from old
+	// satellites — gob omits zero values and ignores unknown wire
+	// fields, so mixed-version federations keep working in facts mode.
+	Pushdown       bool
+	PushdownRealms []string
+	LevelsDigest   string
 }
 
 type helloAck struct {
@@ -97,6 +108,12 @@ type helloAck struct {
 	// Trace is the hub accept span's trace context (optional; joins the
 	// satellite's handshake trace when hello carried one).
 	Trace string
+	// PushdownOK grants the hello's pushdown offer. False with a
+	// nonempty PushdownErr is a soft decline: the connection proceeds,
+	// the satellite falls back to raw fact replication (an old hub
+	// leaves both fields zero, which reads as the same decline).
+	PushdownOK  bool
+	PushdownErr string
 }
 
 type batch struct {
@@ -111,6 +128,11 @@ type batch struct {
 	// TraceID spans ingest → send → apply → fold across processes.
 	// Optional; zero value = absent.
 	Trace string
+	// Deltas carries partial-aggregate deltas on a pushdown-granted
+	// connection (possibly alongside raw events for non-pushdown
+	// tables). Applied after Events, before the ack. Old hubs never
+	// grant pushdown, so they never see this field.
+	Deltas []aggregate.Delta
 }
 
 type ack struct {
@@ -178,6 +200,37 @@ type ContextSink interface {
 	// ApplyBatchCtx is ApplyBatch with the batch frame's trace context
 	// installed in ctx (obs.ContextWithTraceParent).
 	ApplyBatchCtx(ctx context.Context, instance string, upTo uint64, events []warehouse.Event) error
+}
+
+// ErrPushdownDeclined marks a NegotiatePushdown refusal as soft: the
+// hub wraps it (fmt.Errorf("%w: ...", ErrPushdownDeclined)) to say
+// "not this offer, but the connection may proceed in facts mode".
+// Any non-wrapped error rejects the handshake outright.
+var ErrPushdownDeclined = errors.New("replicate: pushdown declined")
+
+// PushdownRequest is a satellite's hello-time pushdown offer (or the
+// explicit absence of one, Enabled false — the hub still sees it, so
+// it can refuse a member that previously pushed partial aggregates
+// and now silently reconnects in facts mode).
+type PushdownRequest struct {
+	Enabled      bool
+	Realms       []string
+	LevelsDigest string
+}
+
+// PushdownSink is an optional Sink extension for hubs that accept
+// partial-aggregate deltas. When the sink implements it, the receiver
+// calls NegotiatePushdown on every handshake.
+type PushdownSink interface {
+	Sink
+	// NegotiatePushdown vets an instance's offer: nil grants it, an
+	// ErrPushdownDeclined-wrapped error declines it softly (connection
+	// proceeds in facts mode), any other error rejects the handshake.
+	NegotiatePushdown(instance string, req PushdownRequest) error
+	// ApplyDeltas installs a granted member's deltas; upTo is the
+	// carrying batch's position (for bookkeeping only — delta
+	// application is idempotent and needs no positions).
+	ApplyDeltas(ctx context.Context, instance string, upTo uint64, deltas []aggregate.Delta) error
 }
 
 // Receiver accepts tight-replication connections on the hub.
@@ -284,6 +337,32 @@ func (r *Receiver) serve(conn net.Conn) {
 			return
 		}
 	}
+	// Pushdown negotiation. The sink (when it speaks pushdown) vets
+	// every handshake, including Enabled=false offers — a member that
+	// previously pushed partial aggregates must not silently reconnect
+	// in facts mode over stale hub-side bins.
+	pdGranted := false
+	var pdErr string
+	pdSink, pdCapable := r.Sink.(PushdownSink)
+	if pdCapable {
+		err := pdSink.NegotiatePushdown(h.Instance, PushdownRequest{
+			Enabled: h.Pushdown, Realms: h.PushdownRealms, LevelsDigest: h.LevelsDigest})
+		switch {
+		case err == nil:
+			pdGranted = h.Pushdown
+		case errors.Is(err, ErrPushdownDeclined):
+			pdErr = err.Error()
+		default:
+			repLog.Warn("replication handshake rejected",
+				"instance", h.Instance, "err", err)
+			send(rejection(err))
+			hsp.SetAttr("rejected", err.Error())
+			hsp.End()
+			return
+		}
+	} else if h.Pushdown {
+		pdErr = "hub does not support aggregation pushdown"
+	}
 	resume, err := r.Sink.Resume(h.Instance)
 	if err != nil {
 		send(rejection(err))
@@ -291,7 +370,8 @@ func (r *Receiver) serve(conn net.Conn) {
 		hsp.End()
 		return
 	}
-	ackErr := send(helloAck{OK: true, Resume: resume, Heartbeat: hb, Trace: obs.TraceParent(hctx)})
+	ackErr := send(helloAck{OK: true, Resume: resume, Heartbeat: hb, Trace: obs.TraceParent(hctx),
+		PushdownOK: pdGranted, PushdownErr: pdErr})
 	hsp.SetAttr("resume", strconv.FormatUint(resume, 10))
 	hsp.End()
 	if ackErr != nil {
@@ -355,6 +435,21 @@ func (r *Receiver) serve(conn net.Conn) {
 				"instance", h.Instance, "up_to", b.UpTo, "err", err)
 			return
 		}
+		if len(b.Deltas) > 0 {
+			if !pdGranted {
+				// Protocol violation: the frame carries deltas this
+				// connection never negotiated.
+				repLog.Error("unnegotiated pushdown deltas, closing",
+					"instance", h.Instance, "deltas", len(b.Deltas))
+				return
+			}
+			actx := obs.ContextWithTraceParent(context.Background(), b.Trace)
+			if err := pdSink.ApplyDeltas(actx, h.Instance, b.UpTo, b.Deltas); err != nil {
+				repLog.Warn("pushdown deltas rejected",
+					"instance", h.Instance, "up_to", b.UpTo, "err", err)
+				return
+			}
+		}
 		mRecvBatches.With(h.Instance).Inc()
 		if err := send(ack{UpTo: b.UpTo}); err != nil {
 			return
@@ -391,6 +486,25 @@ type SenderStats struct {
 	SentBatches int
 	SentEvents  int
 	Position    uint64
+	// Mode is the replication mode of the current connection: "facts",
+	// or "pushdown" when the hub granted aggregation pushdown.
+	Mode string
+	// Deltas / DeltaRows count flushed pushdown deltas and the bins
+	// they carried; DeltaCovered is the binlog position the newest
+	// flushed deltas cover.
+	Deltas       int
+	DeltaRows    int
+	DeltaCovered uint64
+}
+
+// byteTap counts bytes written through it; the sender tees the gob
+// stream through one so a delta flush's exact wire size is the tap
+// delta around its Encode (the protocol is written by one goroutine).
+type byteTap struct{ n int64 }
+
+func (t *byteTap) Write(p []byte) (int, error) {
+	t.n += int64(len(p))
+	return len(p), nil
 }
 
 // Sender streams one satellite's binlog to one hub (one Sender per
@@ -402,6 +516,11 @@ type Sender struct {
 	DB        *warehouse.DB
 	Rewriter  *Rewriter
 	BatchSize int // default 512
+	// Pushdown, when set, offers aggregation pushdown at handshake and
+	// — if the hub grants it — folds the pushdown realms' fact events
+	// into partial-aggregate deltas instead of shipping them raw. When
+	// the hub declines, the sender logs once and replicates facts.
+	Pushdown *PushdownFolder
 
 	mu    sync.Mutex
 	stats SenderStats
@@ -439,13 +558,20 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	enc := gob.NewEncoder(&countingWriter{w: conn, c: mSentBytes.With(s.Instance)})
+	tap := &byteTap{}
+	enc := gob.NewEncoder(io.MultiWriter(tap, &countingWriter{w: conn, c: mSentBytes.With(s.Instance)}))
 	dec := gob.NewDecoder(conn)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	hctx, hsp := obs.StartSpan(ctx, "replicate.handshake")
 	hsp.SetAttr("instance", s.Instance)
 	hsp.SetAttr("hub", hubAddr)
-	if err := enc.Encode(hello{Instance: s.Instance, Version: s.Version, Trace: obs.TraceParent(hctx)}); err != nil {
+	h := hello{Instance: s.Instance, Version: s.Version, Trace: obs.TraceParent(hctx)}
+	if s.Pushdown != nil {
+		h.Pushdown = true
+		h.PushdownRealms = s.Pushdown.Realms()
+		h.LevelsDigest = s.Pushdown.Digest()
+	}
+	if err := enc.Encode(h); err != nil {
 		hsp.End()
 		return err
 	}
@@ -468,9 +594,27 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 		hb = DefaultHeartbeatInterval
 	}
 	pos := ha.Resume
+	var pd *PushdownFolder
+	if s.Pushdown != nil {
+		if ha.PushdownOK {
+			pd = s.Pushdown
+		} else {
+			reason := ha.PushdownErr
+			if reason == "" {
+				reason = "hub predates aggregation pushdown"
+			}
+			repLog.Warn("hub declined aggregation pushdown; replicating raw facts",
+				"instance", s.Instance, "hub", hubAddr, "reason", reason)
+		}
+	}
+	mode := "facts"
+	if pd != nil {
+		mode = "pushdown"
+	}
 	s.handshook.Store(true)
 	s.mu.Lock()
 	s.stats.Hub = hubAddr
+	s.stats.Mode = mode
 	// The hub's resume position counts as acknowledged: a sender that
 	// reconnects with nothing new to send must not report stale lag.
 	if pos > s.stats.Position {
@@ -514,6 +658,80 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 		}
 	}()
 
+	// awaitAck consumes the hub's ack for upTo. ok=false with a nil
+	// error means clean context shutdown; the caller returns nil.
+	awaitAck := func(upTo uint64) (bool, error) {
+		select {
+		case a := <-acks:
+			if a.UpTo != upTo {
+				return false, fmt.Errorf("replicate: hub acked %d, expected %d", a.UpTo, upTo)
+			}
+			return true, nil
+		case err := <-readErr:
+			if ctx.Err() != nil {
+				return false, nil
+			}
+			return false, err
+		case <-ctx.Done():
+			return false, nil
+		}
+	}
+
+	// flushDeltas ships due pushdown deltas in their own batch frame.
+	// The frame's UpTo repeats the already-acknowledged position —
+	// delta application is idempotent and carries no positions of its
+	// own — and the exact wire size is the encoder tap's delta.
+	flushDeltas := func(now time.Time) (bool, error) {
+		if pd == nil || !pd.Due(now) {
+			return true, nil
+		}
+		deltas, rows, err := pd.Flush(now)
+		if err != nil {
+			return false, err
+		}
+		if len(deltas) == 0 {
+			return true, nil
+		}
+		before := tap.n
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout(hb)))
+		if err := enc.Encode(batch{UpTo: pos, Deltas: deltas}); err != nil {
+			if ctx.Err() != nil {
+				return false, nil
+			}
+			return false, err
+		}
+		if ok, err := awaitAck(pos); !ok || err != nil {
+			return ok, err
+		}
+		aggregate.NotePushdownSent(len(deltas), rows, int(tap.n-before))
+		var covered uint64
+		for _, d := range deltas {
+			if d.CoveredLSN > covered {
+				covered = d.CoveredLSN
+			}
+		}
+		s.mu.Lock()
+		s.stats.Deltas += len(deltas)
+		s.stats.DeltaRows += rows
+		if covered > s.stats.DeltaCovered {
+			s.stats.DeltaCovered = covered
+		}
+		s.mu.Unlock()
+		return true, nil
+	}
+
+	if pd != nil {
+		// Fresh connection: re-establish the hub's bins from a snapshot
+		// fold before streaming anything (reset-on-connect — what makes
+		// a sender killed mid-flush convergent; see pushdown.go).
+		pd.PrepareConnect()
+		if ok, err := flushDeltas(time.Now()); err != nil {
+			return err
+		} else if !ok {
+			return nil
+		}
+	}
+
 	for {
 		wctx, cancelWait := context.WithTimeout(ctx, hb)
 		evs, err := s.DB.Binlog().Wait(wctx, pos, batchSize)
@@ -530,6 +748,11 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 					return err
 				default:
 				}
+				if ok, err := flushDeltas(time.Now()); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
 				conn.SetWriteDeadline(time.Now().Add(writeTimeout(hb)))
 				if err := enc.Encode(batch{HB: true}); err != nil {
 					if ctx.Err() != nil {
@@ -543,6 +766,14 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 			return err
 		}
 		out, upTo := s.Rewriter.ProcessBatch(evs)
+		if pd != nil {
+			// Fold pushdown-realm facts instead of shipping them; the
+			// batch frame still carries upTo so the hub's durable commit
+			// position advances even when every event folded away.
+			if out, err = pd.Consume(out, upTo); err != nil {
+				return err
+			}
+		}
 		// Parent the send span under the ingest that produced the
 		// newest events in this range, when the binlog retains that
 		// mark; the frame carries the span's context to the hub.
@@ -559,17 +790,9 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 			}
 			return err
 		}
-		select {
-		case a := <-acks:
-			if a.UpTo != upTo {
-				return fmt.Errorf("replicate: hub acked %d, expected %d", a.UpTo, upTo)
-			}
-		case err := <-readErr:
-			if ctx.Err() != nil {
-				return nil
-			}
+		if ok, err := awaitAck(upTo); err != nil {
 			return err
-		case <-ctx.Done():
+		} else if !ok {
 			return nil
 		}
 		pos = upTo
@@ -581,6 +804,13 @@ func (s *Sender) Run(ctx context.Context, hubAddr string) error {
 		s.stats.SentEvents += len(out)
 		s.stats.Position = pos
 		s.mu.Unlock()
+		// Ship any due deltas right behind the acked batch, so delta
+		// convergence never waits on an idle heartbeat.
+		if ok, err := flushDeltas(time.Now()); err != nil {
+			return err
+		} else if !ok {
+			return nil
+		}
 	}
 }
 

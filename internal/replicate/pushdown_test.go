@@ -1,0 +1,299 @@
+package replicate
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/realm"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/warehouse"
+)
+
+// pushTestSink extends testSink with the PushdownSink surface,
+// recording negotiations and applied deltas. negotiate defaults to
+// "grant everything" when nil.
+type pushTestSink struct {
+	*testSink
+	negotiate func(req PushdownRequest) error
+
+	pmu        sync.Mutex
+	negotiated []PushdownRequest
+	deltas     []aggregate.Delta
+	covered    uint64
+}
+
+func (s *pushTestSink) NegotiatePushdown(instance string, req PushdownRequest) error {
+	s.pmu.Lock()
+	s.negotiated = append(s.negotiated, req)
+	s.pmu.Unlock()
+	if s.negotiate != nil {
+		return s.negotiate(req)
+	}
+	return nil
+}
+
+func (s *pushTestSink) ApplyDeltas(ctx context.Context, instance string, upTo uint64, deltas []aggregate.Delta) error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	s.deltas = append(s.deltas, deltas...)
+	for _, d := range deltas {
+		if d.CoveredLSN > s.covered {
+			s.covered = d.CoveredLSN
+		}
+	}
+	return nil
+}
+
+func (s *pushTestSink) coveredLSN() uint64 {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.covered
+}
+
+func (s *pushTestSink) appliedDeltas() []aggregate.Delta {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return append([]aggregate.Delta(nil), s.deltas...)
+}
+
+// pushdownSender builds a sender whose jobs realm is offered for
+// pushdown with a fast flush interval.
+func pushdownSender(t testing.TB, sat *warehouse.DB, version string) *Sender {
+	t.Helper()
+	eng, err := aggregate.New(sat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := jobs.RealmInfo()
+	if err := eng.Setup(info); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := NewPushdownFolder(eng, []realm.Info{info}, Filter{}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Sender{
+		Instance: "ccr", Version: version, DB: sat,
+		Rewriter: NewRewriter("ccr", Filter{}),
+		Pushdown: pf,
+	}
+}
+
+// TestPushdownFallsBackWithPlainSink: a hub whose sink predates
+// pushdown must leave the connection in facts mode — the satellite
+// warns and replicates raw facts, bit-identically to before.
+func TestPushdownFallsBackWithPlainSink(t *testing.T) {
+	sat := satelliteWithJobs(t, "ccr", 25)
+	sink, hub := newTestSink(t)
+	recv := &Receiver{Version: "v1", Sink: sink}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sender := pushdownSender(t, sat, "v1")
+	done := make(chan error, 1)
+	go func() { done <- sender.Run(ctx, addr) }()
+
+	waitFor(t, func() bool { return hub.Count(HubSchema("ccr"), jobs.FactTable) == 25 })
+	if st := sender.Stats(); st.Mode != "facts" || st.Deltas != 0 {
+		t.Errorf("stats = %+v, want facts mode with no deltas", st)
+	}
+	cancel()
+	<-done
+}
+
+// TestPushdownSoftDecline: a wrapped ErrPushdownDeclined from
+// negotiation keeps the connection alive in facts mode.
+func TestPushdownSoftDecline(t *testing.T) {
+	sat := satelliteWithJobs(t, "ccr", 10)
+	base, hub := newTestSink(t)
+	sink := &pushTestSink{testSink: base, negotiate: func(req PushdownRequest) error {
+		return fmt.Errorf("%w: aggregation levels differ", ErrPushdownDeclined)
+	}}
+	recv := &Receiver{Version: "v1", Sink: sink}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sender := pushdownSender(t, sat, "v1")
+	done := make(chan error, 1)
+	go func() { done <- sender.Run(ctx, addr) }()
+
+	waitFor(t, func() bool { return hub.Count(HubSchema("ccr"), jobs.FactTable) == 10 })
+	if st := sender.Stats(); st.Mode != "facts" {
+		t.Errorf("mode = %q, want facts after soft decline", st.Mode)
+	}
+	if got := sink.appliedDeltas(); len(got) != 0 {
+		t.Errorf("declined connection applied %d deltas", len(got))
+	}
+	cancel()
+	<-done
+}
+
+// TestPushdownHardReject: any other negotiation error is a handshake
+// rejection (e.g. the mode-switch guard demanding a resync) — the
+// sender must stop, not silently fall back.
+func TestPushdownHardReject(t *testing.T) {
+	sat := satelliteWithJobs(t, "ccr", 5)
+	base, _ := newTestSink(t)
+	sink := &pushTestSink{testSink: base, negotiate: func(req PushdownRequest) error {
+		return fmt.Errorf("member has pushdown residue; requires a resync")
+	}}
+	recv := &Receiver{Version: "v1", Sink: sink}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	sender := pushdownSender(t, sat, "v1")
+	if err := sender.Run(context.Background(), addr); !errors.Is(err, ErrHandshakeRejected) {
+		t.Errorf("got %v, want handshake rejection", err)
+	}
+}
+
+// TestPushdownEndToEnd: over a real TCP pair, a pushdown-granted
+// connection ships a reset delta covering the binlog head instead of
+// raw fact rows, ships incremental deltas as new facts commit, and
+// re-sends a fresh reset after reconnecting.
+func TestPushdownEndToEnd(t *testing.T) {
+	sat := satelliteWithJobs(t, "ccr", 30)
+	base, hub := newTestSink(t)
+	sink := &pushTestSink{testSink: base}
+	recv := &Receiver{Version: "v1", Sink: sink, HeartbeatInterval: 50 * time.Millisecond}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sender := pushdownSender(t, sat, "v1")
+	done := make(chan error, 1)
+	go func() { done <- sender.Run(ctx, addr) }()
+
+	// The reset delta must converge to the binlog head and the fact
+	// position must advance past the folded-away events.
+	waitFor(t, func() bool {
+		return sink.coveredLSN() == sat.Binlog().Last() && sink.ps.Get("ccr") == sat.Binlog().Last()
+	})
+	if got := hub.Count(HubSchema("ccr"), jobs.FactTable); got != 0 {
+		t.Fatalf("pushdown connection replicated %d raw fact rows", got)
+	}
+	first := sink.appliedDeltas()
+	if len(first) == 0 || !first[0].Reset || first[0].Realm != "Jobs" {
+		t.Fatalf("first delta = %+v, want a Jobs reset", first)
+	}
+	if req := sink.negotiated[0]; !req.Enabled || len(req.Realms) != 1 || req.Realms[0] != "Jobs" || req.LevelsDigest == "" {
+		t.Fatalf("negotiated request = %+v", req)
+	}
+
+	// New facts fold into an incremental delta behind the acked batch.
+	rec := shredder.JobRecord{
+		LocalJobID: 900, User: "x", Account: "a", Resource: "ccr-cluster", Queue: "q",
+		Nodes: 1, Cores: 2,
+		Submit: time.Date(2017, 8, 1, 0, 0, 0, 0, time.UTC),
+		Start:  time.Date(2017, 8, 1, 1, 0, 0, 0, time.UTC),
+		End:    time.Date(2017, 8, 1, 2, 0, 0, 0, time.UTC),
+	}
+	row, _ := jobs.FactFromRecord(rec, nil)
+	if err := sat.Insert(jobs.SchemaName, jobs.FactTable, row); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.coveredLSN() == sat.Binlog().Last() })
+	if got := hub.Count(HubSchema("ccr"), jobs.FactTable); got != 0 {
+		t.Fatalf("live fact leaked as a raw row: %d", got)
+	}
+	if st := sender.Stats(); st.Mode != "pushdown" || st.Deltas < 2 || st.DeltaCovered != sat.Binlog().Last() {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Reconnect: the sender must start over with a fresh reset delta
+	// (reset-on-connect makes kill/restart trivially convergent).
+	cancel()
+	<-done
+	nBefore := len(sink.appliedDeltas())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done2 := make(chan error, 1)
+	go func() { done2 <- sender.Run(ctx2, addr) }()
+	waitFor(t, func() bool { return len(sink.appliedDeltas()) > nBefore })
+	all := sink.appliedDeltas()
+	if d := all[nBefore]; !d.Reset || d.CoveredLSN != sat.Binlog().Last() {
+		t.Errorf("post-reconnect delta = Reset %v CoveredLSN %d, want a reset covering %d",
+			d.Reset, d.CoveredLSN, sat.Binlog().Last())
+	}
+	cancel2()
+	<-done2
+}
+
+// TestReceiverRejectsOversizeDeltaFrame: the delta batch frame rides
+// the same length-limited decoder as fact batches, so a runaway or
+// hostile delta payload must close the connection without being
+// applied (no unbounded buffering, satellite task: gob-decode guard).
+func TestReceiverRejectsOversizeDeltaFrame(t *testing.T) {
+	base, _ := newTestSink(t)
+	sink := &pushTestSink{testSink: base}
+	recv := &Receiver{Version: "v", Sink: sink, HeartbeatInterval: 50 * time.Millisecond, MaxFrameBytes: 8192}
+	addr, err := recv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{Instance: "ccr", Version: "v", Pushdown: true, PushdownRealms: []string{"Jobs"}, LevelsDigest: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(conn)
+	var ha helloAck
+	if err := dec.Decode(&ha); err != nil || !ha.OK || !ha.PushdownOK {
+		t.Fatalf("handshake: %v %+v", err, ha)
+	}
+
+	// ~1 MiB of bins against an 8 KiB frame budget.
+	bins := make([]aggregate.Bin, 4096)
+	for i := range bins {
+		bins[i] = aggregate.Bin{PeriodKey: int64(i), Dims: []string{"rrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrr"},
+			N: 1, Sums: []float64{1, 2, 3, 4}, Mins: []float64{1, 2, 3, 4},
+			Maxs: []float64{1, 2, 3, 4}, Lasts: []float64{1, 2, 3, 4}}
+	}
+	huge := batch{UpTo: 1, Deltas: []aggregate.Delta{{Realm: "Jobs", Reset: true, CoveredLSN: 1,
+		Periods: []aggregate.PeriodBins{{Period: "day", Bins: bins}}}}}
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := enc.Encode(huge); err == nil {
+		var a ack
+		for {
+			if err := dec.Decode(&a); err != nil {
+				break
+			}
+			if !a.HB {
+				t.Fatalf("hub acked an oversize delta frame: %+v", a)
+			}
+		}
+	}
+	if got := sink.appliedDeltas(); len(got) != 0 {
+		t.Fatalf("oversize delta frame was applied: %d deltas", len(got))
+	}
+}

@@ -153,6 +153,12 @@ type memberHealth struct {
 	LastEvent  time.Time `json:"last_event"`
 	AgeSeconds float64   `json:"age_seconds"` // since last batch; -1 when never
 	Fresh      bool      `json:"fresh"`
+	// Mode is the member's replication mode ("facts", "pushdown" or
+	// "loose"; empty until it first replicates). DeltaLag is how far a
+	// pushdown member's applied deltas trail its committed raw position
+	// (0 when converged).
+	Mode     string `json:"mode,omitempty"`
+	DeltaLag uint64 `json:"delta_lag,omitempty"`
 	// Circuit-breaker state: a quarantined member degrades the hub's
 	// health and carries its remaining backoff and last apply error.
 	Quarantined           bool    `json:"quarantined,omitempty"`
@@ -166,6 +172,12 @@ type senderHealth struct {
 	SentBatches int    `json:"sent_batches"`
 	SentEvents  int    `json:"sent_events"`
 	LagEvents   uint64 `json:"lag_events"`
+	// Mode is the connection's replication mode ("facts" or
+	// "pushdown"); pushdown senders also report flushed delta frames
+	// and the position their newest deltas cover.
+	Mode         string `json:"mode,omitempty"`
+	Deltas       int    `json:"deltas,omitempty"`
+	DeltaCovered uint64 `json:"delta_covered,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -196,6 +208,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				LastBatch:  m.LastBatch,
 				LastEvent:  m.LastEvent,
 				AgeSeconds: -1,
+				Mode:       m.Mode,
+			}
+			if m.Mode == "pushdown" && m.Position > m.DeltaCovered {
+				mh.DeltaLag = m.Position - m.DeltaCovered
 			}
 			if !m.LastBatch.IsZero() {
 				mh.AgeSeconds = now.Sub(m.LastBatch).Seconds()
@@ -216,10 +232,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		head := s.Instance.DB.Binlog().Last()
 		for _, st := range s.Sat.SenderStats() {
 			sh := senderHealth{
-				Hub:         st.Hub,
-				Position:    st.Position,
-				SentBatches: st.SentBatches,
-				SentEvents:  st.SentEvents,
+				Hub:          st.Hub,
+				Position:     st.Position,
+				SentBatches:  st.SentBatches,
+				SentEvents:   st.SentEvents,
+				Mode:         st.Mode,
+				Deltas:       st.Deltas,
+				DeltaCovered: st.DeltaCovered,
 			}
 			if head > st.Position {
 				sh.LagEvents = head - st.Position

@@ -528,6 +528,16 @@ type memberResponse struct {
 	Position uint64 `json:"position"`
 	Batches  int    `json:"batches"`
 	Events   int    `json:"events"`
+	// Mode is how the member replicates: "facts", "pushdown"
+	// (partial-aggregate deltas) or "loose"; empty until it first does.
+	Mode string `json:"mode,omitempty"`
+	// Pushdown progress: applied delta frames, the bins they carried,
+	// and how far the member's deltas trail its committed raw position
+	// (0 when converged).
+	Deltas       int    `json:"deltas,omitempty"`
+	DeltaRows    int    `json:"delta_rows,omitempty"`
+	DeltaCovered uint64 `json:"delta_covered,omitempty"`
+	DeltaLag     uint64 `json:"delta_lag,omitempty"`
 	// Circuit-breaker state, for operators watching a member that the
 	// hub has isolated after repeated apply failures.
 	Quarantined           bool    `json:"quarantined,omitempty"`
@@ -546,7 +556,11 @@ func (s *Server) handleFederationStatus(w http.ResponseWriter, r *http.Request, 
 	now := time.Now()
 	resp := federationStatusResponse{Hub: st.Hub, Version: st.Version, Dirty: st.Dirty, DirtyRealms: st.DirtyRealms}
 	for _, m := range st.Members {
-		mr := memberResponse{Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events}
+		mr := memberResponse{Name: m.Name, Position: m.Position, Batches: m.Batches, Events: m.Events,
+			Mode: m.Mode, Deltas: m.Deltas, DeltaRows: m.DeltaRows, DeltaCovered: m.DeltaCovered}
+		if m.Mode == "pushdown" && m.Position > m.DeltaCovered {
+			mr.DeltaLag = m.Position - m.DeltaCovered
+		}
 		if m.Quarantined(now) {
 			mr.Quarantined = true
 			mr.QuarantineSecondsLeft = m.QuarantinedUntil.Sub(now).Seconds()

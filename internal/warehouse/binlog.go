@@ -56,6 +56,18 @@ func (k EventKind) String() string {
 // Event is one binlog entry: a single row mutation or DDL statement.
 // LSN (log sequence number) is assigned on append and is strictly
 // increasing from 1.
+//
+// Delta provenance (aggregation pushdown): a replication sender in
+// pushdown mode does not ship a pushdown realm's fact events — it
+// folds them into partial-aggregate deltas whose CoveredLSN records
+// the binlog position the fold has consumed through. The LSN is the
+// shared clock between the two representations: a delta with
+// CoveredLSN c supersedes every fact event with LSN <= c for its
+// realm, and a snapshot re-fold captures the table data and the
+// binlog head atomically so later events are folded exactly once.
+// Pagg-table mutations on the hub are ordinary binlog events there
+// (upserts and loads in sorted bin order), so a hub's own binlog
+// remains a deterministic record even for pushed-down realms.
 type Event struct {
 	LSN    uint64
 	Time   time.Time

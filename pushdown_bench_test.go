@@ -1,0 +1,343 @@
+// Aggregation-pushdown benchmarks (EXP-B13): what shipping mergeable
+// partial-aggregate deltas buys over replicating raw facts, measured
+// on the hub side of a 20k-fact member. HubApplyFactMode is the
+// reference path: the hub applies every rewritten fact event and
+// rebuilds the realm from the member's fact table. HubApplyPushdown
+// is the pushdown path: the hub applies one reset delta (the
+// satellite folded the same 20k facts) and rebuilds the realm from
+// the pagg partials. Wire bytes are the gob-encoded replication
+// frames each mode ships for the same facts. The -emit-bench flag
+// writes BENCH_10.json (make bench-pushdown) and asserts a >= 5x
+// reduction in both hub aggregation CPU and wire bytes.
+package xdmodfed
+
+import (
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"xdmodfed/internal/aggregate"
+	"xdmodfed/internal/config"
+	"xdmodfed/internal/core"
+	"xdmodfed/internal/realm/jobs"
+	"xdmodfed/internal/replicate"
+	"xdmodfed/internal/shredder"
+	"xdmodfed/internal/warehouse"
+)
+
+const (
+	pushBenchFacts = 20000
+	pushBenchBatch = 512 // the replication sender's default batch size
+)
+
+// pushBenchSatellite builds a satellite warehouse holding 20k job
+// facts spread over 120 days, 8 users and 4 resources, plus an
+// aggregation engine whose levels match the hub's (a pushdown grant
+// requires an exact levels digest match).
+func pushBenchSatellite(b testing.TB) (*warehouse.DB, *aggregate.Engine) {
+	b.Helper()
+	sat := warehouse.Open("sat")
+	sch := sat.EnsureSchema(jobs.SchemaName)
+	if _, err := sch.EnsureTable(jobs.Def()); err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < pushBenchFacts; i++ {
+		end := base.Add(time.Duration(i%2880) * time.Hour).Add(time.Hour)
+		rec := shredder.JobRecord{
+			LocalJobID: int64(i + 1), User: fmt.Sprintf("u%d", i%8), Account: "a",
+			Resource: fmt.Sprintf("res%d", i%4), Queue: "batch", Nodes: 1, Cores: 8,
+			Submit: end.Add(-2 * time.Hour), Start: end.Add(-time.Hour), End: end,
+		}
+		row, err := jobs.FactFromRecord(rec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sat.Insert(jobs.SchemaName, jobs.FactTable, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng, err := aggregate.New(sat, []config.AggregationLevels{
+		config.HubWallTime(), config.DefaultJobSize(), config.CloudVMMemory(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Setup(jobs.RealmInfo()); err != nil {
+		b.Fatal(err)
+	}
+	return sat, eng
+}
+
+// pushBenchEvents replays the satellite binlog through the Jobs
+// rewriter — exactly the event stream a facts-mode sender ships.
+func pushBenchEvents(b testing.TB, sat *warehouse.DB) []warehouse.Event {
+	b.Helper()
+	last := sat.Binlog().Last()
+	evs, err := sat.Binlog().ReadFrom(0, int(last)+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rw := jobsRewriter("bench")
+	var out []warehouse.Event
+	for _, ev := range evs {
+		if rewritten, ok := rw.Process(ev); ok {
+			out = append(out, rewritten)
+		}
+	}
+	return out
+}
+
+// pushBenchDelta folds the satellite's fact table into the one reset
+// delta a pushdown sender ships on connect.
+func pushBenchDelta(b testing.TB, eng *aggregate.Engine) aggregate.Delta {
+	b.Helper()
+	df, err := eng.NewDeltaFolder(jobs.RealmInfo())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := df.Reset(nil, "resource"); err != nil {
+		b.Fatal(err)
+	}
+	d, ok := df.Flush()
+	if !ok {
+		b.Fatal("reset fold produced no delta")
+	}
+	return d
+}
+
+// factHub builds a hub, registers the member, and applies the fact
+// event stream; the caller times the apply+rebuild portion.
+func applyFactMode(b testing.TB, hub *core.Hub, upTo uint64, events []warehouse.Event) {
+	b.Helper()
+	if err := hub.ApplyBatch("bench", upTo, events); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.EnsureAggregated(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func applyPushdown(b testing.TB, hub *core.Hub, d aggregate.Delta) {
+	b.Helper()
+	if err := hub.ApplyDeltas(context.Background(), "bench", d.CoveredLSN, []aggregate.Delta{d}); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.EnsureAggregated(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func pushBenchHub(b testing.TB, pushdown bool) *core.Hub {
+	b.Helper()
+	hub, err := core.NewHub(chaosHubCfg("bhub"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.Register("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if pushdown {
+		req := replicate.PushdownRequest{
+			Enabled: true, Realms: []string{"Jobs"}, LevelsDigest: hub.Engine.LevelsDigest(),
+		}
+		if err := hub.NegotiatePushdown("bench", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return hub
+}
+
+// benchHubFactMode measures the hub-side cost of fact-mode
+// replication: applying 20k rewritten fact events and rebuilding the
+// Jobs realm from the member's fact table.
+func benchHubFactMode(b *testing.B) {
+	sat, _ := pushBenchSatellite(b)
+	events := pushBenchEvents(b, sat)
+	upTo := sat.Binlog().Last()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		hub := pushBenchHub(b, false)
+		b.StartTimer()
+		applyFactMode(b, hub, upTo, events)
+		b.StopTimer()
+		hub.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(pushBenchFacts)*float64(b.N)/b.Elapsed().Seconds(), "facts/s")
+}
+
+// benchHubPushdown measures the hub-side cost of pushdown
+// replication for the same 20k facts: applying the satellite's reset
+// delta and rebuilding the Jobs realm from the pagg partials.
+func benchHubPushdown(b *testing.B) {
+	_, eng := pushBenchSatellite(b)
+	delta := pushBenchDelta(b, eng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		hub := pushBenchHub(b, true)
+		b.StartTimer()
+		applyPushdown(b, hub, delta)
+		b.StopTimer()
+		hub.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(pushBenchFacts)*float64(b.N)/b.Elapsed().Seconds(), "facts/s")
+}
+
+// BenchmarkHubApplyFactMode (EXP-B13): hub apply+rebuild from raw
+// fact replication of a 20k-fact member.
+func BenchmarkHubApplyFactMode(b *testing.B) { benchHubFactMode(b) }
+
+// BenchmarkHubApplyPushdown (EXP-B13): hub apply+rebuild from one
+// pushed-down reset delta covering the same 20k facts.
+func BenchmarkHubApplyPushdown(b *testing.B) { benchHubPushdown(b) }
+
+// benchFrame mirrors the replication batch frame's payload fields
+// (gob encodes by field name and omits zero-valued fields, so the
+// byte counts match what the sender puts on the wire).
+type benchFrame struct {
+	UpTo   uint64
+	Events []warehouse.Event
+	Deltas []aggregate.Delta
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+// gobWireBytes encodes frames on one gob stream, as a single
+// replication connection would, and returns the total byte count.
+func gobWireBytes(b testing.TB, frames []benchFrame) int64 {
+	b.Helper()
+	var cw countWriter
+	enc := gob.NewEncoder(&cw)
+	for _, f := range frames {
+		if err := enc.Encode(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cw.n
+}
+
+// TestEmitPushdownBenchJSON runs the pushdown benchmarks under
+// testing.Benchmark and records the results in BENCH_10.json: hub
+// aggregation CPU and replication wire bytes for the same 20k-fact
+// member in fact mode vs pushdown mode, after first checking that the
+// two modes produce bit-identical charts. Gated behind -emit-bench so
+// a plain `go test` stays fast; `make bench-pushdown` passes the
+// flag. Both reductions must reach 5x — that is the point of shipping
+// folded bins instead of raw facts.
+func TestEmitPushdownBenchJSON(t *testing.T) {
+	if !*emitBench {
+		t.Skip("pass -emit-bench to run the pushdown benchmarks and write BENCH_10.json")
+	}
+
+	// Sanity: the two paths must agree exactly before their costs are
+	// worth comparing.
+	sat, eng := pushBenchSatellite(t)
+	events := pushBenchEvents(t, sat)
+	delta := pushBenchDelta(t, eng)
+	factHub := pushBenchHub(t, false)
+	defer factHub.Close()
+	pushHub := pushBenchHub(t, true)
+	defer pushHub.Close()
+	applyFactMode(t, factHub, sat.Binlog().Last(), events)
+	applyPushdown(t, pushHub, delta)
+	for _, req := range []aggregate.Request{
+		{MetricID: jobs.MetricCPUHours, GroupBy: jobs.DimResource, Period: aggregate.Month},
+		{MetricID: jobs.MetricNumJobs, GroupBy: jobs.DimUser, Period: aggregate.Quarter},
+		{MetricID: jobs.MetricAvgWaitHours, GroupBy: jobs.DimQueue, Period: aggregate.Year},
+	} {
+		want, err := factHub.Query("Jobs", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pushHub.Query("Jobs", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chart %s/%s diverged between modes:\npushdown: %+v\nfacts:    %+v",
+				req.MetricID, req.GroupBy, got, want)
+		}
+	}
+
+	// Wire bytes: the fact stream framed at the sender's batch size vs
+	// the single reset delta, on one gob stream each.
+	var factFrames []benchFrame
+	for i := 0; i < len(events); i += pushBenchBatch {
+		end := i + pushBenchBatch
+		if end > len(events) {
+			end = len(events)
+		}
+		chunk := events[i:end]
+		factFrames = append(factFrames, benchFrame{UpTo: chunk[len(chunk)-1].LSN, Events: chunk})
+	}
+	factBytes := gobWireBytes(t, factFrames)
+	deltaBytes := gobWireBytes(t, []benchFrame{{UpTo: delta.CoveredLSN, Deltas: []aggregate.Delta{delta}}})
+
+	type row struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	var rows []row
+	run := func(name string, fn func(*testing.B)) testing.BenchmarkResult {
+		res := testing.Benchmark(fn)
+		rows = append(rows, row{
+			Name:        name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+		return res
+	}
+	facts := run("BenchmarkHubApplyFactMode", benchHubFactMode)
+	push := run("BenchmarkHubApplyPushdown", benchHubPushdown)
+
+	cpuRatio := 0.0
+	if push.NsPerOp() > 0 {
+		cpuRatio = float64(facts.NsPerOp()) / float64(push.NsPerOp())
+	}
+	wireRatio := 0.0
+	if deltaBytes > 0 {
+		wireRatio = float64(factBytes) / float64(deltaBytes)
+	}
+	out := map[string]any{
+		"go":                 runtime.Version(),
+		"cpus":               runtime.NumCPU(),
+		"gomaxprocs":         runtime.GOMAXPROCS(0),
+		"facts":              pushBenchFacts,
+		"delta_rows":         delta.Rows(),
+		"benchmarks":         rows,
+		"fact_wire_bytes":    factBytes,
+		"delta_wire_bytes":   deltaBytes,
+		"hub_cpu_ratio_x":    cpuRatio,
+		"wire_bytes_ratio_x": wireRatio,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_10.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pushdown vs facts for %d facts (%d bins): hub CPU %.1fx, wire %.1fx (%d -> %d bytes)",
+		pushBenchFacts, delta.Rows(), cpuRatio, wireRatio, factBytes, deltaBytes)
+	if cpuRatio < 5 {
+		t.Errorf("pushdown hub aggregation CPU reduction is %.2fx, want >= 5x", cpuRatio)
+	}
+	if wireRatio < 5 {
+		t.Errorf("pushdown wire-bytes reduction is %.2fx, want >= 5x", wireRatio)
+	}
+}
